@@ -1,0 +1,114 @@
+//! Equi-depth (equi-mass) histogram baseline: bucket boundaries at the
+//! quantiles of the (non-negative) signal mass.
+//!
+//! Equi-depth histograms are the other classical database synopsis besides
+//! V-optimal histograms; they adapt boundary placement to where the mass lies,
+//! but they do not minimize the `ℓ₂` error and thus trail the merging algorithm
+//! and the exact DP on most signals.
+
+use crate::FitResult;
+use hist_core::{flatten_dense, DensePrefix, Error, Partition, Result};
+
+/// Builds the equi-depth `k`-histogram of a non-negative dense signal: the
+/// `j`-th boundary is the first index at which the running mass exceeds
+/// `j/k` of the total (`O(n)` time).
+pub fn equal_mass_histogram(values: &[f64], k: usize) -> Result<FitResult> {
+    if values.is_empty() {
+        return Err(Error::EmptyDomain);
+    }
+    if k == 0 {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: "the number of histogram pieces must be at least 1".into(),
+        });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(Error::NonFiniteValue { context: "equal_mass" });
+    }
+    if values.iter().any(|&v| v < 0.0) {
+        return Err(Error::InvalidParameter {
+            name: "values",
+            reason: "equi-depth histograms require a non-negative signal".into(),
+        });
+    }
+    let n = values.len();
+    let k = k.min(n);
+    let total: f64 = values.iter().sum();
+
+    let mut breaks = Vec::with_capacity(k - 1);
+    if total > 0.0 {
+        let mut running = 0.0;
+        let mut next_quantile = 1usize;
+        for (i, &v) in values.iter().enumerate() {
+            running += v;
+            while next_quantile < k && running >= total * next_quantile as f64 / k as f64 {
+                if i + 1 < n && breaks.last() != Some(&(i + 1)) {
+                    breaks.push(i + 1);
+                }
+                next_quantile += 1;
+            }
+        }
+    } else {
+        // Massless signal: fall back to equal-width boundaries.
+        let partition = Partition::equal_width(n, k)?;
+        breaks = partition.breakpoints();
+    }
+
+    let partition = Partition::from_breakpoints(n, &breaks)?;
+    let prefix = DensePrefix::new(values)?;
+    let histogram = flatten_dense(values, &partition)?;
+    let sse = partition.iter().map(|iv| prefix.sse(*iv)).sum();
+    Ok(FitResult { histogram, sse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_track_the_mass() {
+        // All the mass is concentrated in the second half; the buckets must
+        // concentrate there too.
+        let mut values = vec![0.0; 100];
+        for (i, v) in values.iter_mut().enumerate().skip(50) {
+            *v = 1.0 + (i % 3) as f64;
+        }
+        let fit = equal_mass_histogram(&values, 5).unwrap();
+        let breaks = fit.histogram.partition().breakpoints();
+        assert!(breaks.iter().all(|&b| b >= 50), "breaks {breaks:?} should sit in the massive half");
+        assert!(fit.histogram.num_pieces() <= 5);
+    }
+
+    #[test]
+    fn uniform_signal_gives_uniform_buckets() {
+        let values = vec![1.0; 60];
+        let fit = equal_mass_histogram(&values, 6).unwrap();
+        assert_eq!(fit.histogram.num_pieces(), 6);
+        assert!(fit.sse < 1e-15);
+        let breaks = fit.histogram.partition().breakpoints();
+        assert_eq!(breaks, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn error_is_consistent_with_the_histogram() {
+        let values: Vec<f64> = (0..77).map(|i| ((i * 31) % 11) as f64).collect();
+        let fit = equal_mass_histogram(&values, 7).unwrap();
+        let direct = fit.histogram.l2_distance_squared_dense(&values).unwrap();
+        assert!((fit.sse - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_mass_falls_back_to_equal_width() {
+        let values = vec![0.0; 30];
+        let fit = equal_mass_histogram(&values, 3).unwrap();
+        assert_eq!(fit.histogram.num_pieces(), 3);
+        assert_eq!(fit.sse, 0.0);
+    }
+
+    #[test]
+    fn rejects_negative_signals_and_bad_parameters() {
+        assert!(equal_mass_histogram(&[-1.0, 2.0], 2).is_err());
+        assert!(equal_mass_histogram(&[], 2).is_err());
+        assert!(equal_mass_histogram(&[1.0], 0).is_err());
+    }
+}

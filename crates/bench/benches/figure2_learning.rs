@@ -1,0 +1,64 @@
+//! Criterion benchmark behind Figure 2: the cost of learning a histogram from
+//! `m = 10000` samples — sampling, building the empirical distribution, and
+//! post-processing with `exactdp`, `merging` or `merging2`.
+
+
+// Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
+#![allow(missing_docs)]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hist_bench::learning::{figure2_datasets, LearningAlgorithm};
+use hist_sampling::{AliasSampler, EmpiricalDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn learning_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let m = 10_000usize;
+
+    for dataset in figure2_datasets() {
+        let sampler = AliasSampler::new(&dataset.distribution).expect("valid distribution");
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = sampler.sample_many(m, &mut rng);
+        let domain = dataset.distribution.pmf().len();
+        let empirical = EmpiricalDistribution::from_samples(domain, &samples)
+            .expect("non-empty samples")
+            .to_sparse();
+
+        // Post-processing stage (the part the paper's Theorem 2.1 bounds by O(m)).
+        for algorithm in
+            [LearningAlgorithm::ExactDp, LearningAlgorithm::Merging, LearningAlgorithm::Merging2]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(format!("postprocess/{}", algorithm.name()), &dataset.name),
+                &empirical,
+                |b, empirical| b.iter(|| black_box(algorithm.learn(empirical, dataset.k))),
+            );
+        }
+
+        // Sampling stage (alias sampling + empirical distribution construction).
+        group.bench_with_input(
+            BenchmarkId::new("sample-and-count", &dataset.name),
+            &domain,
+            |b, &domain| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let samples = sampler.sample_many(m, &mut rng);
+                    black_box(
+                        EmpiricalDistribution::from_samples(domain, &samples)
+                            .expect("non-empty samples"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, learning_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Scaling benchmark for the merging algorithms: construction time of
+//! Algorithm 1, `fastmerging` and Algorithm 2 as a function of the input
+//! sparsity `s` — the paper's claim is linear scaling independent of the
+//! domain size `n`.
+
+
+// Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
+#![allow(missing_docs)]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hist_core::{
+    construct_hierarchical_histogram, construct_histogram, construct_histogram_fast,
+    MergingParams, SparseFunction,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A deterministic pseudo-random sparse signal with `s` nonzeros spread over a
+/// domain 1000× larger.
+fn sparse_signal(s: usize) -> SparseFunction {
+    let domain = s * 1_000;
+    let mut seed = 0xC0FFEEu64;
+    let mut lcg = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let entries: Vec<(usize, f64)> = (0..s).map(|i| (i * 1_000 + 17, 1.0 + lcg() * 9.0)).collect();
+    SparseFunction::new(domain, entries).expect("sorted entries")
+}
+
+fn merging_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merging_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let params = MergingParams::paper_defaults(10).expect("k >= 1");
+
+    for s in [1_000usize, 10_000, 100_000] {
+        let q = sparse_signal(s);
+        group.throughput(Throughput::Elements(s as u64));
+        group.bench_with_input(BenchmarkId::new("merging", s), &q, |b, q| {
+            b.iter(|| black_box(construct_histogram(q, &params).expect("valid input")))
+        });
+        group.bench_with_input(BenchmarkId::new("fastmerging", s), &q, |b, q| {
+            b.iter(|| black_box(construct_histogram_fast(q, &params).expect("valid input")))
+        });
+        group.bench_with_input(BenchmarkId::new("hierarchical", s), &q, |b, q| {
+            b.iter(|| black_box(construct_hierarchical_histogram(q).expect("valid input")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merging_scaling);
+criterion_main!(benches);

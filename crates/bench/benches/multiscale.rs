@@ -1,0 +1,43 @@
+//! Benchmark of the multi-scale algorithm (Theorem 2.2): one hierarchical run
+//! versus re-running Algorithm 1 separately for several values of `k`.
+
+
+// Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
+#![allow(missing_docs)]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hist_core::{
+    construct_hierarchical_histogram, construct_histogram, MergingParams, SparseFunction,
+};
+use hist_datasets as datasets;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn multiscale_vs_repeated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiscale");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let ks = [1usize, 2, 5, 10, 20, 50];
+
+    for n in [4_096usize, 16_384] {
+        let values = datasets::dow_dataset_with_length(n);
+        let q = SparseFunction::from_dense_keep_zeros(&values).expect("finite signal");
+
+        group.bench_with_input(BenchmarkId::new("hierarchical_once", n), &q, |b, q| {
+            b.iter(|| black_box(construct_hierarchical_histogram(q).expect("valid input")))
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1_per_k", n), &q, |b, q| {
+            b.iter(|| {
+                for &k in &ks {
+                    let params = MergingParams::paper_defaults(k).expect("k >= 1");
+                    black_box(construct_histogram(q, &params).expect("valid input"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multiscale_vs_repeated);
+criterion_main!(benches);

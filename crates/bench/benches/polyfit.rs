@@ -1,0 +1,56 @@
+//! Benchmarks of the piecewise-polynomial machinery (Section 4): the
+//! `FitPoly_d` projection oracle as a function of the degree, and the full
+//! piecewise-polynomial construction on the `poly` data set.
+
+
+// Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
+#![allow(missing_docs)]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hist_core::{Interval, MergingParams, SparseFunction};
+use hist_datasets as datasets;
+use hist_poly::{fit_piecewise_polynomial, fit_polynomial, least_squares_fit};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn projection_oracle(c: &mut Criterion) {
+    let values = datasets::poly_dataset();
+    let q = SparseFunction::from_dense_keep_zeros(&values).expect("finite signal");
+    let interval = Interval::new(0, values.len() - 1).expect("valid interval");
+
+    let mut group = c.benchmark_group("fitpoly_projection");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for degree in [0usize, 1, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("gram", degree), &degree, |b, &d| {
+            b.iter(|| black_box(fit_polynomial(&q, interval, d).expect("valid input")))
+        });
+    }
+    // The dense least-squares reference at a moderate degree, for comparison.
+    group.bench_function("least_squares/degree2", |b| {
+        b.iter(|| black_box(least_squares_fit(&values, interval, 2).expect("valid input")))
+    });
+    group.finish();
+}
+
+fn piecewise_construction(c: &mut Criterion) {
+    let values = datasets::poly_dataset();
+    let q = SparseFunction::from_dense_keep_zeros(&values).expect("finite signal");
+    let params = MergingParams::paper_defaults(10).expect("k >= 1");
+
+    let mut group = c.benchmark_group("piecewise_polynomial");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for degree in [0usize, 1, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("construct", degree), &degree, |b, &d| {
+            b.iter(|| black_box(fit_piecewise_polynomial(&q, &params, d).expect("valid input")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, projection_oracle, piecewise_construction);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks of the sampling substrate: alias-table construction, drawing
+//! samples, building the empirical distribution, and the end-to-end learner of
+//! Theorem 2.1 (sample + merge).
+
+
+// Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
+#![allow(missing_docs)]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hist_datasets as datasets;
+use hist_sampling::{
+    learn_histogram_with_sample_size, AliasSampler, EmpiricalDistribution, InverseCdfSampler,
+    LearnerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn samplers(c: &mut Criterion) {
+    let p = datasets::to_distribution(&datasets::hist_dataset()).expect("valid signal");
+    let alias = AliasSampler::new(&p).expect("valid distribution");
+    let inverse = InverseCdfSampler::new(&p).expect("valid distribution");
+    let m = 100_000usize;
+
+    let mut group = c.benchmark_group("samplers");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("alias/draw100k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(alias.sample_many(m, &mut rng))
+        })
+    });
+    group.bench_function("inverse_cdf/draw100k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(inverse.sample_many(m, &mut rng))
+        })
+    });
+    group.bench_function("alias/build", |b| {
+        b.iter(|| black_box(AliasSampler::new(&p).expect("valid distribution")))
+    });
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let samples = alias.sample_many(m, &mut rng);
+    group.bench_function("empirical/build100k", |b| {
+        b.iter(|| {
+            black_box(
+                EmpiricalDistribution::from_samples(1_000, &samples).expect("non-empty samples"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn end_to_end_learner(c: &mut Criterion) {
+    let p = datasets::subsample_to_distribution(&datasets::dow_dataset(), 16).expect("valid");
+    let config = LearnerConfig::paper(50, 0.01, 0.1);
+
+    let mut group = c.benchmark_group("theorem_2_1_learner");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for m in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("sample_and_merge", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                black_box(
+                    learn_histogram_with_sample_size(&p, m, &config, &mut rng)
+                        .expect("valid distribution"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, samplers, end_to_end_learner);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmark behind Table 1: construction time of every offline
+//! algorithm on the paper's three data sets.
+//!
+//! The naive `O(n²k)` DP is benchmarked on `hist` only (it needs minutes on the
+//! full `dow` series — run the `table1` binary with `--paper-scale --naive-dp`
+//! to reproduce that number); the pruned exact DP covers the larger sets.
+
+
+// Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
+#![allow(missing_docs)]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hist_bench::offline::{table1_datasets, OfflineAlgorithm};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn offline_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    for spec in table1_datasets(false) {
+        let algorithms: Vec<OfflineAlgorithm> = match spec.name.as_str() {
+            // The quadratic DP is affordable only on the smallest data set.
+            "hist" => vec![
+                OfflineAlgorithm::ExactDp,
+                OfflineAlgorithm::ExactDpPruned,
+                OfflineAlgorithm::Merging,
+                OfflineAlgorithm::Merging2,
+                OfflineAlgorithm::FastMerging,
+                OfflineAlgorithm::FastMerging2,
+                OfflineAlgorithm::Dual,
+            ],
+            _ => vec![
+                OfflineAlgorithm::ExactDpPruned,
+                OfflineAlgorithm::Merging,
+                OfflineAlgorithm::Merging2,
+                OfflineAlgorithm::FastMerging,
+                OfflineAlgorithm::FastMerging2,
+                OfflineAlgorithm::Dual,
+            ],
+        };
+        for algorithm in algorithms {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), &spec.name),
+                &spec,
+                |b, spec| b.iter(|| black_box(algorithm.run(&spec.values, spec.k))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_algorithms);
+criterion_main!(benches);

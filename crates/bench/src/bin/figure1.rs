@@ -1,0 +1,49 @@
+//! Regenerates the Figure 1 data sets (`hist`, `poly`, `dow`) and writes them
+//! as CSV so they can be plotted alongside the paper's figure.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p hist-bench --bin figure1 [-- --paper-scale]
+//! ```
+
+use hist_bench::offline::figure1;
+use hist_bench::report::{emit, fmt_float};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+
+    println!("Figure 1 — evaluation data sets");
+    for (name, values) in figure1(paper_scale) {
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let summary = vec![vec![
+            name.clone(),
+            values.len().to_string(),
+            fmt_float(min),
+            fmt_float(mean),
+            fmt_float(max),
+        ]];
+        emit(
+            &format!("{name} summary"),
+            &format!("figure1_{name}_summary.csv"),
+            &["dataset", "n", "min", "mean", "max"],
+            &summary,
+        )
+        .expect("writing the summary CSV succeeds");
+
+        let rows: Vec<Vec<String>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| vec![i.to_string(), format!("{v}")])
+            .collect();
+        let path = hist_bench::report::write_csv(
+            &format!("figure1_{name}.csv"),
+            &["index", "value"],
+            &rows,
+        )
+        .expect("writing the data CSV succeeds");
+        println!("(full series written to {})", path.display());
+    }
+}

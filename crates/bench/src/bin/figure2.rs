@@ -1,0 +1,53 @@
+//! Regenerates Figure 2 of the paper: learning curves (mean `ℓ₂` error ± one
+//! standard deviation versus the number of samples) for `exactdp`, `merging`
+//! and `merging2` on the `hist'`, `poly'` and `dow'` distributions, together
+//! with the `opt_k` reference line.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p hist-bench --bin figure2 [-- --trials N] [--quick]
+//! ```
+//! The paper uses 20 trials and sample sizes 1000, 2000, …, 10000; `--quick`
+//! runs 5 trials over three sample sizes for a fast smoke run.
+
+use hist_bench::learning::figure2;
+use hist_bench::report::{emit, fmt_float};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|idx| args.get(idx + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if quick { 5 } else { 20 });
+    let sample_sizes: Vec<usize> = if quick {
+        vec![1_000, 4_000, 10_000]
+    } else {
+        (1..=10).map(|i| i * 1_000).collect()
+    };
+
+    println!("Figure 2 — learning from samples ({trials} trials per point)");
+    for experiment in figure2(&sample_sizes, trials, 2015) {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for curve in &experiment.curves {
+            for point in &curve.points {
+                rows.push(vec![
+                    curve.algorithm.clone(),
+                    point.samples.to_string(),
+                    fmt_float(point.mean_error),
+                    fmt_float(point.std_error),
+                    fmt_float(experiment.opt_k),
+                ]);
+            }
+        }
+        emit(
+            &format!("{} (opt_k = {})", experiment.dataset, fmt_float(experiment.opt_k)),
+            &format!("figure2_{}.csv", experiment.dataset.replace('\'', "_prime")),
+            &["algorithm", "samples", "mean_l2_error", "std_l2_error", "opt_k"],
+            &rows,
+        )
+        .expect("writing the CSV succeeds");
+    }
+}

@@ -1,0 +1,38 @@
+//! The Theorem 2.3 demo: piecewise-polynomial approximation under a fixed
+//! space budget `k·(d + 1)` — how much accuracy does each extra degree buy on
+//! the `hist`, `poly` and `dow` signals?
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p hist-bench --bin poly_experiment
+//! ```
+
+use hist_bench::polyexp::{default_budgets, default_degrees, poly_experiment, poly_experiment_datasets};
+use hist_bench::report::{emit, fmt_float};
+
+fn main() {
+    println!("Theorem 2.3 — piecewise polynomial approximation under a parameter budget");
+    for (name, values) in poly_experiment_datasets() {
+        let rows: Vec<Vec<String>> =
+            poly_experiment(&values, &default_budgets(), &default_degrees())
+                .iter()
+                .map(|row| {
+                    vec![
+                        row.budget.to_string(),
+                        row.degree.to_string(),
+                        row.k.to_string(),
+                        row.pieces.to_string(),
+                        row.parameters.to_string(),
+                        fmt_float(row.error),
+                    ]
+                })
+                .collect();
+        emit(
+            &format!("{name} (n = {})", values.len()),
+            &format!("poly_experiment_{name}.csv"),
+            &["budget", "degree", "k", "pieces", "parameters", "l2_error"],
+            &rows,
+        )
+        .expect("writing the CSV succeeds");
+    }
+}

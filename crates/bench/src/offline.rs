@@ -1,0 +1,283 @@
+//! The offline histogram-approximation experiment (Table 1 of the paper) and
+//! the Figure 1 data-set dump.
+//!
+//! For each data set (`hist` with `k = 10`, `poly` with `k = 10`, `dow` with
+//! `k = 50`) every algorithm constructs a histogram from the dense signal; we
+//! record its `ℓ₂` error, the error relative to the exact optimum, its wall
+//! clock time, and the time relative to the fastest merging variant — the same
+//! four rows the paper reports.
+
+use crate::timing::time_algorithm;
+use hist_baselines as baselines;
+use hist_core::{
+    construct_histogram_dense, construct_histogram_fast, Histogram, MergingParams, SparseFunction,
+};
+use hist_datasets as datasets;
+
+/// The algorithms of the paper's Table 1 plus the extra baselines this
+/// reproduction ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfflineAlgorithm {
+    /// Exact V-optimal DP of [JKM+98] — `exactdp`.
+    ExactDp,
+    /// Exact V-optimal optimum via the pruned DP (identical error, much faster).
+    ExactDpPruned,
+    /// Algorithm 1 with `δ = 1000`, `γ = 1` (≈ `2k + 1` pieces) — `merging`.
+    Merging,
+    /// Algorithm 1 invoked with `k/2` (≈ `k + 1` pieces) — `merging2`.
+    Merging2,
+    /// Aggressive group merging — `fastmerging`.
+    FastMerging,
+    /// Aggressive group merging invoked with `k/2` — `fastmerging2`.
+    FastMerging2,
+    /// Dual greedy of [JKM+98] with binary search over the error — `dual`.
+    Dual,
+    /// Compressed-row approximate DP in the spirit of AHIST [GKS06].
+    Gks,
+    /// Equi-width buckets (sanity floor).
+    EqualWidth,
+    /// Equi-depth buckets (sanity floor).
+    EqualMass,
+    /// Top-down greedy splitting (ablation partner of bottom-up merging).
+    GreedySplit,
+}
+
+impl OfflineAlgorithm {
+    /// The algorithm's name as used in the paper / the output tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OfflineAlgorithm::ExactDp => "exactdp",
+            OfflineAlgorithm::ExactDpPruned => "exactdp-pruned",
+            OfflineAlgorithm::Merging => "merging",
+            OfflineAlgorithm::Merging2 => "merging2",
+            OfflineAlgorithm::FastMerging => "fastmerging",
+            OfflineAlgorithm::FastMerging2 => "fastmerging2",
+            OfflineAlgorithm::Dual => "dual",
+            OfflineAlgorithm::Gks => "gks",
+            OfflineAlgorithm::EqualWidth => "equalwidth",
+            OfflineAlgorithm::EqualMass => "equalmass",
+            OfflineAlgorithm::GreedySplit => "greedysplit",
+        }
+    }
+
+    /// The six algorithms of the paper's Table 1 (with the pruned exact DP
+    /// standing in for `exactdp` when `paper_scale` is off — same optimum,
+    /// practical running time at `n = 16384`).
+    pub fn table1_set(use_naive_exact: bool) -> Vec<OfflineAlgorithm> {
+        let exact = if use_naive_exact {
+            OfflineAlgorithm::ExactDp
+        } else {
+            OfflineAlgorithm::ExactDpPruned
+        };
+        vec![
+            exact,
+            OfflineAlgorithm::Merging,
+            OfflineAlgorithm::Merging2,
+            OfflineAlgorithm::FastMerging,
+            OfflineAlgorithm::FastMerging2,
+            OfflineAlgorithm::Dual,
+        ]
+    }
+
+    /// Runs the algorithm on a dense signal with piece budget `k` and returns
+    /// the constructed histogram.
+    pub fn run(&self, values: &[f64], k: usize) -> Histogram {
+        match self {
+            OfflineAlgorithm::ExactDp => {
+                baselines::exact_histogram(values, k).expect("valid input").histogram
+            }
+            OfflineAlgorithm::ExactDpPruned => {
+                baselines::exact_histogram_pruned(values, k).expect("valid input").histogram
+            }
+            OfflineAlgorithm::Merging => {
+                let params = MergingParams::paper_defaults(k).expect("k >= 1");
+                construct_histogram_dense(values, &params).expect("valid input")
+            }
+            OfflineAlgorithm::Merging2 => {
+                let params = MergingParams::paper_defaults((k / 2).max(1)).expect("k >= 1");
+                construct_histogram_dense(values, &params).expect("valid input")
+            }
+            OfflineAlgorithm::FastMerging => {
+                let params = MergingParams::paper_defaults(k).expect("k >= 1");
+                let q = SparseFunction::from_dense_keep_zeros(values).expect("finite input");
+                construct_histogram_fast(&q, &params).expect("valid input")
+            }
+            OfflineAlgorithm::FastMerging2 => {
+                let params = MergingParams::paper_defaults((k / 2).max(1)).expect("k >= 1");
+                let q = SparseFunction::from_dense_keep_zeros(values).expect("finite input");
+                construct_histogram_fast(&q, &params).expect("valid input")
+            }
+            OfflineAlgorithm::Dual => {
+                baselines::dual_histogram(values, k).expect("valid input").histogram
+            }
+            OfflineAlgorithm::Gks => {
+                baselines::approx_dp(values, k, 0.1).expect("valid input").histogram
+            }
+            OfflineAlgorithm::EqualWidth => {
+                baselines::equal_width_histogram(values, k).expect("valid input").histogram
+            }
+            OfflineAlgorithm::EqualMass => {
+                baselines::equal_mass_histogram(values, k).expect("valid input").histogram
+            }
+            OfflineAlgorithm::GreedySplit => {
+                baselines::greedy_split_histogram(values, k).expect("valid input").histogram
+            }
+        }
+    }
+}
+
+/// One data set of the offline experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// Data-set name (`hist`, `poly`, `dow`, …).
+    pub name: String,
+    /// The dense signal.
+    pub values: Vec<f64>,
+    /// Piece budget `k` used for this data set.
+    pub k: usize,
+}
+
+/// The three data sets of Table 1. With `paper_scale` the `dow` series has its
+/// full 16384 points; otherwise it is truncated to 4096 points so that the
+/// naive `O(n²k)` DP stays affordable in CI runs.
+pub fn table1_datasets(paper_scale: bool) -> Vec<DatasetSpec> {
+    let dow = if paper_scale {
+        datasets::dow_dataset()
+    } else {
+        datasets::dow_dataset_with_length(4_096)
+    };
+    vec![
+        DatasetSpec { name: "hist".into(), values: datasets::hist_dataset(), k: 10 },
+        DatasetSpec { name: "poly".into(), values: datasets::poly_dataset(), k: 10 },
+        DatasetSpec { name: "dow".into(), values: dow, k: 50 },
+    ]
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineResult {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of pieces of the produced histogram.
+    pub pieces: usize,
+    /// `ℓ₂` error of the produced histogram against the input signal.
+    pub error: f64,
+    /// Error relative to the exact optimum (the paper's "Error (relative)").
+    pub relative_error: f64,
+    /// Wall-clock construction time in milliseconds.
+    pub time_ms: f64,
+    /// Time relative to the fastest algorithm in the batch.
+    pub relative_time: f64,
+}
+
+/// Runs a set of algorithms on one data set and assembles the Table 1 rows:
+/// errors are reported relative to the first exact algorithm in the batch (or
+/// to the best achieved error if none is exact), times relative to the fastest.
+pub fn run_offline(
+    values: &[f64],
+    k: usize,
+    algorithms: &[OfflineAlgorithm],
+) -> Vec<OfflineResult> {
+    let mut raw: Vec<(String, usize, f64, f64)> = Vec::with_capacity(algorithms.len());
+    for algorithm in algorithms {
+        let (histogram, elapsed) = time_algorithm(|| algorithm.run(values, k));
+        let error = histogram
+            .l2_distance_dense(values)
+            .expect("histogram lives on the signal's domain");
+        raw.push((algorithm.name().to_string(), histogram.num_pieces(), error, elapsed * 1e3));
+    }
+
+    let reference_error = algorithms
+        .iter()
+        .position(|a| matches!(a, OfflineAlgorithm::ExactDp | OfflineAlgorithm::ExactDpPruned))
+        .map(|idx| raw[idx].2)
+        .unwrap_or_else(|| raw.iter().map(|r| r.2).fold(f64::INFINITY, f64::min));
+    let fastest = raw.iter().map(|r| r.3).fold(f64::INFINITY, f64::min).max(f64::MIN_POSITIVE);
+
+    raw.into_iter()
+        .map(|(algorithm, pieces, error, time_ms)| OfflineResult {
+            algorithm,
+            pieces,
+            error,
+            relative_error: if reference_error > 0.0 { error / reference_error } else { 1.0 },
+            time_ms,
+            relative_time: time_ms / fastest,
+        })
+        .collect()
+}
+
+/// The full Table 1: every data set with the paper's six algorithms.
+pub fn table1(paper_scale: bool, use_naive_exact_everywhere: bool) -> Vec<(DatasetSpec, Vec<OfflineResult>)> {
+    let specs = table1_datasets(paper_scale);
+    specs
+        .into_iter()
+        .map(|spec| {
+            // The naive DP is affordable on hist/poly; on dow it is opt-in.
+            let naive = use_naive_exact_everywhere || spec.values.len() <= 4_096;
+            let algorithms = OfflineAlgorithm::table1_set(naive);
+            let results = run_offline(&spec.values, spec.k, &algorithms);
+            (spec, results)
+        })
+        .collect()
+}
+
+/// The Figure 1 payload: `(name, signal)` for the three data sets.
+pub fn figure1(paper_scale: bool) -> Vec<(String, Vec<f64>)> {
+    table1_datasets(paper_scale)
+        .into_iter()
+        .map(|spec| (spec.name, spec.values))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_names_match_the_paper() {
+        assert_eq!(OfflineAlgorithm::Merging.name(), "merging");
+        assert_eq!(OfflineAlgorithm::ExactDp.name(), "exactdp");
+        let set = OfflineAlgorithm::table1_set(true);
+        assert_eq!(set.len(), 6);
+        assert_eq!(set[0], OfflineAlgorithm::ExactDp);
+    }
+
+    #[test]
+    fn offline_rows_have_consistent_relative_columns() {
+        let values = datasets::hist_dataset();
+        let algorithms = [
+            OfflineAlgorithm::ExactDpPruned,
+            OfflineAlgorithm::Merging,
+            OfflineAlgorithm::Merging2,
+            OfflineAlgorithm::Dual,
+        ];
+        let rows = run_offline(&values, 10, &algorithms);
+        assert_eq!(rows.len(), 4);
+        // The exact algorithm has relative error 1 by definition.
+        assert!((rows[0].relative_error - 1.0).abs() < 1e-12);
+        // merging uses roughly 2k+1 pieces and can therefore beat the exact k-piece optimum.
+        assert!(rows[1].pieces > 10 && rows[1].pieces <= 23);
+        assert!(rows[1].relative_error < 1.2);
+        // merging2 uses about k+1 pieces (up to the keep-count stopping slack).
+        assert!(rows[2].pieces <= 13);
+        // The dual baseline respects the piece budget and cannot beat the optimum.
+        assert!(rows[3].pieces <= 10);
+        assert!(rows[3].relative_error >= 1.0 - 1e-12);
+        // Relative times are normalized to the fastest row.
+        let min_rel = rows.iter().map(|r| r.relative_time).fold(f64::INFINITY, f64::min);
+        assert!((min_rel - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_specs_match_the_paper_parameters() {
+        let specs = table1_datasets(false);
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].k, 10);
+        assert_eq!(specs[1].k, 10);
+        assert_eq!(specs[2].k, 50);
+        assert_eq!(specs[0].values.len(), 1_000);
+        assert_eq!(specs[1].values.len(), 4_000);
+        assert_eq!(specs[2].values.len(), 4_096);
+        assert_eq!(table1_datasets(true)[2].values.len(), 16_384);
+    }
+}

@@ -1,0 +1,252 @@
+//! Algorithm 1 of the paper: `ConstructHistogram` — near-optimal histogram
+//! approximation in input-sparsity time.
+//!
+//! Given an `s`-sparse function `q : [0, n) → ℝ` and parameters `(k, δ, γ)`, the
+//! algorithm starts from the exact `O(s)`-piece segmentation of `q`, then
+//! repeatedly pairs up consecutive intervals, computes the error each merge
+//! would incur, keeps the `(1 + 1/δ)k` pairs with the largest errors unmerged
+//! and merges the rest, until at most `(2 + 2/δ)k + γ` intervals remain.
+//!
+//! Guarantees (Theorems 3.3 and 3.4):
+//! * the output has at most `(2 + 2/δ)k + γ` pieces,
+//! * its error is at most `√(1 + δ) · opt_k`, where `opt_k` is the error of the
+//!   best `k`-histogram approximation of `q`,
+//! * the running time is `O(s + k(1 + 1/δ)·log((1 + 1/δ)k/γ))`, which is `O(s)`
+//!   for the parameterization of Corollary 3.1.
+
+use crate::error::Result;
+use crate::histogram::Histogram;
+use crate::params::MergingParams;
+use crate::partition::Partition;
+use crate::segment::{initial_segments, segments_to_histogram, segments_to_partition, Segment};
+use crate::select::top_t_mask;
+use crate::sparse::SparseFunction;
+use crate::function::DiscreteFunction;
+
+/// Summary statistics of one run of the merging algorithm, useful for
+/// diagnostics, tests and the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergingReport {
+    /// Number of intervals in the initial (exact) segmentation.
+    pub initial_intervals: usize,
+    /// Number of intervals in the final partition.
+    pub final_intervals: usize,
+    /// Number of merging rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs Algorithm 1 and returns the output histogram (the flattening of `q`
+/// over the final partition).
+pub fn construct_histogram(q: &SparseFunction, params: &MergingParams) -> Result<Histogram> {
+    let (segments, _) = merge_segments(q, params);
+    Ok(segments_to_histogram(q.domain(), &segments))
+}
+
+/// Runs Algorithm 1 and returns only the final partition.
+pub fn construct_partition(q: &SparseFunction, params: &MergingParams) -> Result<Partition> {
+    let (segments, _) = merge_segments(q, params);
+    Ok(segments_to_partition(q.domain(), &segments))
+}
+
+/// Runs Algorithm 1 and additionally returns a [`MergingReport`].
+pub fn construct_histogram_with_report(
+    q: &SparseFunction,
+    params: &MergingParams,
+) -> Result<(Histogram, MergingReport)> {
+    let (segments, report) = merge_segments(q, params);
+    Ok((segments_to_histogram(q.domain(), &segments), report))
+}
+
+/// Convenience wrapper for dense inputs: the signal is treated as an `n`-sparse
+/// function (this is the "offline" setting of the paper's experiments).
+pub fn construct_histogram_dense(values: &[f64], params: &MergingParams) -> Result<Histogram> {
+    let q = SparseFunction::from_dense_keep_zeros(values)?;
+    construct_histogram(&q, params)
+}
+
+/// The core merging loop shared by the public entry points.
+fn merge_segments(q: &SparseFunction, params: &MergingParams) -> (Vec<Segment>, MergingReport) {
+    let mut segments = initial_segments(q);
+    let initial_intervals = segments.len();
+    let max_intervals = params.max_intervals().max(1);
+    let keep = params.keep_count();
+    let mut rounds = 0usize;
+
+    while segments.len() > max_intervals {
+        let num_pairs = segments.len() / 2;
+        // If every pair would be kept, no merge can happen and the loop cannot
+        // make progress; this only occurs for extreme parameter choices.
+        if num_pairs <= keep {
+            break;
+        }
+        let errors: Vec<f64> = (0..num_pairs)
+            .map(|u| segments[2 * u].merged_sse(&segments[2 * u + 1]))
+            .collect();
+        let keep_mask = top_t_mask(&errors, keep);
+
+        let kept_pairs = keep.min(num_pairs);
+        let mut next = Vec::with_capacity(num_pairs + kept_pairs + 1);
+        for (u, &kept) in keep_mask.iter().enumerate() {
+            if kept {
+                next.push(segments[2 * u]);
+                next.push(segments[2 * u + 1]);
+            } else {
+                next.push(segments[2 * u].merged(&segments[2 * u + 1]));
+            }
+        }
+        if segments.len() % 2 == 1 {
+            next.push(*segments.last().expect("non-empty segment list"));
+        }
+        segments = next;
+        rounds += 1;
+    }
+
+    let report = MergingReport {
+        initial_intervals,
+        final_intervals: segments.len(),
+        rounds,
+    };
+    (segments, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::DiscreteFunction;
+
+    /// Brute-force optimal k-histogram error via dynamic programming, used only
+    /// on tiny inputs to validate the approximation guarantee.
+    fn opt_k_sse(values: &[f64], k: usize) -> f64 {
+        let n = values.len();
+        let prefix = crate::prefix::DensePrefix::new(values).unwrap();
+        let inf = f64::INFINITY;
+        // dp[j][i]: best SSE of covering the first i points with j pieces.
+        let mut prev = vec![inf; n + 1];
+        prev[0] = 0.0;
+        let mut curr = vec![inf; n + 1];
+        for _j in 1..=k {
+            curr.iter_mut().for_each(|v| *v = inf);
+            curr[0] = 0.0;
+            for i in 1..=n {
+                let mut best = inf;
+                for b in 0..i {
+                    if prev[b] == inf {
+                        continue;
+                    }
+                    let cost = prev[b] + prefix.sse_range(b, i);
+                    if cost < best {
+                        best = cost;
+                    }
+                }
+                curr[i] = best;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[n]
+    }
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn exact_recovery_of_a_k_histogram() {
+        // The input is itself a 3-histogram; with k = 3 the output must have zero error.
+        let h = Histogram::from_breakpoints(30, &[10, 20], vec![1.0, 4.0, 2.0]).unwrap();
+        let dense = h.to_dense();
+        let q = SparseFunction::from_dense_keep_zeros(&dense).unwrap();
+        let params = MergingParams::new(3, 1.0, 1.0).unwrap();
+        let out = construct_histogram(&q, &params).unwrap();
+        assert!(out.l2_distance_squared_dense(&dense).unwrap() < 1e-18);
+        assert!(out.num_pieces() <= params.output_pieces_bound());
+    }
+
+    #[test]
+    fn respects_piece_budget_and_error_guarantee() {
+        let mut seed = 42u64;
+        let n = 200;
+        let k = 5;
+        // Piecewise-constant ground truth plus noise.
+        let truth = Histogram::from_breakpoints(n, &[37, 80, 120, 160], vec![2.0, 7.0, 1.0, 5.0, 3.0])
+            .unwrap()
+            .to_dense();
+        let noisy: Vec<f64> = truth.iter().map(|v| v + 0.4 * (lcg(&mut seed) - 0.5)).collect();
+
+        let q = SparseFunction::from_dense_keep_zeros(&noisy).unwrap();
+        for delta in [0.5, 1.0, 4.0, 1000.0] {
+            let params = MergingParams::new(k, delta, 1.0).unwrap();
+            let out = construct_histogram(&q, &params).unwrap();
+            assert!(
+                out.num_pieces() <= params.output_pieces_bound(),
+                "pieces {} exceed bound {} for delta {delta}",
+                out.num_pieces(),
+                params.output_pieces_bound()
+            );
+            let sse = out.l2_distance_squared_dense(&noisy).unwrap();
+            let opt = opt_k_sse(&noisy, k);
+            assert!(
+                sse <= (1.0 + delta) * opt + 1e-9,
+                "sse {sse} exceeds (1+{delta})·opt = {}",
+                (1.0 + delta) * opt
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_input_ignores_long_zero_runs_cheaply() {
+        // A very sparse function over a huge domain.
+        let n = 1_000_000;
+        let entries: Vec<(usize, f64)> = (0..50).map(|i| (i * 19_997 + 13, (i % 7) as f64 + 1.0)).collect();
+        let q = SparseFunction::new(n, entries).unwrap();
+        let params = MergingParams::paper_defaults(10).unwrap();
+        let (h, report) = construct_histogram_with_report(&q, &params).unwrap();
+        assert!(h.num_pieces() <= params.output_pieces_bound());
+        assert_eq!(h.domain(), n);
+        // The initial segmentation has at most 2s + 1 intervals — independent of n.
+        assert!(report.initial_intervals <= 2 * q.sparsity() + 1);
+    }
+
+    #[test]
+    fn report_counts_rounds() {
+        let values: Vec<f64> = (0..256).map(|i| (i % 16) as f64).collect();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let params = MergingParams::new(4, 1.0, 1.0).unwrap();
+        let (_, report) = construct_histogram_with_report(&q, &params).unwrap();
+        assert_eq!(report.initial_intervals, 256);
+        assert!(report.final_intervals <= params.output_pieces_bound());
+        // Each round removes at most half of the intervals, so at least log2(256/13) rounds.
+        assert!(report.rounds >= 4);
+        // And never more than log2(s) + 1 rounds.
+        assert!(report.rounds <= 9);
+    }
+
+    #[test]
+    fn dense_wrapper_matches_sparse_path() {
+        let values: Vec<f64> = (0..64).map(|i| ((i / 8) % 3) as f64 * 2.0).collect();
+        let params = MergingParams::paper_defaults(3).unwrap();
+        let a = construct_histogram_dense(&values, &params).unwrap();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let b = construct_histogram(&q, &params).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_piece_budget() {
+        let values = vec![1.0, 2.0, 3.0, 4.0];
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let params = MergingParams::new(1, 0.5, 0.0).unwrap();
+        let out = construct_histogram(&q, &params).unwrap();
+        assert!(out.num_pieces() <= params.output_pieces_bound());
+    }
+
+    #[test]
+    fn input_already_small_is_returned_exactly() {
+        // If the initial segmentation already has ≤ max_intervals pieces, no merging occurs.
+        let q = SparseFunction::new(100, vec![(10, 1.0), (50, 2.0)]).unwrap();
+        let params = MergingParams::paper_defaults(10).unwrap();
+        let (h, report) = construct_histogram_with_report(&q, &params).unwrap();
+        assert_eq!(report.rounds, 0);
+        assert!(h.l2_distance_squared_sparse(&q).unwrap() < 1e-18);
+    }
+}

@@ -1,0 +1,321 @@
+//! Algorithm 2 of the paper: `ConstructHierarchicalHistogram` — multi-scale
+//! histogram construction without a priori knowledge of `k`.
+//!
+//! A single `O(s)`-time pass over an `s`-sparse signal produces a *hierarchy* of
+//! partitions `I_0, I_1, …, I_L`, each obtained from the previous one by merging
+//! a quarter of the interval pairs (the ones with the smallest merging errors).
+//! Theorem 3.5 guarantees that for every `1 ≤ k ≤ s` there is a level `I_j` with
+//! at most `8k` intervals whose flattening has error at most `2·opt_k`.
+//!
+//! The returned [`HierarchicalHistogram`] stores every level together with its
+//! exact flattening error, so callers can walk the whole Pareto curve between
+//! the number of pieces and the achieved error, or query the best level for a
+//! given piece budget `k` (Theorem 2.2).
+
+use crate::error::Result;
+use crate::function::DiscreteFunction;
+use crate::histogram::Histogram;
+use crate::partition::Partition;
+use crate::segment::{initial_segments, segments_to_partition, total_sse, Segment};
+use crate::select::top_t_mask;
+use crate::sparse::SparseFunction;
+
+/// One level of the merging hierarchy: a partition of the domain, the flattening
+/// values on its intervals, and the total squared flattening error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyLevel {
+    partition: Partition,
+    values: Vec<f64>,
+    sse: f64,
+}
+
+impl HierarchyLevel {
+    fn from_segments(domain: usize, segments: &[Segment]) -> Self {
+        let partition = segments_to_partition(domain, segments);
+        let values = segments.iter().map(Segment::mean).collect();
+        let sse = total_sse(segments);
+        Self { partition, values, sse }
+    }
+
+    /// The partition of `[0, n)` at this level.
+    #[inline]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of intervals at this level.
+    #[inline]
+    pub fn num_pieces(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Flattening value (interval mean of the input) on each interval.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total squared `ℓ₂` flattening error `‖q̄_I − q‖₂²` at this level.
+    #[inline]
+    pub fn sse(&self) -> f64 {
+        self.sse
+    }
+
+    /// `ℓ₂` flattening error `‖q̄_I − q‖₂` at this level — the error estimate
+    /// `e_t` of Theorem 2.2 (exact for the input signal).
+    #[inline]
+    pub fn error(&self) -> f64 {
+        self.sse.sqrt()
+    }
+
+    /// Materializes the flattening histogram of this level.
+    pub fn histogram(&self) -> Histogram {
+        Histogram::new(self.partition.clone(), self.values.clone())
+            .expect("level values are finite interval means")
+    }
+}
+
+/// The full output of Algorithm 2: every level of the merging hierarchy, from
+/// the exact initial segmentation down to fewer than 8 intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalHistogram {
+    domain: usize,
+    levels: Vec<HierarchyLevel>,
+}
+
+impl HierarchicalHistogram {
+    /// Domain size `n` of the underlying signal.
+    #[inline]
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Number of levels in the hierarchy (at least 1).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels in construction order: level 0 is the exact initial
+    /// segmentation, the last level has fewer than 8 intervals.
+    #[inline]
+    pub fn levels(&self) -> &[HierarchyLevel] {
+        &self.levels
+    }
+
+    /// The `j`-th level.
+    #[inline]
+    pub fn level(&self, j: usize) -> &HierarchyLevel {
+        &self.levels[j]
+    }
+
+    /// Index of the first (coarsest-grained) level with at most `max_pieces`
+    /// intervals, or the last level if every level is larger.
+    pub fn level_for_pieces(&self, max_pieces: usize) -> usize {
+        self.levels
+            .iter()
+            .position(|level| level.num_pieces() <= max_pieces)
+            .unwrap_or(self.levels.len() - 1)
+    }
+
+    /// The level promised by Theorem 3.5 for target piece count `k`: the first
+    /// level with at most `8k` intervals. Its flattening error is at most
+    /// `2·opt_k`.
+    pub fn level_for_k(&self, k: usize) -> &HierarchyLevel {
+        &self.levels[self.level_for_pieces(8 * k.max(1))]
+    }
+
+    /// Convenience wrapper around [`Self::level_for_k`] returning the histogram
+    /// and its `ℓ₂` error (the estimate `e_t` of Theorem 2.2).
+    pub fn histogram_for_k(&self, k: usize) -> (Histogram, f64) {
+        let level = self.level_for_k(k);
+        (level.histogram(), level.error())
+    }
+
+    /// The Pareto curve traced by the hierarchy: `(number of pieces, ℓ₂ error)`
+    /// for every level, in decreasing order of pieces.
+    pub fn pareto_curve(&self) -> Vec<(usize, f64)> {
+        self.levels.iter().map(|l| (l.num_pieces(), l.error())).collect()
+    }
+}
+
+/// Runs Algorithm 2 on an `s`-sparse signal.
+///
+/// Starting from the exact `O(s)`-piece segmentation, each iteration pairs up
+/// consecutive intervals, keeps the quarter of pairs with the largest merging
+/// errors unmerged, merges the remaining pairs, and records the resulting
+/// level. The loop stops when fewer than 8 intervals remain. Total running
+/// time and memory are `O(s)` (the level sizes decay geometrically).
+pub fn construct_hierarchical_histogram(q: &SparseFunction) -> Result<HierarchicalHistogram> {
+    let domain = q.domain();
+    let mut segments = initial_segments(q);
+    let mut levels = vec![HierarchyLevel::from_segments(domain, &segments)];
+
+    while segments.len() >= 8 {
+        let num_pairs = segments.len() / 2;
+        let keep = segments.len() / 4;
+        let errors: Vec<f64> = (0..num_pairs)
+            .map(|u| segments[2 * u].merged_sse(&segments[2 * u + 1]))
+            .collect();
+        let keep_mask = top_t_mask(&errors, keep);
+
+        let mut next = Vec::with_capacity(num_pairs + keep + 1);
+        for (u, &kept) in keep_mask.iter().enumerate() {
+            if kept {
+                next.push(segments[2 * u]);
+                next.push(segments[2 * u + 1]);
+            } else {
+                next.push(segments[2 * u].merged(&segments[2 * u + 1]));
+            }
+        }
+        if segments.len() % 2 == 1 {
+            next.push(*segments.last().expect("non-empty segment list"));
+        }
+        segments = next;
+        levels.push(HierarchyLevel::from_segments(domain, &segments));
+    }
+
+    Ok(HierarchicalHistogram { domain, levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::DiscreteFunction;
+    use crate::prefix::DensePrefix;
+
+    /// Exact optimal k-histogram SSE by dynamic programming (tiny inputs only).
+    fn opt_k_sse(values: &[f64], k: usize) -> f64 {
+        let n = values.len();
+        let prefix = DensePrefix::new(values).unwrap();
+        let inf = f64::INFINITY;
+        let mut prev = vec![inf; n + 1];
+        prev[0] = 0.0;
+        let mut curr = vec![inf; n + 1];
+        for _ in 1..=k {
+            curr.iter_mut().for_each(|v| *v = inf);
+            curr[0] = 0.0;
+            for i in 1..=n {
+                let mut best = inf;
+                for b in 0..i {
+                    if prev[b] == inf {
+                        continue;
+                    }
+                    let cost = prev[b] + prefix.sse_range(b, i);
+                    if cost < best {
+                        best = cost;
+                    }
+                }
+                curr[i] = best;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[n]
+    }
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn levels_shrink_and_errors_grow() {
+        let mut seed = 7u64;
+        let values: Vec<f64> = (0..512).map(|_| lcg(&mut seed)).collect();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let hier = construct_hierarchical_histogram(&q).unwrap();
+
+        assert!(hier.num_levels() >= 2);
+        assert_eq!(hier.level(0).num_pieces(), 512);
+        assert!(hier.level(0).sse() < 1e-15, "level 0 is the exact segmentation");
+        assert!(hier.levels().last().unwrap().num_pieces() < 8);
+        for w in hier.levels().windows(2) {
+            assert!(w[1].num_pieces() < w[0].num_pieces(), "levels must shrink");
+            assert!(w[1].sse() + 1e-12 >= w[0].sse(), "coarser levels cannot have smaller error");
+        }
+    }
+
+    #[test]
+    fn theorem_3_5_guarantee_on_noisy_steps() {
+        let mut seed = 3u64;
+        let n = 240;
+        let truth: Vec<f64> = (0..n)
+            .map(|i| match i {
+                _ if i < 60 => 1.0,
+                _ if i < 140 => 6.0,
+                _ if i < 190 => 2.5,
+                _ => 4.0,
+            })
+            .collect();
+        let noisy: Vec<f64> = truth.iter().map(|v| v + 0.3 * (lcg(&mut seed) - 0.5)).collect();
+        let q = SparseFunction::from_dense_keep_zeros(&noisy).unwrap();
+        let hier = construct_hierarchical_histogram(&q).unwrap();
+
+        for k in 1..=8usize {
+            let level = hier.level_for_k(k);
+            assert!(level.num_pieces() <= 8 * k, "level has {} > 8k pieces", level.num_pieces());
+            let opt = opt_k_sse(&noisy, k).sqrt();
+            assert!(
+                level.error() <= 2.0 * opt + 1e-9,
+                "k={k}: error {} exceeds 2·opt = {}",
+                level.error(),
+                2.0 * opt
+            );
+        }
+    }
+
+    #[test]
+    fn error_estimate_matches_true_flattening_error() {
+        let values: Vec<f64> = (0..128).map(|i| ((i * i) % 23) as f64).collect();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let hier = construct_hierarchical_histogram(&q).unwrap();
+        for level in hier.levels() {
+            let h = level.histogram();
+            let true_err = h.l2_distance_dense(&values).unwrap();
+            assert!((level.error() - true_err).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_recovery_when_input_is_a_histogram() {
+        let h = Histogram::from_breakpoints(64, &[16, 48], vec![3.0, 1.0, 5.0]).unwrap();
+        let dense = h.to_dense();
+        let q = SparseFunction::from_dense_keep_zeros(&dense).unwrap();
+        let hier = construct_hierarchical_histogram(&q).unwrap();
+        // The 3-histogram structure must survive down to the level picked for k = 3.
+        let (out, err) = hier.histogram_for_k(3);
+        assert!(err < 1e-9);
+        assert!(out.num_pieces() <= 24);
+    }
+
+    #[test]
+    fn small_inputs_terminate_immediately() {
+        let q = SparseFunction::new(10, vec![(2, 1.0), (7, 2.0)]).unwrap();
+        let hier = construct_hierarchical_histogram(&q).unwrap();
+        assert_eq!(hier.num_levels(), 1);
+        assert_eq!(hier.level(0).partition().domain(), 10);
+    }
+
+    #[test]
+    fn pareto_curve_is_monotone() {
+        let values: Vec<f64> = (0..300).map(|i| (i as f64 / 17.0).sin() * 3.0 + 5.0).collect();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let hier = construct_hierarchical_histogram(&q).unwrap();
+        let curve = hier.pareto_curve();
+        assert_eq!(curve.len(), hier.num_levels());
+        for w in curve.windows(2) {
+            assert!(w[1].0 < w[0].0);
+            assert!(w[1].1 + 1e-12 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn level_for_pieces_clamps_to_last_level() {
+        let values = vec![1.0; 100];
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let hier = construct_hierarchical_histogram(&q).unwrap();
+        // Requesting an impossible budget of 0 pieces falls back to the coarsest level.
+        let idx = hier.level_for_pieces(0);
+        assert_eq!(idx, hier.num_levels() - 1);
+    }
+}

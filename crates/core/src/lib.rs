@@ -1,0 +1,96 @@
+//! # hist-core
+//!
+//! Core data model and merging algorithms for *Fast and Near-Optimal Algorithms for
+//! Approximating Distributions by Histograms* (Acharya, Diakonikolas, Hegde, Li,
+//! Schmidt — PODS 2015).
+//!
+//! The crate provides:
+//!
+//! * a small data model for discrete one-dimensional signals — [`Interval`],
+//!   [`Partition`], [`SparseFunction`], [`DenseFunction`], [`Histogram`],
+//!   [`PiecewisePolynomial`] and [`Distribution`];
+//! * prefix-sum statistics ([`DensePrefix`], [`SparsePrefix`]) giving `O(1)`
+//!   interval means and squared flattening errors;
+//! * **Algorithm 1** ([`construct_histogram`]): iterative greedy pair merging that
+//!   outputs a `(2 + 2/δ)k + γ`-piece histogram with error at most
+//!   `√(1+δ)·opt_k` in input-sparsity time (Theorems 3.3 and 3.4);
+//! * **Algorithm 2** ([`construct_hierarchical_histogram`]): the multi-scale variant
+//!   producing good approximations for *every* `k` simultaneously (Theorem 3.5);
+//! * the `fastmerging` variant ([`construct_histogram_fast`]) that merges larger
+//!   groups per round (Section 5.1 of the paper);
+//! * the generalized merging algorithm ([`construct_general`]) parameterized by a
+//!   [`ProjectionOracle`], which underlies the piecewise-polynomial extension of
+//!   Section 4 (implemented in the companion crate `hist-poly`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hist_core::{construct_histogram, MergingParams, SparseFunction};
+//!
+//! // A noisy step signal over [0, 100).
+//! let values: Vec<f64> = (0..100)
+//!     .map(|i| {
+//!         let step = if i < 50 { 1.0 } else { 5.0 };
+//!         step + 0.01 * (i % 3) as f64
+//!     })
+//!     .collect();
+//! let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+//!
+//! // Ask for a ~2-piece histogram with the paper's experimental parameters.
+//! let params = MergingParams::paper_defaults(2).unwrap();
+//! let h = construct_histogram(&q, &params).unwrap();
+//!
+//! assert!(h.num_pieces() <= params.output_pieces_bound());
+//! let err = h.l2_distance_dense(&values).unwrap();
+//! assert!(err < 1.0);
+//! ```
+
+pub mod construct;
+pub mod distribution;
+pub mod error;
+pub mod fast;
+pub mod function;
+pub mod general;
+pub mod hierarchical;
+pub mod histogram;
+pub mod interval;
+pub mod norms;
+pub mod oracle;
+pub mod params;
+pub mod partition;
+pub mod piecewise_poly;
+pub mod prefix;
+pub mod query;
+pub mod segment;
+pub mod select;
+pub mod sparse;
+pub mod stats;
+
+pub use construct::{
+    construct_histogram, construct_histogram_dense, construct_histogram_with_report,
+    construct_partition, MergingReport,
+};
+pub use distribution::Distribution;
+pub use error::{Error, Result};
+pub use fast::{
+    construct_histogram_fast, construct_histogram_fast_with_report, construct_partition_fast,
+    FastMergingReport,
+};
+pub use function::{DenseFunction, DiscreteFunction};
+pub use general::{
+    construct_general, construct_general_with_report, GeneralMergingReport, GeneralPiece,
+};
+pub use hierarchical::{
+    construct_hierarchical_histogram, HierarchicalHistogram, HierarchyLevel,
+};
+pub use histogram::Histogram;
+pub use interval::Interval;
+pub use norms::{l1_distance, l2_distance, l2_distance_squared, l2_norm, linf_distance};
+pub use oracle::{ConstantOracle, ProjectionOracle};
+pub use params::MergingParams;
+pub use partition::Partition;
+pub use piecewise_poly::{PiecewisePolynomial, PolynomialPiece};
+pub use prefix::{DensePrefix, SparsePrefix};
+pub use segment::{initial_segments, segments_to_histogram, segments_to_partition, Segment};
+pub use sparse::SparseFunction;
+pub use stats::{flatten, flatten_dense, flattening_sse, interval_mean, interval_sse};

@@ -1,0 +1,128 @@
+//! `ℓ_p` norms and distances between discrete functions.
+//!
+//! The paper measures approximation quality in the `ℓ₂` norm
+//! `‖f‖₂ = √(Σ_i f(i)²)`; these helpers are used pervasively by tests and by
+//! the experiment harness.
+
+use crate::error::{Error, Result};
+use crate::function::DiscreteFunction;
+
+/// `ℓ₂` norm of a dense signal.
+pub fn l2_norm(values: &[f64]) -> f64 {
+    values.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Squared `ℓ₂` norm of a dense signal.
+pub fn l2_norm_squared(values: &[f64]) -> f64 {
+    values.iter().map(|v| v * v).sum()
+}
+
+/// `ℓ₁` norm of a dense signal.
+pub fn l1_norm(values: &[f64]) -> f64 {
+    values.iter().map(|v| v.abs()).sum()
+}
+
+/// `ℓ∞` norm of a dense signal.
+pub fn linf_norm(values: &[f64]) -> f64 {
+    values.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// `ℓ₂` distance between two dense signals of equal length.
+pub fn l2_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    Ok(l2_distance_squared(a, b)?.sqrt())
+}
+
+/// Squared `ℓ₂` distance between two dense signals of equal length.
+pub fn l2_distance_squared(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::InvalidParameter {
+            name: "b",
+            reason: format!("length mismatch: {} vs {}", a.len(), b.len()),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+}
+
+/// `ℓ₁` distance between two dense signals of equal length.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::InvalidParameter {
+            name: "b",
+            reason: format!("length mismatch: {} vs {}", a.len(), b.len()),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum())
+}
+
+/// `ℓ∞` distance between two dense signals of equal length.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::InvalidParameter {
+            name: "b",
+            reason: format!("length mismatch: {} vs {}", a.len(), b.len()),
+        });
+    }
+    Ok(a.iter().zip(b).fold(0.0, |acc, (x, y)| acc.max((x - y).abs())))
+}
+
+/// Generic `ℓ₂` distance between any two [`DiscreteFunction`]s over the same
+/// domain (materializes both; `O(n)`).
+pub fn l2_distance_fn<F, G>(f: &F, g: &G) -> Result<f64>
+where
+    F: DiscreteFunction + ?Sized,
+    G: DiscreteFunction + ?Sized,
+{
+    if f.domain() != g.domain() {
+        return Err(Error::InvalidParameter {
+            name: "g",
+            reason: format!("domain mismatch: {} vs {}", f.domain(), g.domain()),
+        });
+    }
+    let total: f64 = (0..f.domain())
+        .map(|i| {
+            let d = f.value(i) - g.value(i);
+            d * d
+        })
+        .sum();
+    Ok(total.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn norms() {
+        let v = [3.0, -4.0];
+        assert_eq!(l2_norm(&v), 5.0);
+        assert_eq!(l2_norm_squared(&v), 25.0);
+        assert_eq!(l1_norm(&v), 7.0);
+        assert_eq!(linf_norm(&v), 4.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 7.0];
+        assert_eq!(l2_distance_squared(&a, &b).unwrap(), 4.0 + 16.0);
+        assert_eq!(l2_distance(&a, &b).unwrap(), 20.0f64.sqrt());
+        assert_eq!(l1_distance(&a, &b).unwrap(), 6.0);
+        assert_eq!(linf_distance(&a, &b).unwrap(), 4.0);
+        assert!(l2_distance(&a, &b[..2]).is_err());
+        assert!(l1_distance(&a, &b[..2]).is_err());
+        assert!(linf_distance(&a, &b[..2]).is_err());
+    }
+
+    #[test]
+    fn generic_distance_between_function_types() {
+        let h = Histogram::from_breakpoints(4, &[2], vec![1.0, 2.0]).unwrap();
+        // h is [1, 1, 2, 2]; the dense signal differs only at index 1 (by 1.0).
+        let dense = vec![1.0, 2.0, 2.0, 2.0];
+        let d = l2_distance_fn(&h, &dense).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        assert_eq!(l2_distance_fn(&h, &vec![1.0, 1.0, 2.0, 2.0]).unwrap(), 0.0);
+        let short = vec![1.0];
+        assert!(l2_distance_fn(&h, &short).is_err());
+    }
+}

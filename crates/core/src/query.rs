@@ -1,0 +1,157 @@
+//! Query helpers that make a [`Histogram`] usable as a database synopsis:
+//! range sums, cumulative mass, and approximate quantiles.
+//!
+//! These are the operations a query optimizer runs against a stored synopsis
+//! (selectivity estimation, equi-height bucket boundaries, …). They only touch
+//! the `O(k)` pieces of the histogram, never the original signal.
+
+use crate::error::{Error, Result};
+use crate::histogram::Histogram;
+use crate::interval::Interval;
+
+impl Histogram {
+    /// The sum `Σ_{i ∈ R} h(i)` of the histogram over an index range, computed
+    /// from the pieces overlapping the range in `O(log k + #overlapping)` time.
+    ///
+    /// For a frequency synopsis this is the classical *range-count estimate*.
+    pub fn range_sum(&self, range: Interval) -> Result<f64> {
+        if range.end() >= self.domain_size() {
+            return Err(Error::IndexOutOfRange {
+                index: range.end(),
+                domain: self.domain_size(),
+            });
+        }
+        let start_piece = self.partition().locate(range.start())?;
+        let mut total = 0.0;
+        for (interval, value) in self.pieces().skip(start_piece) {
+            if interval.start() > range.end() {
+                break;
+            }
+            if let Some(overlap) = interval.intersection(&range) {
+                total += value * overlap.len() as f64;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Cumulative sums at piece boundaries: entry `j` is the histogram mass of
+    /// the first `j` pieces. Length `k + 1`, first entry `0`.
+    pub fn cumulative_piece_mass(&self) -> Vec<f64> {
+        let mut cumulative = Vec::with_capacity(self.num_pieces() + 1);
+        cumulative.push(0.0);
+        let mut running = 0.0;
+        for (interval, value) in self.pieces() {
+            running += value * interval.len() as f64;
+            cumulative.push(running);
+        }
+        cumulative
+    }
+
+    /// The smallest index `i` such that the histogram mass of `[0, i]` reaches
+    /// `fraction` of the total mass — an approximate quantile for non-negative
+    /// synopses (`fraction ∈ [0, 1]`).
+    ///
+    /// Returns an error if the histogram has negative pieces or no mass.
+    pub fn approx_quantile(&self, fraction: f64) -> Result<usize> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(Error::InvalidParameter {
+                name: "fraction",
+                reason: format!("quantile fractions must lie in [0, 1], got {fraction}"),
+            });
+        }
+        if self.values().iter().any(|&v| v < 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "histogram",
+                reason: "quantiles require a non-negative histogram".into(),
+            });
+        }
+        let cumulative = self.cumulative_piece_mass();
+        let total = *cumulative.last().expect("cumulative mass is non-empty");
+        if total <= 0.0 {
+            return Err(Error::InvalidDistribution {
+                reason: "the histogram carries no mass".into(),
+            });
+        }
+        let target = fraction * total;
+        // Find the first piece whose cumulative mass reaches the target.
+        let piece = cumulative[1..]
+            .iter()
+            .position(|&c| c >= target - 1e-12)
+            .unwrap_or(self.num_pieces() - 1);
+        let (interval, value) = (self.partition().interval(piece), self.values()[piece]);
+        if value <= 0.0 {
+            return Ok(interval.start());
+        }
+        // Interpolate inside the piece.
+        let remaining = (target - cumulative[piece]).max(0.0);
+        let offset = (remaining / value).floor() as usize;
+        Ok(interval.start() + offset.min(interval.len() - 1))
+    }
+
+    fn domain_size(&self) -> usize {
+        self.partition().domain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::DiscreteFunction;
+
+    fn synopsis() -> Histogram {
+        // [0,9] -> 1, [10,29] -> 3, [30,39] -> 0, [40,49] -> 6
+        Histogram::from_breakpoints(50, &[10, 30, 40], vec![1.0, 3.0, 0.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn range_sum_matches_pointwise_evaluation() {
+        let h = synopsis();
+        for (a, b) in [(0usize, 49usize), (0, 9), (5, 34), (30, 39), (12, 13), (45, 49)] {
+            let range = Interval::new(a, b).unwrap();
+            let direct: f64 = range.indices().map(|i| h.value(i)).sum();
+            assert!((h.range_sum(range).unwrap() - direct).abs() < 1e-12, "range [{a}, {b}]");
+        }
+        assert!(h.range_sum(Interval::new(0, 50).unwrap()).is_err(), "out of domain");
+    }
+
+    #[test]
+    fn cumulative_mass_is_monotone_and_totals_correctly() {
+        let h = synopsis();
+        let cumulative = h.cumulative_piece_mass();
+        assert_eq!(cumulative.len(), 5);
+        assert_eq!(cumulative[0], 0.0);
+        assert!((cumulative[4] - h.total_mass()).abs() < 1e-12);
+        assert!(cumulative.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn quantiles_walk_through_the_mass() {
+        let h = synopsis();
+        // Total mass: 10·1 + 20·3 + 0 + 10·6 = 130.
+        assert_eq!(h.approx_quantile(0.0).unwrap(), 0);
+        // 50% of 130 = 65: 10 from the first piece, then 55/3 ≈ 18 indices into the second.
+        let median = h.approx_quantile(0.5).unwrap();
+        assert!((28..=29).contains(&median), "median index {median}");
+        // 90% of 130 = 117: lands inside the last piece.
+        let p90 = h.approx_quantile(0.9).unwrap();
+        assert!((40..50).contains(&p90), "p90 index {p90}");
+        assert_eq!(h.approx_quantile(1.0).unwrap(), 49);
+    }
+
+    #[test]
+    fn quantile_rejects_invalid_inputs() {
+        let h = synopsis();
+        assert!(h.approx_quantile(-0.1).is_err());
+        assert!(h.approx_quantile(1.5).is_err());
+        let negative = Histogram::constant(4, -1.0).unwrap();
+        assert!(negative.approx_quantile(0.5).is_err());
+        let empty = Histogram::constant(4, 0.0).unwrap();
+        assert!(empty.approx_quantile(0.5).is_err());
+    }
+
+    #[test]
+    fn range_sum_on_zero_pieces_is_zero() {
+        let h = synopsis();
+        assert_eq!(h.range_sum(Interval::new(30, 39).unwrap()).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Linear-time selection of the largest merging errors.
+//!
+//! Each iteration of Algorithm 1 must find the `(1 + 1/δ)k` candidate pairs
+//! with the largest merging errors. The paper uses a linear-time selection
+//! algorithm; we use the standard library's introselect
+//! (`select_nth_unstable_by`), which runs in expected linear time, plus a
+//! sort-based reference implementation used in tests.
+
+/// Returns a boolean mask marking the `t` positions with the largest values.
+///
+/// Ties at the threshold are broken arbitrarily but exactly `min(t, len)`
+/// positions are marked. Runs in expected `O(len)` time.
+pub fn top_t_mask(values: &[f64], t: usize) -> Vec<bool> {
+    let len = values.len();
+    let mut mask = vec![false; len];
+    if t == 0 {
+        return mask;
+    }
+    if t >= len {
+        mask.iter_mut().for_each(|m| *m = true);
+        return mask;
+    }
+    // Indirect selection: order positions by value, descending.
+    let mut order: Vec<usize> = (0..len).collect();
+    order.select_nth_unstable_by(t - 1, |&a, &b| {
+        values[b].partial_cmp(&values[a]).expect("merging errors are finite")
+    });
+    for &pos in &order[..t] {
+        mask[pos] = true;
+    }
+    mask
+}
+
+/// Sort-based reference implementation of [`top_t_mask`] (`O(len log len)`).
+/// Used to cross-check the selection in tests.
+pub fn top_t_mask_by_sort(values: &[f64], t: usize) -> Vec<bool> {
+    let len = values.len();
+    let mut mask = vec![false; len];
+    let mut order: Vec<usize> = (0..len).collect();
+    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite values"));
+    for &pos in order.iter().take(t.min(len)) {
+        mask[pos] = true;
+    }
+    mask
+}
+
+/// Returns the value of the `t`-th largest element (1-indexed), or `f64::NEG_INFINITY`
+/// if `t` is zero or exceeds the slice length.
+pub fn t_th_largest(values: &[f64], t: usize) -> f64 {
+    if t == 0 || t > values.len() {
+        return f64::NEG_INFINITY;
+    }
+    let mut copy = values.to_vec();
+    let (_, kth, _) = copy.select_nth_unstable_by(t - 1, |a, b| {
+        b.partial_cmp(a).expect("finite values")
+    });
+    *kth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_the_largest_values() {
+        let v = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let mask = top_t_mask(&v, 2);
+        assert_eq!(mask, vec![false, false, true, false, true]);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 2);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let v = [1.0, 2.0];
+        assert_eq!(top_t_mask(&v, 0), vec![false, false]);
+        assert_eq!(top_t_mask(&v, 2), vec![true, true]);
+        assert_eq!(top_t_mask(&v, 5), vec![true, true]);
+        assert!(top_t_mask(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn handles_ties_with_exact_count() {
+        let v = [2.0, 2.0, 2.0, 2.0];
+        let mask = top_t_mask(&v, 2);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 2);
+    }
+
+    #[test]
+    fn matches_sort_based_reference() {
+        // Deterministic pseudo-random values (no external RNG needed here).
+        let mut x = 1234567u64;
+        let mut v = Vec::new();
+        for _ in 0..257 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v.push((x >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        for t in [0, 1, 5, 64, 200, 257, 300] {
+            let a = top_t_mask(&v, t);
+            let b = top_t_mask_by_sort(&v, t);
+            // With distinct values the masks must agree exactly.
+            assert_eq!(a, b, "mismatch for t = {t}");
+        }
+    }
+
+    #[test]
+    fn t_th_largest_value() {
+        let v = [4.0, 8.0, 1.0, 6.0];
+        assert_eq!(t_th_largest(&v, 1), 8.0);
+        assert_eq!(t_th_largest(&v, 2), 6.0);
+        assert_eq!(t_th_largest(&v, 4), 1.0);
+        assert_eq!(t_th_largest(&v, 0), f64::NEG_INFINITY);
+        assert_eq!(t_th_largest(&v, 9), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,123 @@
+//! Additional synthetic signal families used by the examples, the property
+//! tests and the ablation experiments: Zipf frequency columns, discretized
+//! Gaussian mixtures, and step-plus-spike signals.
+
+use crate::noise::GaussianNoise;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf-distributed frequency column: `value(i) ∝ 1 / rank(i)^exponent` where
+/// the ranks are assigned to positions by a seeded shuffle. This mimics a
+/// database column of item frequencies (the motivating workload of the paper's
+/// introduction) — a few heavy hitters scattered over a large domain.
+pub fn zipf_frequencies(n: usize, exponent: f64, total_count: f64, seed: u64) -> Vec<f64> {
+    let n = n.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Assign ranks 1..=n to positions via a Fisher–Yates shuffle.
+    let mut positions: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        positions.swap(i, j);
+    }
+    let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(exponent)).collect();
+    let norm: f64 = weights.iter().sum();
+    let mut values = vec![0.0; n];
+    for (rank_idx, &pos) in positions.iter().enumerate() {
+        values[pos] = total_count * weights[rank_idx] / norm;
+    }
+    values
+}
+
+/// A discretized mixture of Gaussians over `[0, n)`: each component contributes
+/// a bell curve of the given weight, centre (as a fraction of `n`) and width
+/// (as a fraction of `n`). Useful as a smooth multi-modal test distribution.
+pub fn gaussian_mixture(n: usize, components: &[(f64, f64, f64)]) -> Vec<f64> {
+    let n = n.max(1);
+    let mut values = vec![0.0; n];
+    for &(weight, centre, width) in components {
+        let mu = centre * n as f64;
+        let sigma = (width * n as f64).max(1e-9);
+        for (i, v) in values.iter_mut().enumerate() {
+            let z = (i as f64 - mu) / sigma;
+            *v += weight * (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt());
+        }
+    }
+    values
+}
+
+/// A piecewise-constant signal with additive Gaussian noise and a few isolated
+/// spikes — the adversarial-ish case for merging algorithms (spikes must not be
+/// averaged away when the piece budget allows isolating them).
+pub fn steps_with_spikes(
+    n: usize,
+    steps: usize,
+    spikes: usize,
+    noise_std: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let n = n.max(1);
+    let steps = steps.clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut noise = GaussianNoise::new();
+    let levels: Vec<f64> = (0..steps).map(|_| rng.gen_range(0.0..8.0)).collect();
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| {
+            let piece = (i * steps / n).min(steps - 1);
+            levels[piece] + noise_std * noise.standard(&mut rng)
+        })
+        .collect();
+    for _ in 0..spikes {
+        let pos = rng.gen_range(0..n);
+        values[pos] += rng.gen_range(20.0..40.0);
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_mass_is_concentrated_on_few_items() {
+        let values = zipf_frequencies(10_000, 1.1, 1_000_000.0, 3);
+        let total: f64 = values.iter().sum();
+        assert!((total - 1_000_000.0).abs() < 1e-3);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top_100: f64 = sorted.iter().take(100).sum();
+        assert!(top_100 / total > 0.5, "top 100 items should hold most of the mass");
+        assert_eq!(values.len(), 10_000);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        assert_eq!(zipf_frequencies(100, 1.0, 10.0, 5), zipf_frequencies(100, 1.0, 10.0, 5));
+        assert_ne!(zipf_frequencies(100, 1.0, 10.0, 5), zipf_frequencies(100, 1.0, 10.0, 6));
+    }
+
+    #[test]
+    fn gaussian_mixture_has_the_requested_modes() {
+        let values = gaussian_mixture(1_000, &[(1.0, 0.25, 0.05), (2.0, 0.75, 0.05)]);
+        assert_eq!(values.len(), 1_000);
+        // The second mode is twice as heavy as the first.
+        let peak1 = values[200..300].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let peak2 = values[700..800].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((peak2 / peak1 - 2.0).abs() < 0.1, "peak ratio {}", peak2 / peak1);
+        // The valley between the modes is much lower than either peak.
+        let valley = values[480..520].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(valley < 0.2 * peak1);
+    }
+
+    #[test]
+    fn steps_with_spikes_contains_both_features() {
+        let values = steps_with_spikes(2_000, 5, 3, 0.1, 11);
+        assert_eq!(values.len(), 2_000);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > 15.0, "spikes should stick out, max {max}");
+        // Remove the spikes: the rest stays in the step range.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p95 = sorted[(0.95 * 2_000.0) as usize];
+        assert!(p95 < 10.0, "the bulk of the signal stays at step level, p95 {p95}");
+    }
+}

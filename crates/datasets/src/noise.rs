@@ -1,0 +1,91 @@
+//! Gaussian noise via the Box–Muller transform.
+//!
+//! The synthetic data sets of the paper's Figure 1 are clean signals (a
+//! 10-piece histogram, a degree-5 polynomial) contaminated with Gaussian
+//! noise. `rand` ships only uniform primitives in our offline set, so the
+//! normal variates are generated with the classic Box–Muller transform.
+
+use rand::Rng;
+
+/// A Box–Muller Gaussian sampler that caches the second variate of each pair.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNoise {
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a fresh sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+
+    /// Draws one normal variate with the given mean and standard deviation.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard(rng)
+    }
+}
+
+/// Adds i.i.d. `N(0, σ²)` noise to every entry of a signal.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(signal: &mut [f64], std_dev: f64, rng: &mut R) {
+    let mut noise = GaussianNoise::new();
+    for v in signal {
+        *v += noise.sample(rng, 0.0, std_dev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_approximately_correct() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut noise = GaussianNoise::new();
+        let samples: Vec<f64> = (0..200_000).map(|_| noise.sample(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn tails_behave_like_a_gaussian() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut noise = GaussianNoise::new();
+        let n = 100_000;
+        let beyond_two_sigma =
+            (0..n).filter(|_| noise.standard(&mut rng).abs() > 2.0).count() as f64 / n as f64;
+        // P(|Z| > 2) ≈ 4.55%.
+        assert!((beyond_two_sigma - 0.0455).abs() < 0.01, "tail mass {beyond_two_sigma}");
+    }
+
+    #[test]
+    fn add_noise_preserves_length_and_changes_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut signal = vec![5.0; 100];
+        add_gaussian_noise(&mut signal, 0.5, &mut rng);
+        assert_eq!(signal.len(), 100);
+        assert!(signal.iter().any(|&v| (v - 5.0).abs() > 1e-6));
+        // Zero noise is a no-op.
+        let mut clean = vec![1.0, 2.0];
+        add_gaussian_noise(&mut clean, 0.0, &mut rng);
+        assert_eq!(clean, vec![1.0, 2.0]);
+    }
+}

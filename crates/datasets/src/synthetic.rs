@@ -1,0 +1,213 @@
+//! The synthetic data sets of Figure 1: `hist` (noisy 10-piece histogram,
+//! `n = 1000`) and `poly` (noisy degree-5 polynomial, `n = 4000`).
+//!
+//! The paper does not publish the exact random seeds or noise levels, so the
+//! generators are parameterized and seeded; the default constructors choose
+//! amplitudes matching the plotted ranges in Figure 1 (roughly `[0, 10]` for
+//! `hist` and `[0, 30]` for `poly`).
+
+use crate::noise::add_gaussian_noise;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the noisy piecewise-constant (`hist`) generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistDatasetParams {
+    /// Signal length `n`.
+    pub n: usize,
+    /// Number of constant pieces of the ground truth.
+    pub pieces: usize,
+    /// Minimum and maximum piece level.
+    pub level_range: (f64, f64),
+    /// Standard deviation of the additive Gaussian noise.
+    pub noise_std: f64,
+    /// RNG seed (the data sets are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for HistDatasetParams {
+    fn default() -> Self {
+        Self { n: 1_000, pieces: 10, level_range: (1.0, 9.0), noise_std: 0.5, seed: 0xB10C_5EED }
+    }
+}
+
+/// Generates a noisy piecewise-constant signal together with its clean ground
+/// truth. The piece boundaries are drawn uniformly at random (but kept at least
+/// `n / (4·pieces)` apart so every piece is clearly visible, as in Figure 1).
+pub fn hist_dataset_with(params: &HistDatasetParams) -> (Vec<f64>, Vec<f64>) {
+    let HistDatasetParams { n, pieces, level_range, noise_std, seed } = *params;
+    let n = n.max(1);
+    let pieces = pieces.clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Draw boundaries with a minimum gap, then piece levels.
+    let min_gap = (n / (4 * pieces)).max(1);
+    let mut boundaries = vec![0usize];
+    for j in 1..pieces {
+        let ideal = j * n / pieces;
+        let jitter = min_gap as i64;
+        let lo = (ideal as i64 - jitter).max(boundaries.last().copied().unwrap_or(0) as i64 + 1);
+        let hi = (ideal as i64 + jitter).min(n as i64 - (pieces - j) as i64);
+        let b = if lo >= hi { ideal as i64 } else { rng.gen_range(lo..hi) };
+        boundaries.push(b.clamp(1, n as i64 - 1) as usize);
+    }
+    boundaries.push(n);
+
+    let mut truth = vec![0.0; n];
+    let mut previous_level = f64::NAN;
+    for w in boundaries.windows(2) {
+        // Re-draw until the level visibly differs from the previous piece.
+        let mut level;
+        loop {
+            level = rng.gen_range(level_range.0..level_range.1);
+            if previous_level.is_nan() || (level - previous_level).abs() > 0.5 {
+                break;
+            }
+        }
+        previous_level = level;
+        for v in &mut truth[w[0]..w[1]] {
+            *v = level;
+        }
+    }
+
+    let mut noisy = truth.clone();
+    add_gaussian_noise(&mut noisy, noise_std, &mut rng);
+    (noisy, truth)
+}
+
+/// The `hist` data set of Figure 1 with its default parameters
+/// (`n = 1000`, 10 pieces, Gaussian noise).
+pub fn hist_dataset() -> Vec<f64> {
+    hist_dataset_with(&HistDatasetParams::default()).0
+}
+
+/// Parameters of the noisy polynomial (`poly`) generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyDatasetParams {
+    /// Signal length `n`.
+    pub n: usize,
+    /// Degree of the ground-truth polynomial.
+    pub degree: usize,
+    /// Vertical range the polynomial is scaled into.
+    pub value_range: (f64, f64),
+    /// Standard deviation of the additive Gaussian noise.
+    pub noise_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PolyDatasetParams {
+    fn default() -> Self {
+        Self { n: 4_000, degree: 5, value_range: (0.0, 30.0), noise_std: 1.0, seed: 0x90_15_EED }
+    }
+}
+
+/// Generates a noisy polynomial signal together with its clean ground truth.
+/// The polynomial is built from random coefficients in the Chebyshev-friendly
+/// variable `x ∈ [−1, 1]` and rescaled into `value_range`, which yields the
+/// gentle multi-hump shape of the paper's `poly` data set.
+pub fn poly_dataset_with(params: &PolyDatasetParams) -> (Vec<f64>, Vec<f64>) {
+    let PolyDatasetParams { n, degree, value_range, noise_std, seed } = *params;
+    let n = n.max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coefficients: Vec<f64> = (0..=degree).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    let mut truth: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = 2.0 * i as f64 / (n - 1) as f64 - 1.0;
+            coefficients.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+        })
+        .collect();
+    // Rescale into the requested range.
+    let (min, max) = truth
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    for v in &mut truth {
+        *v = value_range.0 + (*v - min) / span * (value_range.1 - value_range.0);
+    }
+
+    let mut noisy = truth.clone();
+    add_gaussian_noise(&mut noisy, noise_std, &mut rng);
+    (noisy, truth)
+}
+
+/// The `poly` data set of Figure 1 with its default parameters
+/// (`n = 4000`, degree 5, Gaussian noise).
+pub fn poly_dataset() -> Vec<f64> {
+    poly_dataset_with(&PolyDatasetParams::default()).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_dataset_has_the_documented_shape() {
+        let (noisy, truth) = hist_dataset_with(&HistDatasetParams::default());
+        assert_eq!(noisy.len(), 1_000);
+        assert_eq!(truth.len(), 1_000);
+        // The ground truth has exactly 10 constant runs.
+        let runs = 1 + truth.windows(2).filter(|w| (w[0] - w[1]).abs() > 1e-12).count();
+        assert_eq!(runs, 10);
+        // The noise is visible but bounded.
+        let max_dev = noisy
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev > 0.1 && max_dev < 5.0, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn hist_dataset_is_deterministic_per_seed() {
+        let a = hist_dataset_with(&HistDatasetParams::default());
+        let b = hist_dataset_with(&HistDatasetParams::default());
+        assert_eq!(a, b);
+        let c = hist_dataset_with(&HistDatasetParams { seed: 1, ..Default::default() });
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    fn poly_dataset_has_the_documented_shape() {
+        let (noisy, truth) = poly_dataset_with(&PolyDatasetParams::default());
+        assert_eq!(noisy.len(), 4_000);
+        let (min, max) = truth
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!((min - 0.0).abs() < 1e-9 && (max - 30.0).abs() < 1e-9, "range [{min}, {max}]");
+        // A degree-5 polynomial restricted to a line changes direction at most 4 times.
+        let mut direction_changes = 0;
+        let mut last_sign = 0i32;
+        for w in truth.windows(2) {
+            let diff = w[1] - w[0];
+            let sign = if diff > 1e-12 {
+                1
+            } else if diff < -1e-12 {
+                -1
+            } else {
+                0
+            };
+            if sign != 0 && last_sign != 0 && sign != last_sign {
+                direction_changes += 1;
+            }
+            if sign != 0 {
+                last_sign = sign;
+            }
+        }
+        assert!(direction_changes <= 4, "{direction_changes} direction changes");
+    }
+
+    #[test]
+    fn custom_parameters_are_honored() {
+        let (noisy, truth) =
+            hist_dataset_with(&HistDatasetParams { n: 200, pieces: 4, noise_std: 0.0, ..Default::default() });
+        assert_eq!(noisy, truth, "zero noise keeps the signal clean");
+        let runs = 1 + truth.windows(2).filter(|w| (w[0] - w[1]).abs() > 1e-12).count();
+        assert_eq!(runs, 4);
+
+        let (p_noisy, _) =
+            poly_dataset_with(&PolyDatasetParams { n: 64, degree: 2, ..Default::default() });
+        assert_eq!(p_noisy.len(), 64);
+    }
+}

@@ -1,0 +1,277 @@
+//! `FitPoly_d` (Theorem 4.2): projection of a sparse signal restricted to an
+//! interval onto the class of degree-`d` polynomials.
+//!
+//! The projection is computed in the orthonormal Gram basis
+//! ([`GramBasis`]): the coefficient of `φ_r` is the inner product
+//! `a_r = Σ_i q(i)·φ_r(i − a)` (only nonzero entries of `q` contribute), and by
+//! Parseval's identity the squared projection error is
+//! `Σ_i q(i)² − Σ_r a_r²`. For an interval containing `s_I` nonzeros the cost is
+//! `O(d·s_I)` for the coefficients plus `O(d²)` to convert the fit to local
+//! monomial coefficients, matching the `O(d²·s)` bound of Theorem 4.2.
+
+use crate::gram::GramBasis;
+use hist_core::{Error, Interval, PolynomialPiece, ProjectionOracle, Result, SparseFunction};
+
+/// The degree-`d` polynomial fit of a signal on one interval, expressed in the
+/// orthonormal Gram basis of that interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolynomialFit {
+    interval: Interval,
+    /// Coefficients `a_0, …, a_d` in the orthonormal Gram basis.
+    gram_coefficients: Vec<f64>,
+    /// Squared `ℓ₂` error of the fit on the interval.
+    sse: f64,
+}
+
+impl PolynomialFit {
+    /// The fitted interval.
+    #[inline]
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// Coefficients in the orthonormal Gram basis of the interval.
+    #[inline]
+    pub fn gram_coefficients(&self) -> &[f64] {
+        &self.gram_coefficients
+    }
+
+    /// Squared `ℓ₂` error of the fit.
+    #[inline]
+    pub fn sse(&self) -> f64 {
+        self.sse
+    }
+
+    /// `ℓ₂` error of the fit.
+    #[inline]
+    pub fn error(&self) -> f64 {
+        self.sse.sqrt()
+    }
+}
+
+/// Projects `q` restricted to `interval` onto degree-`≤ degree` polynomials.
+///
+/// The effective degree is capped at `|I| − 1` (a polynomial on `|I|` points
+/// needs at most that degree to interpolate exactly). Returns the fit in the
+/// Gram basis together with its squared error.
+pub fn fit_polynomial(
+    q: &SparseFunction,
+    interval: Interval,
+    degree: usize,
+) -> Result<PolynomialFit> {
+    let len = interval.len();
+    let effective_degree = degree.min(len - 1);
+    let basis = GramBasis::new(len, effective_degree)?;
+
+    let mut coefficients = vec![0.0; effective_degree + 1];
+    let mut signal_energy = 0.0;
+    let mut scratch = vec![0.0; effective_degree + 1];
+    for &(i, y) in q.entries_in(interval) {
+        basis.evaluate_into(i - interval.start(), &mut scratch);
+        for (a, phi) in coefficients.iter_mut().zip(&scratch) {
+            *a += y * phi;
+        }
+        signal_energy += y * y;
+    }
+    let fit_energy: f64 = coefficients.iter().map(|a| a * a).sum();
+    let sse = (signal_energy - fit_energy).max(0.0);
+    Ok(PolynomialFit { interval, gram_coefficients: coefficients, sse })
+}
+
+/// Converts a Gram-basis fit into a [`PolynomialPiece`] with local monomial
+/// coefficients (coefficient `j` multiplies `(i − a)^j`).
+pub fn fit_to_piece(fit: &PolynomialFit) -> Result<PolynomialPiece> {
+    let degree = fit.gram_coefficients.len() - 1;
+    let basis = GramBasis::new(fit.interval.len(), degree)?;
+    let basis_monomials = basis.monomial_coefficients();
+    let mut coefficients = vec![0.0; degree + 1];
+    for (a, mono) in fit.gram_coefficients.iter().zip(&basis_monomials) {
+        for (j, &c) in mono.iter().enumerate() {
+            coefficients[j] += a * c;
+        }
+    }
+    PolynomialPiece::new(fit.interval, coefficients)
+}
+
+/// The projection oracle for degree-`d` polynomials (Definition 4.1 /
+/// Theorem 4.2), pluggable into
+/// [`hist_core::construct_general`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitPolyOracle {
+    degree: usize,
+}
+
+impl FitPolyOracle {
+    /// Creates an oracle for polynomials of degree at most `degree`.
+    ///
+    /// Degrees above 16 are rejected: the Gram recurrence in double precision
+    /// loses orthogonality beyond that point and the paper's experiments only
+    /// use small constant degrees.
+    pub fn new(degree: usize) -> Result<Self> {
+        if degree > 16 {
+            return Err(Error::InvalidParameter {
+                name: "degree",
+                reason: format!("degree {degree} exceeds the supported maximum of 16"),
+            });
+        }
+        Ok(Self { degree })
+    }
+
+    /// The maximal polynomial degree fitted by this oracle.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+impl ProjectionOracle for FitPolyOracle {
+    fn project(&self, q: &SparseFunction, interval: Interval) -> Result<(PolynomialPiece, f64)> {
+        let fit = fit_polynomial(q, interval, self.degree)?;
+        Ok((fit_to_piece(&fit)?, fit.sse))
+    }
+
+    fn project_error(&self, q: &SparseFunction, interval: Interval) -> Result<f64> {
+        Ok(fit_polynomial(q, interval, self.degree)?.sse)
+    }
+
+    fn name(&self) -> &'static str {
+        "fitpoly"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsq::least_squares_fit;
+    use hist_core::DiscreteFunction;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / (1u64 << 53) as f64
+    }
+
+    fn sse_of_piece(piece: &PolynomialPiece, values: &[f64], interval: Interval) -> f64 {
+        interval
+            .indices()
+            .map(|i| {
+                let d = piece.evaluate(i) - values[i];
+                d * d
+            })
+            .sum()
+    }
+
+    #[test]
+    fn exact_fit_of_polynomial_signals() {
+        // A cubic signal must be fitted exactly by a degree-3 (and higher) oracle.
+        let n = 200;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                0.5 * x * x * x - 2.0 * x * x + 3.0 * x - 7.0
+            })
+            .collect();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let interval = Interval::new(0, n - 1).unwrap();
+        for degree in 3..=5usize {
+            let fit = fit_polynomial(&q, interval, degree).unwrap();
+            assert!(fit.sse() < 1e-6, "degree {degree}: sse {}", fit.sse());
+            let piece = fit_to_piece(&fit).unwrap();
+            assert!(sse_of_piece(&piece, &values, interval) < 1e-5);
+        }
+        // A degree-2 fit cannot be exact.
+        let fit2 = fit_polynomial(&q, interval, 2).unwrap();
+        assert!(fit2.sse() > 1.0);
+    }
+
+    #[test]
+    fn matches_naive_least_squares() {
+        let mut seed = 77u64;
+        let values: Vec<f64> = (0..60).map(|i| (i as f64 / 7.0).sin() * 4.0 + lcg(&mut seed)).collect();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        for (a, b) in [(0usize, 59usize), (5, 40), (17, 23), (0, 3)] {
+            let interval = Interval::new(a, b).unwrap();
+            for degree in 0..=3usize {
+                let fit = fit_polynomial(&q, interval, degree).unwrap();
+                let piece = fit_to_piece(&fit).unwrap();
+                let (lsq_piece, lsq_sse) =
+                    least_squares_fit(&values, interval, degree).unwrap();
+                assert!(
+                    (fit.sse() - lsq_sse).abs() < 1e-6 * (1.0 + lsq_sse),
+                    "interval [{a},{b}], degree {degree}: gram sse {} vs lsq sse {}",
+                    fit.sse(),
+                    lsq_sse
+                );
+                for i in interval.indices() {
+                    assert!(
+                        (piece.evaluate(i) - lsq_piece.evaluate(i)).abs() < 1e-5,
+                        "pointwise mismatch at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_zero_reduces_to_flattening() {
+        let values = vec![0.0, 1.0, 5.0, 2.0, 0.0, 0.0, 3.0];
+        let q = SparseFunction::from_dense(&values).unwrap();
+        let interval = Interval::new(1, 5).unwrap();
+        let fit = fit_polynomial(&q, interval, 0).unwrap();
+        let piece = fit_to_piece(&fit).unwrap();
+        let mean = (1.0 + 5.0 + 2.0) / 5.0;
+        assert!((piece.evaluate(3) - mean).abs() < 1e-12);
+        let expected_sse: f64 = [1.0, 5.0, 2.0, 0.0, 0.0]
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum();
+        assert!((fit.sse() - expected_sse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_entries_only_contribute_where_present() {
+        // On an interval with a single nonzero, the best line fits that value at
+        // its position and zero "pull" elsewhere comes only from the implicit zeros.
+        let q = SparseFunction::new(100, vec![(50, 4.0)]).unwrap();
+        let interval = Interval::new(40, 60).unwrap();
+        let fit = fit_polynomial(&q, interval, 1).unwrap();
+        let piece = fit_to_piece(&fit).unwrap();
+        let dense = q.to_dense();
+        let direct = sse_of_piece(&piece, &dense, interval);
+        assert!((fit.sse() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_is_capped_by_interval_length() {
+        let q = SparseFunction::new(10, vec![(2, 1.0), (3, 5.0)]).unwrap();
+        let interval = Interval::new(2, 3).unwrap();
+        // Only 2 points: an exact (degree ≤ 1) interpolation is possible.
+        let fit = fit_polynomial(&q, interval, 7).unwrap();
+        assert_eq!(fit.gram_coefficients().len(), 2);
+        assert!(fit.sse() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_interface_round_trips() {
+        let oracle = FitPolyOracle::new(2).unwrap();
+        assert_eq!(oracle.degree(), 2);
+        assert_eq!(oracle.name(), "fitpoly");
+        assert!(FitPolyOracle::new(17).is_err());
+
+        let values: Vec<f64> = (0..50).map(|i| 0.02 * (i * i) as f64 + 1.0).collect();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let interval = Interval::new(0, 49).unwrap();
+        let (piece, sse) = oracle.project(&q, interval).unwrap();
+        assert!(sse < 1e-8, "quadratic signal must be fitted exactly, sse = {sse}");
+        assert!((oracle.project_error(&q, interval).unwrap() - sse).abs() < 1e-12);
+        assert!(sse_of_piece(&piece, &values, interval) < 1e-7);
+    }
+
+    #[test]
+    fn projection_error_never_negative() {
+        let values = vec![0.25; 64];
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let fit = fit_polynomial(&q, Interval::new(0, 63).unwrap(), 4).unwrap();
+        assert!(fit.sse() >= 0.0);
+        assert!(fit.sse() < 1e-10);
+    }
+}

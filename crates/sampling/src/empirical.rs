@@ -1,0 +1,199 @@
+//! The empirical distribution `p̂_m` of a sample multiset (Section 2.1) and the
+//! concentration statement of Lemma 3.1.
+//!
+//! The empirical distribution of `m` samples is an `m`-sparse function — the
+//! key structural fact that lets the second stage of the learning algorithms
+//! run in time independent of the domain size `n`.
+
+use hist_core::{DiscreteFunction, Distribution, Error, Result, SparseFunction};
+
+/// The empirical distribution of a sample multiset over `[0, n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalDistribution {
+    domain: usize,
+    /// Sorted `(value, count)` pairs for the distinct observed values.
+    counts: Vec<(usize, usize)>,
+    /// Total number of samples `m`.
+    num_samples: usize,
+}
+
+impl EmpiricalDistribution {
+    /// Builds the empirical distribution of `samples` over the domain `[0, n)`.
+    ///
+    /// Runs in `O(m log m)` time (a sort over the samples); the resulting
+    /// support has at most `min(m, n)` elements.
+    pub fn from_samples(domain: usize, samples: &[usize]) -> Result<Self> {
+        if domain == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        if samples.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "samples",
+                reason: "at least one sample is required".into(),
+            });
+        }
+        if let Some(&bad) = samples.iter().find(|&&s| s >= domain) {
+            return Err(Error::IndexOutOfRange { index: bad, domain });
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for &s in &sorted {
+            match counts.last_mut() {
+                Some((value, count)) if *value == s => *count += 1,
+                _ => counts.push((s, 1)),
+            }
+        }
+        Ok(Self { domain, counts, num_samples: samples.len() })
+    }
+
+    /// Domain size `n`.
+    #[inline]
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Number of samples `m`.
+    #[inline]
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Number of distinct observed values (the sparsity of `p̂_m`).
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The empirical probability `p̂_m(i)`.
+    pub fn probability(&self, i: usize) -> f64 {
+        match self.counts.binary_search_by_key(&i, |&(v, _)| v) {
+            Ok(pos) => self.counts[pos].1 as f64 / self.num_samples as f64,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The empirical distribution as a sparse function (the input handed to the
+    /// merging algorithms).
+    pub fn to_sparse(&self) -> SparseFunction {
+        let entries: Vec<(usize, f64)> = self
+            .counts
+            .iter()
+            .map(|&(v, c)| (v, c as f64 / self.num_samples as f64))
+            .collect();
+        SparseFunction::new(self.domain, entries)
+            .expect("counts are sorted, distinct, and within the domain")
+    }
+
+    /// The empirical distribution as a validated [`Distribution`] (dense).
+    pub fn to_distribution(&self) -> Result<Distribution> {
+        let mut pmf = vec![0.0; self.domain];
+        for &(v, c) in &self.counts {
+            pmf[v] = c as f64 / self.num_samples as f64;
+        }
+        Distribution::new(pmf)
+    }
+
+    /// Exact `ℓ₂` distance `‖p̂_m − p‖₂` to a reference distribution.
+    pub fn l2_distance_to(&self, p: &Distribution) -> Result<f64> {
+        if p.domain() != self.domain {
+            return Err(Error::InvalidParameter {
+                name: "p",
+                reason: format!("domain mismatch: {} vs {}", p.domain(), self.domain),
+            });
+        }
+        let mut total = 0.0;
+        let mut cursor = 0usize;
+        for &(v, c) in &self.counts {
+            // Indices with no samples contribute p(i)².
+            for i in cursor..v {
+                total += p.prob(i) * p.prob(i);
+            }
+            let d = c as f64 / self.num_samples as f64 - p.prob(v);
+            total += d * d;
+            cursor = v + 1;
+        }
+        for i in cursor..self.domain {
+            total += p.prob(i) * p.prob(i);
+        }
+        Ok(total.sqrt())
+    }
+}
+
+/// The number of samples `m = ⌈(c/ε²)·ln(e/δ)⌉` prescribed by Lemma 3.1 /
+/// Theorem 2.1 (we use the explicit constant `c = 1`, which the McDiarmid
+/// argument in the paper supports for `η = 3ε/4`).
+pub fn sample_complexity(epsilon: f64, delta: f64) -> usize {
+    let eps = epsilon.clamp(1e-9, 1.0);
+    let del = delta.clamp(1e-12, 1.0);
+    ((1.0 / (eps * eps)) * (1.0 + (1.0 / del).ln())).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias::AliasSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_and_probabilities() {
+        let emp = EmpiricalDistribution::from_samples(10, &[3, 3, 7, 1, 3]).unwrap();
+        assert_eq!(emp.num_samples(), 5);
+        assert_eq!(emp.support_size(), 3);
+        assert!((emp.probability(3) - 0.6).abs() < 1e-12);
+        assert!((emp.probability(7) - 0.2).abs() < 1e-12);
+        assert_eq!(emp.probability(0), 0.0);
+        let sparse = emp.to_sparse();
+        assert_eq!(sparse.sparsity(), 3);
+        assert!((sparse.sum() - 1.0).abs() < 1e-12);
+        let dist = emp.to_distribution().unwrap();
+        assert!((dist.prob(1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_distance_matches_dense_computation() {
+        let p = Distribution::from_weights(&[1.0, 2.0, 3.0, 4.0, 0.0, 2.0]).unwrap();
+        let emp = EmpiricalDistribution::from_samples(6, &[0, 1, 1, 3, 3, 3, 5, 2]).unwrap();
+        let sparse_dist = emp.l2_distance_to(&p).unwrap();
+        let dense_emp = emp.to_distribution().unwrap();
+        let dense_dist = dense_emp.l2_distance(&p).unwrap();
+        assert!((sparse_dist - dense_dist).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_3_1_concentration() {
+        // ‖p̂_m − p‖₂ ≲ 1/√m with high probability; check a comfortable multiple.
+        let p = Distribution::from_weights(
+            &(0..200).map(|i| 1.0 + ((i * 7) % 13) as f64).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let sampler = AliasSampler::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for &m in &[400usize, 1_600, 6_400] {
+            let samples = sampler.sample_many(m, &mut rng);
+            let emp = EmpiricalDistribution::from_samples(200, &samples).unwrap();
+            let dist = emp.l2_distance_to(&p).unwrap();
+            let bound = 3.0 / (m as f64).sqrt();
+            assert!(dist < bound, "m={m}: ‖p̂−p‖₂ = {dist} exceeds {bound}");
+        }
+    }
+
+    #[test]
+    fn sample_complexity_scales_as_expected() {
+        let base = sample_complexity(0.1, 0.1);
+        assert!(base >= 100, "1/ε² factor");
+        // Halving ε quadruples the sample size.
+        assert!(sample_complexity(0.05, 0.1) >= 4 * base - 4);
+        // Smaller δ only costs logarithmically.
+        assert!(sample_complexity(0.1, 0.01) < 3 * base);
+        assert!(sample_complexity(0.1, 0.01) > base);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(EmpiricalDistribution::from_samples(0, &[0]).is_err());
+        assert!(EmpiricalDistribution::from_samples(5, &[]).is_err());
+        assert!(EmpiricalDistribution::from_samples(5, &[5]).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # hist-sampling
+//!
+//! The random-sampling substrate and the agnostic learners of the PODS 2015
+//! histogram paper:
+//!
+//! * [`AliasSampler`] / [`InverseCdfSampler`] — draw i.i.d. samples from a data
+//!   distribution (`O(1)` and `O(log n)` per sample respectively);
+//! * [`EmpiricalDistribution`] and [`sample_complexity`] — the empirical
+//!   distribution `p̂_m` and the `O(ε⁻²·log(1/δ))` sample bound of Lemma 3.1;
+//! * [`learn_histogram`] — the two-stage histogram learner of **Theorem 2.1**;
+//! * [`MultiScaleLearner`] — the multi-scale learner of **Theorem 2.2**;
+//! * [`learn_piecewise_polynomial`] — the piecewise-polynomial learner of
+//!   **Theorem 2.3**;
+//! * [`minimax`] — the two-point construction and Hellinger lower bound of
+//!   **Theorem 3.2**;
+//! * [`StreamingSketch`] — a mergeable streaming count sketch that extends the
+//!   batch learners to per-partition sample streams (this reproduction's
+//!   extension; the Theorem 2.1 guarantees carry over verbatim).
+//!
+//! ```
+//! use hist_core::Distribution;
+//! use hist_sampling::{learn_histogram, LearnerConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // An unknown 2-piece distribution over 50 items.
+//! let weights: Vec<f64> = (0..50).map(|i| if i < 20 { 3.0 } else { 1.0 }).collect();
+//! let p = Distribution::from_weights(&weights).unwrap();
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let learned = learn_histogram(&p, &LearnerConfig::paper(2, 0.05, 0.1), &mut rng).unwrap();
+//! // With the paper's merging parameters the output has O(k) pieces.
+//! assert!(learned.histogram.num_pieces() <= 8);
+//! ```
+
+pub mod alias;
+pub mod empirical;
+pub mod learn;
+pub mod minimax;
+pub mod multiscale;
+pub mod poly_learn;
+pub mod streaming;
+
+pub use alias::{AliasSampler, InverseCdfSampler};
+pub use empirical::{sample_complexity, EmpiricalDistribution};
+pub use learn::{
+    learn_histogram, learn_histogram_from_samples, learn_histogram_with_sample_size,
+    LearnedHistogram, LearnerConfig, MergingVariant,
+};
+pub use minimax::{
+    distinguish, hellinger_lower_bound, sample_lower_bound, two_point_pair, DistinguisherVerdict,
+};
+pub use multiscale::MultiScaleLearner;
+pub use poly_learn::{
+    learn_piecewise_polynomial, learn_piecewise_polynomial_from_samples,
+    LearnedPiecewisePolynomial, PolyLearnerConfig,
+};
+pub use streaming::StreamingSketch;

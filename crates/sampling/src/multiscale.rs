@@ -1,0 +1,188 @@
+//! The multi-scale learner of Theorem 2.2: one sampling pass, good histograms
+//! for *every* `k` simultaneously.
+//!
+//! After forming the empirical distribution `p̂_m`, a single run of Algorithm 2
+//! (`ConstructHierarchicalHistogram`) produces a hierarchy of partitions such
+//! that, for every `k`, the level with at most `8k` pieces has flattening error
+//! at most `2·opt_k(p̂_m)`, hence at most `2·opt_k(p) + O(ε)` against the true
+//! distribution. The per-level flattening error against `p̂_m` is an observable
+//! estimate `e_t` of the true error up to `±ε` (item (ii) of Theorem 2.2).
+
+use crate::alias::AliasSampler;
+use crate::empirical::{sample_complexity, EmpiricalDistribution};
+use hist_core::{
+    construct_hierarchical_histogram, DiscreteFunction, Distribution, HierarchicalHistogram,
+    Histogram, Result, SparseFunction,
+};
+use rand::Rng;
+
+/// The output of the multi-scale learner: the merging hierarchy built on the
+/// empirical distribution, plus the empirical distribution itself for error
+/// estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiScaleLearner {
+    hierarchy: HierarchicalHistogram,
+    empirical: SparseFunction,
+    num_samples: usize,
+}
+
+impl MultiScaleLearner {
+    /// Stage 2 only: builds the hierarchy from an explicit sample multiset.
+    pub fn from_samples(domain: usize, samples: &[usize]) -> Result<Self> {
+        let empirical = EmpiricalDistribution::from_samples(domain, samples)?.to_sparse();
+        let hierarchy = construct_hierarchical_histogram(&empirical)?;
+        Ok(Self { hierarchy, empirical, num_samples: samples.len() })
+    }
+
+    /// The full two-stage learner: draws `m = O(ε⁻²·log(1/δ))` samples from `p`
+    /// and builds the hierarchy.
+    pub fn learn<R: Rng + ?Sized>(
+        p: &Distribution,
+        epsilon: f64,
+        delta: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let m = sample_complexity(epsilon, delta);
+        let sampler = AliasSampler::new(p)?;
+        let samples = sampler.sample_many(m, rng);
+        Self::from_samples(p.domain(), &samples)
+    }
+
+    /// Number of samples used.
+    #[inline]
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// The underlying merging hierarchy (Algorithm 2 output on `p̂_m`).
+    #[inline]
+    pub fn hierarchy(&self) -> &HierarchicalHistogram {
+        &self.hierarchy
+    }
+
+    /// The empirical distribution the hierarchy was built on.
+    #[inline]
+    pub fn empirical(&self) -> &SparseFunction {
+        &self.empirical
+    }
+
+    /// The Theorem 2.2 answer for piece budget `k`: a histogram `h_t` with at
+    /// most `8k` pieces and its error estimate `e_t = ‖h_t − p̂_m‖₂`.
+    pub fn histogram_for_k(&self, k: usize) -> (Histogram, f64) {
+        self.hierarchy.histogram_for_k(k)
+    }
+
+    /// The whole Pareto curve `(pieces, error estimate)` traced by the
+    /// hierarchy, from the finest to the coarsest level.
+    pub fn pareto_curve(&self) -> Vec<(usize, f64)> {
+        self.hierarchy.pareto_curve()
+    }
+
+    /// The smallest piece budget whose error estimate is at most
+    /// `error_budget`, together with the corresponding histogram; `None` if
+    /// even the finest level exceeds the budget.
+    pub fn smallest_k_within(&self, error_budget: f64) -> Option<(usize, Histogram)> {
+        self.hierarchy
+            .levels()
+            .iter()
+            .rev()
+            .find(|level| level.error() <= error_budget)
+            .map(|level| (level.num_pieces(), level.histogram()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_distribution(n: usize) -> Distribution {
+        let weights: Vec<f64> = (0..n)
+            .map(|i| match (5 * i) / n {
+                0 => 2.0,
+                1 => 6.0,
+                2 => 1.0,
+                3 => 4.0,
+                _ => 0.5,
+            })
+            .collect();
+        Distribution::from_weights(&weights).unwrap()
+    }
+
+    fn l2_to_distribution(h: &Histogram, p: &Distribution) -> f64 {
+        h.to_dense()
+            .iter()
+            .zip(p.pmf())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn theorem_2_2_guarantees() {
+        let p = step_distribution(300);
+        let mut rng = StdRng::seed_from_u64(22);
+        let eps = 0.02;
+        let learner = MultiScaleLearner::learn(&p, eps, 0.05, &mut rng).unwrap();
+
+        for k in [1usize, 2, 5, 10, 25] {
+            let (h, estimate) = learner.histogram_for_k(k);
+            assert!(h.num_pieces() <= 8 * k, "k={k}: {} pieces", h.num_pieces());
+            let true_err = l2_to_distribution(&h, &p);
+            // (ii): the estimate tracks the true error within ±ε (we allow 2ε of
+            // slack for the sampling fluctuation of this single trial).
+            assert!(
+                (true_err - estimate).abs() <= 2.0 * eps,
+                "k={k}: estimate {estimate} vs true {true_err}"
+            );
+        }
+        // (i) for k = 5: the target is a 5-histogram, so opt_5 = 0 and the output
+        // must be O(ε)-close to p.
+        let (h5, _) = learner.histogram_for_k(5);
+        assert!(l2_to_distribution(&h5, &p) <= 3.0 * eps);
+    }
+
+    #[test]
+    fn pareto_curve_is_monotone_and_consistent() {
+        let p = step_distribution(200);
+        let mut rng = StdRng::seed_from_u64(4);
+        let learner = MultiScaleLearner::learn(&p, 0.05, 0.1, &mut rng).unwrap();
+        let curve = learner.pareto_curve();
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[1].0 < w[0].0, "pieces must strictly decrease");
+            assert!(w[1].1 + 1e-12 >= w[0].1, "error estimates cannot decrease");
+        }
+    }
+
+    #[test]
+    fn budget_query_returns_the_coarsest_feasible_level() {
+        let p = step_distribution(240);
+        let mut rng = StdRng::seed_from_u64(9);
+        let learner = MultiScaleLearner::learn(&p, 0.03, 0.1, &mut rng).unwrap();
+        let budget = 0.05;
+        let (pieces, h) = learner.smallest_k_within(budget).expect("feasible budget");
+        assert!(h.l2_distance_sparse(learner.empirical()).unwrap() <= budget + 1e-12);
+        // No coarser level fits the budget.
+        for level in learner.hierarchy().levels() {
+            if level.num_pieces() < pieces {
+                assert!(level.error() > budget);
+            }
+        }
+        // An impossible budget yields None.
+        assert!(learner.smallest_k_within(-1.0).is_none());
+    }
+
+    #[test]
+    fn from_samples_matches_learn_pipeline() {
+        let p = step_distribution(100);
+        let sampler = AliasSampler::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let samples = sampler.sample_many(4_000, &mut rng);
+        let learner = MultiScaleLearner::from_samples(100, &samples).unwrap();
+        assert_eq!(learner.num_samples(), 4_000);
+        assert_eq!(learner.empirical().domain(), 100);
+        assert!(learner.hierarchy().num_levels() >= 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! The piecewise-polynomial learner of Theorem 2.3: sample, form the empirical
+//! distribution, and post-process with the generalized merging algorithm and
+//! the `FitPoly_d` projection oracle.
+
+use crate::alias::AliasSampler;
+use crate::empirical::{sample_complexity, EmpiricalDistribution};
+use hist_core::{Distribution, MergingParams, PiecewisePolynomial, Result};
+use hist_poly::fit_piecewise_polynomial;
+use rand::Rng;
+
+/// Configuration of the piecewise-polynomial learner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyLearnerConfig {
+    /// Target number of pieces `k`.
+    pub k: usize,
+    /// Polynomial degree `d` of each piece.
+    pub degree: usize,
+    /// Additive accuracy `ε`.
+    pub epsilon: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// Merging trade-off parameter `δ_merge`.
+    pub merge_delta: f64,
+    /// Merging slack `γ`.
+    pub merge_gamma: f64,
+}
+
+impl PolyLearnerConfig {
+    /// Defaults mirroring the histogram learner's paper parameterization.
+    pub fn paper(k: usize, degree: usize, epsilon: f64, delta: f64) -> Self {
+        Self { k, degree, epsilon, delta, merge_delta: 1000.0, merge_gamma: 1.0 }
+    }
+
+    /// The number of samples the learner will draw.
+    pub fn sample_size(&self) -> usize {
+        sample_complexity(self.epsilon, self.delta)
+    }
+}
+
+/// The outcome of one run of the piecewise-polynomial learner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedPiecewisePolynomial {
+    /// The learned piecewise polynomial.
+    pub function: PiecewisePolynomial,
+    /// Number of samples drawn.
+    pub num_samples: usize,
+    /// `ℓ₂` distance between the learned function and the empirical distribution.
+    pub empirical_error: f64,
+}
+
+/// Stage 2 only: learn an `O(k)`-piece degree-`d` piecewise polynomial from an
+/// explicit sample multiset. Runs in `O(d²·m)` time.
+pub fn learn_piecewise_polynomial_from_samples(
+    domain: usize,
+    samples: &[usize],
+    config: &PolyLearnerConfig,
+) -> Result<LearnedPiecewisePolynomial> {
+    let empirical = EmpiricalDistribution::from_samples(domain, samples)?.to_sparse();
+    let params = MergingParams::new(config.k, config.merge_delta, config.merge_gamma)?;
+    let function = fit_piecewise_polynomial(&empirical, &params, config.degree)?;
+    let empirical_error = function.l2_distance_squared_sparse(&empirical)?.max(0.0).sqrt();
+    Ok(LearnedPiecewisePolynomial { function, num_samples: samples.len(), empirical_error })
+}
+
+/// The full two-stage learner of Theorem 2.3.
+pub fn learn_piecewise_polynomial<R: Rng + ?Sized>(
+    p: &Distribution,
+    config: &PolyLearnerConfig,
+    rng: &mut R,
+) -> Result<LearnedPiecewisePolynomial> {
+    let m = config.sample_size();
+    let sampler = AliasSampler::new(p)?;
+    let samples = sampler.sample_many(m, rng);
+    learn_piecewise_polynomial_from_samples(p.pmf().len(), &samples, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hist_core::DiscreteFunction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A smooth "triangle" distribution: piecewise linear with 2 pieces.
+    fn triangle_distribution(n: usize) -> Distribution {
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64;
+                if x < 0.5 {
+                    x
+                } else {
+                    1.0 - x
+                }
+            })
+            .map(|w| w + 1e-3)
+            .collect();
+        Distribution::from_weights(&weights).unwrap()
+    }
+
+    fn l2_to_distribution(f: &PiecewisePolynomial, p: &Distribution) -> f64 {
+        (0..p.domain())
+            .map(|i| {
+                let d = f.value(i) - p.prob(i);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn linear_pieces_capture_a_triangle_distribution() {
+        let p = triangle_distribution(400);
+        let config = PolyLearnerConfig::paper(2, 1, 0.01, 0.05);
+        let mut rng = StdRng::seed_from_u64(17);
+        let learned = learn_piecewise_polynomial(&p, &config, &mut rng).unwrap();
+        assert_eq!(learned.num_samples, config.sample_size());
+        let err = l2_to_distribution(&learned.function, &p);
+        // The target is a 2-piece degree-1 function, so opt = 0 and the error is O(ε).
+        assert!(err <= 3.0 * config.epsilon, "error {err}");
+        assert!(learned.function.degree() <= 1);
+    }
+
+    #[test]
+    fn degree_zero_matches_the_histogram_learner_qualitatively() {
+        let p = triangle_distribution(200);
+        let config = PolyLearnerConfig::paper(6, 0, 0.02, 0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let learned = learn_piecewise_polynomial(&p, &config, &mut rng).unwrap();
+        assert!(learned.function.degree() == 0);
+        assert!(l2_to_distribution(&learned.function, &p) < 0.15);
+    }
+
+    #[test]
+    fn higher_degree_helps_on_smooth_targets() {
+        let n = 500;
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64 * std::f64::consts::PI;
+                x.sin() + 1e-3
+            })
+            .collect();
+        let p = Distribution::from_weights(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let sampler = AliasSampler::new(&p).unwrap();
+        let samples = sampler.sample_many(60_000, &mut rng);
+
+        let flat = learn_piecewise_polynomial_from_samples(
+            n,
+            &samples,
+            &PolyLearnerConfig::paper(3, 0, 0.01, 0.1),
+        )
+        .unwrap();
+        let cubic = learn_piecewise_polynomial_from_samples(
+            n,
+            &samples,
+            &PolyLearnerConfig::paper(3, 3, 0.01, 0.1),
+        )
+        .unwrap();
+        let err_flat = l2_to_distribution(&flat.function, &p);
+        let err_cubic = l2_to_distribution(&cubic.function, &p);
+        assert!(
+            err_cubic < err_flat,
+            "cubic pieces ({err_cubic}) should beat constants ({err_flat}) on a smooth target"
+        );
+    }
+
+    #[test]
+    fn empirical_error_is_consistent() {
+        let p = triangle_distribution(150);
+        let config = PolyLearnerConfig::paper(4, 2, 0.05, 0.1);
+        let sampler = AliasSampler::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = sampler.sample_many(3_000, &mut rng);
+        let learned = learn_piecewise_polynomial_from_samples(150, &samples, &config).unwrap();
+        let emp = EmpiricalDistribution::from_samples(150, &samples).unwrap().to_sparse();
+        let direct = learned.function.l2_distance_squared_sparse(&emp).unwrap().max(0.0).sqrt();
+        assert!((learned.empirical_error - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,224 @@
+//! A streaming, *mergeable* count sketch feeding the histogram learners.
+//!
+//! The paper's learners are batch algorithms: draw `m` samples, post-process
+//! the empirical distribution once. In a database deployment the samples
+//! usually arrive as a stream (or as per-partition sub-streams that are merged
+//! at a coordinator). Because the learner's only interface to the data is the
+//! empirical distribution — a bag of counts — the natural streaming version is
+//! a counting sketch that (a) absorbs one sample in `O(1)` expected time,
+//! (b) merges with another sketch by adding counts, and (c) produces an
+//! `O(k)`-histogram on demand by running Algorithm 1 on its current counts in
+//! `O(support)` time. All guarantees of Theorem 2.1 carry over verbatim because
+//! the sketch stores the *exact* empirical distribution of the samples seen.
+
+use crate::learn::{LearnedHistogram, LearnerConfig, MergingVariant};
+use hist_core::{
+    construct_histogram, construct_histogram_fast, Error, MergingParams, Result, SparseFunction,
+};
+use std::collections::BTreeMap;
+
+/// An exact, mergeable counting sketch over the domain `[0, n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingSketch {
+    domain: usize,
+    counts: BTreeMap<usize, u64>,
+    total: u64,
+}
+
+impl StreamingSketch {
+    /// Creates an empty sketch over `[0, n)`.
+    pub fn new(domain: usize) -> Result<Self> {
+        if domain == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        Ok(Self { domain, counts: BTreeMap::new(), total: 0 })
+    }
+
+    /// Domain size `n`.
+    #[inline]
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Number of samples absorbed so far.
+    #[inline]
+    pub fn num_samples(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Number of distinct values seen (the sparsity of the empirical
+    /// distribution, and the memory footprint of the sketch in entries).
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Absorbs one sample.
+    pub fn observe(&mut self, sample: usize) -> Result<()> {
+        if sample >= self.domain {
+            return Err(Error::IndexOutOfRange { index: sample, domain: self.domain });
+        }
+        *self.counts.entry(sample).or_insert(0) += 1;
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Absorbs a batch of samples.
+    pub fn observe_many(&mut self, samples: &[usize]) -> Result<()> {
+        for &s in samples {
+            self.observe(s)?;
+        }
+        Ok(())
+    }
+
+    /// Merges another sketch into this one (same domain required). This is the
+    /// operation a coordinator runs over per-partition sketches.
+    pub fn merge(&mut self, other: &StreamingSketch) -> Result<()> {
+        if other.domain != self.domain {
+            return Err(Error::InvalidParameter {
+                name: "other",
+                reason: format!("domain mismatch: {} vs {}", other.domain, self.domain),
+            });
+        }
+        for (&value, &count) in &other.counts {
+            *self.counts.entry(value).or_insert(0) += count;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// The current empirical distribution `p̂_m` as a sparse function.
+    pub fn empirical(&self) -> Result<SparseFunction> {
+        if self.total == 0 {
+            return Err(Error::InvalidParameter {
+                name: "sketch",
+                reason: "no samples have been observed yet".into(),
+            });
+        }
+        let m = self.total as f64;
+        let entries: Vec<(usize, f64)> =
+            self.counts.iter().map(|(&v, &c)| (v, c as f64 / m)).collect();
+        SparseFunction::new(self.domain, entries)
+    }
+
+    /// Runs the Theorem 2.1 post-processing on the current counts: an
+    /// `O(k)`-piece histogram approximation of the streamed distribution.
+    pub fn histogram(&self, config: &LearnerConfig) -> Result<LearnedHistogram> {
+        let empirical = self.empirical()?;
+        let params = MergingParams::new(config.k, config.merge_delta, config.merge_gamma)?;
+        let histogram = match config.variant {
+            MergingVariant::Pairs => construct_histogram(&empirical, &params)?,
+            MergingVariant::Groups => construct_histogram_fast(&empirical, &params)?,
+        };
+        let empirical_error = histogram.l2_distance_sparse(&empirical)?;
+        Ok(LearnedHistogram { histogram, num_samples: self.num_samples(), empirical_error })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias::AliasSampler;
+    use crate::empirical::EmpiricalDistribution;
+    use crate::learn::learn_histogram_from_samples;
+    use hist_core::{DiscreteFunction, Distribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn target() -> Distribution {
+        let weights: Vec<f64> =
+            (0..400).map(|i| if i < 150 { 4.0 } else if i < 300 { 1.0 } else { 6.0 }).collect();
+        Distribution::from_weights(&weights).unwrap()
+    }
+
+    #[test]
+    fn streaming_matches_the_batch_learner_exactly() {
+        let p = target();
+        let sampler = AliasSampler::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = sampler.sample_many(20_000, &mut rng);
+        let config = LearnerConfig::paper(3, 0.02, 0.1);
+
+        // Batch path.
+        let batch = learn_histogram_from_samples(400, &samples, &config).unwrap();
+        // Streaming path, one sample at a time.
+        let mut sketch = StreamingSketch::new(400).unwrap();
+        sketch.observe_many(&samples).unwrap();
+        let streamed = sketch.histogram(&config).unwrap();
+
+        assert_eq!(batch.histogram, streamed.histogram);
+        assert_eq!(batch.num_samples, streamed.num_samples);
+        assert!((batch.empirical_error - streamed.empirical_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_sub_streams_equals_one_big_stream() {
+        let p = target();
+        let sampler = AliasSampler::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples = sampler.sample_many(12_000, &mut rng);
+
+        let mut whole = StreamingSketch::new(400).unwrap();
+        whole.observe_many(&samples).unwrap();
+
+        // Three "partitions" sketched independently and merged at a coordinator.
+        let mut merged = StreamingSketch::new(400).unwrap();
+        for chunk in samples.chunks(4_000) {
+            let mut part = StreamingSketch::new(400).unwrap();
+            part.observe_many(chunk).unwrap();
+            merged.merge(&part).unwrap();
+        }
+
+        assert_eq!(whole, merged);
+        let config = LearnerConfig::paper(3, 0.05, 0.1);
+        assert_eq!(whole.histogram(&config).unwrap().histogram, merged.histogram(&config).unwrap().histogram);
+    }
+
+    #[test]
+    fn empirical_matches_the_empirical_distribution_type() {
+        let samples = vec![1usize, 5, 5, 9, 1, 1];
+        let mut sketch = StreamingSketch::new(10).unwrap();
+        sketch.observe_many(&samples).unwrap();
+        let via_sketch = sketch.empirical().unwrap();
+        let via_batch = EmpiricalDistribution::from_samples(10, &samples).unwrap().to_sparse();
+        assert_eq!(via_sketch, via_batch);
+        assert_eq!(sketch.support_size(), 3);
+        assert_eq!(sketch.num_samples(), 6);
+    }
+
+    #[test]
+    fn rejects_invalid_usage() {
+        assert!(StreamingSketch::new(0).is_err());
+        let mut sketch = StreamingSketch::new(4).unwrap();
+        assert!(sketch.observe(4).is_err());
+        assert!(sketch.empirical().is_err(), "no samples yet");
+        let other = StreamingSketch::new(5).unwrap();
+        assert!(sketch.merge(&other).is_err(), "domain mismatch");
+    }
+
+    #[test]
+    fn error_shrinks_as_the_stream_grows() {
+        let p = target();
+        let sampler = AliasSampler::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sketch = StreamingSketch::new(400).unwrap();
+        let config = LearnerConfig::paper(3, 0.05, 0.1);
+
+        let mut previous = f64::INFINITY;
+        for _ in 0..3 {
+            sketch.observe_many(&sampler.sample_many(10_000, &mut rng)).unwrap();
+            let learned = sketch.histogram(&config).unwrap();
+            let err: f64 = learned
+                .histogram
+                .to_dense()
+                .iter()
+                .zip(p.pmf())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(err <= previous * 1.1, "error should not grow: {err} vs {previous}");
+            previous = err;
+        }
+        assert!(previous < 0.01);
+    }
+}

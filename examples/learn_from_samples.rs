@@ -1,0 +1,57 @@
+//! Agnostic learning from samples (Theorem 2.1): approximate an unknown
+//! distribution from i.i.d. draws — without ever reading the full domain —
+//! and watch the error approach the best achievable `opt_k` as the sample
+//! size grows.
+//!
+//! ```text
+//! cargo run --release --example learn_from_samples
+//! ```
+
+use approx_hist::baselines;
+use approx_hist::datasets::{subsample_to_distribution, dow_dataset};
+use approx_hist::sampling::{learn_histogram_with_sample_size, sample_complexity, LearnerConfig};
+use approx_hist::DiscreteFunction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The unknown distribution: the dow' learning data set of the paper
+    // (the Dow-Jones-like series, subsampled 16x and normalized).
+    let p = subsample_to_distribution(&dow_dataset(), 16).expect("valid series");
+    let k = 50;
+    let config = LearnerConfig::paper(k, 0.01, 0.05);
+
+    // The information-theoretically required sample size for ε = 0.01, δ = 0.05.
+    println!(
+        "domain size n = {}, target pieces k = {k}, m(ε=0.01, δ=0.05) = {}",
+        p.domain(),
+        sample_complexity(0.01, 0.05)
+    );
+
+    // The best any k-histogram can do against the true distribution.
+    let opt_k = baselines::exact_histogram_pruned(p.pmf(), k).expect("valid pmf").error();
+    println!("best achievable error with {k} pieces: opt_k = {opt_k:.5}\n");
+
+    println!("{:>10}  {:>12}  {:>12}  {:>8}", "samples", "l2 error", "vs opt_k", "pieces");
+    let mut rng = StdRng::seed_from_u64(2015);
+    for m in [500usize, 2_000, 8_000, 32_000, 128_000] {
+        let learned =
+            learn_histogram_with_sample_size(&p, m, &config, &mut rng).expect("valid distribution");
+        let error: f64 = learned
+            .histogram
+            .to_dense()
+            .iter()
+            .zip(p.pmf())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        println!(
+            "{m:>10}  {error:>12.5}  {:>12.3}  {:>8}",
+            error / opt_k,
+            learned.histogram.num_pieces()
+        );
+    }
+
+    println!("\nThe error converges towards opt_k — the learner pays only an additive ε");
+    println!("that shrinks like 1/sqrt(m), exactly as Theorem 2.1 predicts.");
+}

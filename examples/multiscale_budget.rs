@@ -1,0 +1,60 @@
+//! Multi-scale construction (Theorem 2.2): one pass over the data yields good
+//! histograms for *every* size at once, so the right size can be picked after
+//! the fact — here, the smallest histogram meeting an error budget.
+//!
+//! ```text
+//! cargo run --release --example multiscale_budget
+//! ```
+
+use approx_hist::datasets::{dow_dataset, subsample_to_distribution};
+use approx_hist::sampling::MultiScaleLearner;
+use approx_hist::DiscreteFunction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The unknown distribution (dow'), learned from 50 000 samples.
+    let p = subsample_to_distribution(&dow_dataset(), 16).expect("valid series");
+    let mut rng = StdRng::seed_from_u64(7);
+    let learner = MultiScaleLearner::learn(&p, 0.005, 0.05, &mut rng).expect("valid distribution");
+
+    println!(
+        "domain n = {}, samples drawn m = {}, hierarchy levels = {}",
+        p.domain(),
+        learner.num_samples(),
+        learner.hierarchy().num_levels()
+    );
+
+    // The whole Pareto curve from one construction.
+    println!("\nPareto curve (pieces vs estimated error):");
+    println!("{:>8}  {:>12}", "pieces", "error est.");
+    for (pieces, error) in learner.pareto_curve() {
+        println!("{pieces:>8}  {error:>12.5}");
+    }
+
+    // Pick the smallest histogram within an error budget, after the fact.
+    println!("\nsmallest histogram within a given error budget:");
+    println!("{:>10}  {:>8}  {:>12}", "budget", "pieces", "true error");
+    for budget in [0.02f64, 0.01, 0.005, 0.002] {
+        match learner.smallest_k_within(budget) {
+            Some((pieces, histogram)) => {
+                let true_error: f64 = histogram
+                    .to_dense()
+                    .iter()
+                    .zip(p.pmf())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                println!("{budget:>10.3}  {pieces:>8}  {true_error:>12.5}");
+            }
+            None => println!("{budget:>10.3}  {:>8}  {:>12}", "-", "infeasible"),
+        }
+    }
+
+    // The Theorem 2.2 query: a near-optimal histogram for a specific k.
+    let (h, estimate) = learner.histogram_for_k(50);
+    println!(
+        "\nfor k = 50: {} pieces, estimated error {estimate:.5} (Theorem 2.2 guarantees ≤ 2·opt_50 + ε)",
+        h.num_pieces()
+    );
+}

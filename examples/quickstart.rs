@@ -1,0 +1,45 @@
+//! Quickstart: compress a noisy step signal into a small histogram in a few
+//! lines, and compare against the exact V-optimal optimum.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use approx_hist::baselines;
+use approx_hist::datasets::{hist_dataset_with, HistDatasetParams};
+use approx_hist::{construct_histogram, MergingParams, SparseFunction};
+
+fn main() {
+    // A noisy signal whose ground truth is a 10-piece histogram (the paper's
+    // `hist` data set).
+    let (noisy, _truth) = hist_dataset_with(&HistDatasetParams::default());
+    let n = noisy.len();
+    let k = 10;
+
+    // Step 1: wrap the signal. Dense signals are just n-sparse functions.
+    let q = SparseFunction::from_dense_keep_zeros(&noisy).expect("finite signal");
+
+    // Step 2: pick the merging parameters. `paper_defaults` reproduces the
+    // parameterization of the paper's experiments (δ = 1000, γ = 1, ≈ 2k+1 pieces).
+    let params = MergingParams::paper_defaults(k).expect("k >= 1");
+
+    // Step 3: construct the histogram (runs in O(n) time).
+    let histogram = construct_histogram(&q, &params).expect("valid signal");
+    let error = histogram.l2_distance_dense(&noisy).expect("same domain");
+
+    // Reference: the exact V-optimal k-histogram.
+    let exact = baselines::exact_histogram_pruned(&noisy, k).expect("valid signal");
+
+    println!("input:              n = {n}, target pieces k = {k}");
+    println!(
+        "merging:            {} pieces, l2 error {:.3} (vs optimum {:.3}, ratio {:.3})",
+        histogram.num_pieces(),
+        error,
+        exact.error(),
+        error / exact.error()
+    );
+    println!("first three pieces of the merged histogram:");
+    for (interval, value) in histogram.pieces().take(3) {
+        println!("  {interval}  ->  {value:.3}");
+    }
+}

@@ -1,0 +1,66 @@
+//! # approx-hist
+//!
+//! A from-scratch Rust reproduction of
+//! *Fast and Near-Optimal Algorithms for Approximating Distributions by
+//! Histograms* (Acharya, Diakonikolas, Hegde, Li, Schmidt — PODS 2015).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`core`](mod@core) (`hist-core`) — the data model and the merging
+//!   algorithms (Algorithm 1, Algorithm 2, `fastmerging`, the generalized
+//!   oracle-driven merging);
+//! * [`poly`] (`hist-poly`) — discrete Chebyshev (Gram) polynomial projection
+//!   and piecewise-polynomial fitting (Section 4);
+//! * [`baselines`] (`hist-baselines`) — the exact V-optimal DP, the dual
+//!   greedy, an AHIST-style approximate DP and trivial baselines;
+//! * [`sampling`] (`hist-sampling`) — samplers, empirical distributions and
+//!   the agnostic learners of Theorems 2.1–2.3;
+//! * [`datasets`] (`hist-datasets`) — the evaluation workloads (Figure 1) and
+//!   additional synthetic families.
+//!
+//! The most common entry points are re-exported at the crate root:
+//!
+//! ```
+//! use approx_hist::{construct_histogram, MergingParams, SparseFunction};
+//!
+//! let values: Vec<f64> = (0..1000).map(|i| ((i / 100) % 3) as f64).collect();
+//! let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+//! let h = construct_histogram(&q, &MergingParams::paper_defaults(5).unwrap()).unwrap();
+//! assert!(h.num_pieces() <= 13); // O(k) pieces for k = 5
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for the
+//! harness regenerating every table and figure of the paper.
+
+pub use hist_baselines as baselines;
+pub use hist_core as core;
+pub use hist_datasets as datasets;
+pub use hist_poly as poly;
+pub use hist_sampling as sampling;
+
+pub use hist_core::{
+    construct_general, construct_hierarchical_histogram, construct_histogram,
+    construct_histogram_dense, construct_histogram_fast, flatten, flatten_dense, Distribution,
+    Histogram, Interval, MergingParams, Partition, PiecewisePolynomial, SparseFunction,
+};
+pub use hist_core::{DiscreteFunction, Error, Result};
+pub use hist_poly::{fit_piecewise_polynomial, FitPolyOracle};
+pub use hist_sampling::{
+    learn_histogram, learn_histogram_from_samples, LearnerConfig, MultiScaleLearner,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        let values = datasets::hist_dataset();
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let params = MergingParams::paper_defaults(10).unwrap();
+        let merged = construct_histogram(&q, &params).unwrap();
+        let exact = baselines::exact_histogram_pruned(&values, 10).unwrap();
+        let merged_err = merged.l2_distance_dense(&values).unwrap();
+        assert!(merged_err <= 1.5 * exact.sse.sqrt() + 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration tests pinning down the relationships between all baseline
+//! algorithms on the paper's data sets: exact ≤ approximate ≤ trivial, and the
+//! qualitative ordering of Table 1.
+
+use approx_hist::baselines::{
+    approx_dp, dual_histogram, equal_mass_histogram, equal_width_histogram, exact_histogram,
+    exact_histogram_pruned, greedy_split_histogram, opt_sse_table,
+};
+use approx_hist::datasets;
+use approx_hist::{construct_histogram, MergingParams, SparseFunction};
+use proptest::prelude::*;
+
+#[test]
+fn error_ordering_on_the_hist_dataset() {
+    let values = datasets::hist_dataset();
+    let k = 10;
+    let exact = exact_histogram_pruned(&values, k).unwrap();
+    let gks = approx_dp(&values, k, 0.1).unwrap();
+    let dual = dual_histogram(&values, k).unwrap();
+    let split = greedy_split_histogram(&values, k).unwrap();
+    let width = equal_width_histogram(&values, k).unwrap();
+    let mass = equal_mass_histogram(&values, k).unwrap();
+
+    // Nothing with at most k pieces beats the exact optimum.
+    for (name, fit) in
+        [("gks", &gks), ("dual", &dual), ("split", &split), ("width", &width), ("mass", &mass)]
+    {
+        assert!(fit.num_pieces() <= k, "{name} must respect the piece budget");
+        assert!(fit.sse + 1e-9 >= exact.sse, "{name} cannot beat the optimum");
+    }
+    // The data-adaptive algorithms are much closer to the optimum than the
+    // data-oblivious equal-width buckets (the signal's jumps are not grid-aligned).
+    assert!(gks.sse <= 1.2 * exact.sse + 1e-9);
+    assert!(dual.sse <= 4.0 * exact.sse + 1e-9);
+    assert!(width.sse > 1.5 * exact.sse, "equal width should clearly trail on hist");
+}
+
+#[test]
+fn table_1_qualitative_shape_on_dow() {
+    // The headline comparison of the paper: merging (2k+1 pieces) reaches or
+    // beats the exact k-optimum error, while dual trails by a visible factor.
+    let values = datasets::dow_dataset_with_length(4_096);
+    let k = 50;
+    let exact = exact_histogram_pruned(&values, k).unwrap();
+    let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+    let merging = construct_histogram(&q, &MergingParams::paper_defaults(k).unwrap()).unwrap();
+    let merging2 =
+        construct_histogram(&q, &MergingParams::paper_defaults(k / 2).unwrap()).unwrap();
+    let dual = dual_histogram(&values, k).unwrap();
+
+    let exact_err = exact.error();
+    let merging_err = merging.l2_distance_dense(&values).unwrap();
+    let merging2_err = merging2.l2_distance_dense(&values).unwrap();
+    let dual_err = dual.error();
+
+    // Paper's Table 1 (dow, n = 16384): merging ≈ 0.81×, merging2 ≈ 1.16×,
+    // dual ≈ 2.03×. At the truncated n = 4096 the gaps are smaller but the
+    // ordering (merging < exact ≤ merging2 < dual) must be preserved.
+    assert!(merging_err < exact_err, "merging with 2k+1 pieces beats the k-optimum");
+    assert!(merging2_err >= exact_err && merging2_err < 1.6 * exact_err);
+    assert!(
+        dual_err > 1.1 * exact_err,
+        "dual should trail the optimum visibly, got {}",
+        dual_err / exact_err
+    );
+    assert!(dual_err > merging2_err, "dual trails merging2");
+    assert!(dual_err < 4.0 * exact_err);
+}
+
+#[test]
+fn opt_table_is_the_lower_envelope_of_everything() {
+    let values = datasets::dow_dataset_with_length(512);
+    let table = opt_sse_table(&values, 12).unwrap();
+    for (idx, &opt) in table.iter().enumerate() {
+        let k = idx + 1;
+        for fit in [
+            equal_width_histogram(&values, k).unwrap(),
+            equal_mass_histogram(&values, k).unwrap(),
+            greedy_split_histogram(&values, k).unwrap(),
+            dual_histogram(&values, k).unwrap(),
+        ] {
+            assert!(fit.sse + 1e-9 >= opt, "k={k}: a baseline beat the optimum");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The naive exact DP is consistent with itself across k (monotone) and
+    /// never worse than any heuristic baseline, on random signals.
+    #[test]
+    fn exact_dp_dominates_heuristics(
+        values in prop::collection::vec(0.0f64..6.0, 5..60),
+        k in 1usize..6,
+    ) {
+        let exact = exact_histogram(&values, k).unwrap();
+        let split = greedy_split_histogram(&values, k).unwrap();
+        let width = equal_width_histogram(&values, k).unwrap();
+        prop_assert!(split.sse + 1e-9 >= exact.sse);
+        prop_assert!(width.sse + 1e-9 >= exact.sse);
+        // And the exact DP's own histogram reproduces its claimed sse.
+        let direct = exact.histogram.l2_distance_squared_dense(&values).unwrap();
+        prop_assert!((direct - exact.sse).abs() <= 1e-9 * (1.0 + exact.sse));
+    }
+
+    /// The dual greedy sweep respects its per-piece budget on arbitrary signals.
+    #[test]
+    fn dual_histogram_respects_piece_budgets(
+        values in prop::collection::vec(0.0f64..4.0, 4..80),
+        k in 1usize..8,
+    ) {
+        let fit = dual_histogram(&values, k).unwrap();
+        prop_assert!(fit.num_pieces() <= k);
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end scenarios spanning every crate in the workspace: generate a
+//! workload, sample from it, learn synopses of several kinds, and validate the
+//! experiment harness plumbing.
+
+use approx_hist::datasets::{self, gaussian_mixture, steps_with_spikes, zipf_frequencies};
+use approx_hist::sampling::{learn_histogram_from_samples, AliasSampler, LearnerConfig};
+use approx_hist::{
+    construct_hierarchical_histogram, construct_histogram, fit_piecewise_polynomial,
+    DiscreteFunction, Distribution, MergingParams, SparseFunction,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn database_column_to_synopsis_to_query_answering() {
+    // A Zipf column of item frequencies → a 2k-piece synopsis → range counts.
+    let n = 50_000;
+    let column = zipf_frequencies(n, 1.05, 5_000_000.0, 9);
+    let q = SparseFunction::from_dense_keep_zeros(&column).unwrap();
+    let synopsis = construct_histogram(&q, &MergingParams::paper_defaults(64).unwrap()).unwrap();
+
+    // Range counts from the synopsis stay within a few percent of the truth for
+    // large ranges (where a histogram synopsis is expected to work).
+    for (lo, hi) in [(0usize, n / 2), (n / 4, 3 * n / 4), (0, n - 1)] {
+        let exact: f64 = column[lo..=hi].iter().sum();
+        let estimate: f64 = (lo..=hi).map(|i| synopsis.value(i)).sum();
+        let rel = (estimate - exact).abs() / exact;
+        assert!(rel < 0.05, "range [{lo}, {hi}]: relative error {rel}");
+    }
+}
+
+#[test]
+fn sample_then_learn_all_three_synopsis_kinds() {
+    // One stream of samples feeds three different learners.
+    let truth = gaussian_mixture(800, &[(1.0, 0.3, 0.06), (0.7, 0.7, 0.04)]);
+    let p = Distribution::from_weights(&truth).unwrap();
+    let sampler = AliasSampler::new(&p).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let samples = sampler.sample_many(60_000, &mut rng);
+
+    // (1) Fixed-k histogram learner.
+    let learned =
+        learn_histogram_from_samples(800, &samples, &LearnerConfig::paper(12, 0.01, 0.05)).unwrap();
+    let hist_err: f64 = learned
+        .histogram
+        .to_dense()
+        .iter()
+        .zip(p.pmf())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    assert!(hist_err < 0.05, "histogram learner error {hist_err}");
+
+    // (2) Multi-scale hierarchy on the same empirical distribution.
+    let empirical = approx_hist::sampling::EmpiricalDistribution::from_samples(800, &samples)
+        .unwrap()
+        .to_sparse();
+    let hierarchy = construct_hierarchical_histogram(&empirical).unwrap();
+    let (h8, _) = hierarchy.histogram_for_k(8);
+    assert!(h8.num_pieces() <= 64);
+
+    // (3) Piecewise-quadratic fit of the empirical distribution.
+    let pp =
+        fit_piecewise_polynomial(&empirical, &MergingParams::paper_defaults(6).unwrap(), 2).unwrap();
+    let pp_err: f64 = (0..800)
+        .map(|i| {
+            let d = pp.value(i) - p.prob(i);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt();
+    // The mixture is smooth, so quadratic pieces should do at least as well as
+    // the histogram at a comparable budget.
+    assert!(pp_err < 2.0 * hist_err + 0.02, "piecewise poly error {pp_err} vs hist {hist_err}");
+}
+
+#[test]
+fn spiky_signals_keep_their_spikes() {
+    // Isolated heavy spikes must survive the merging (they carry large error and
+    // are therefore never averaged away while the budget allows isolating them).
+    let values = steps_with_spikes(4_000, 4, 5, 0.05, 77);
+    let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+    let h = construct_histogram(&q, &MergingParams::paper_defaults(30).unwrap()).unwrap();
+
+    let max_true = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max_hist = (0..values.len()).map(|i| h.value(i)).fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max_hist > 0.3 * max_true,
+        "the largest spike ({max_true}) was flattened down to {max_hist}"
+    );
+}
+
+#[test]
+fn figure1_datasets_flow_through_the_harness_runners() {
+    // The bench harness is a normal library crate: drive the Table 1 runner on a
+    // reduced scale and check the row structure it reports.
+    let (hist, _poly, _dow) = datasets::figure1_datasets();
+    let rows = hist_bench::offline::run_offline(
+        &hist,
+        10,
+        &[
+            hist_bench::OfflineAlgorithm::ExactDpPruned,
+            hist_bench::OfflineAlgorithm::Merging,
+            hist_bench::OfflineAlgorithm::Dual,
+        ],
+    );
+    assert_eq!(rows.len(), 3);
+    assert!((rows[0].relative_error - 1.0).abs() < 1e-12);
+    assert!(rows.iter().all(|r| r.time_ms > 0.0 && r.error.is_finite()));
+    // merging must be the fastest of the three by a wide margin.
+    assert_eq!(
+        rows.iter().min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap()).unwrap().algorithm,
+        "merging"
+    );
+}
+
+#[test]
+fn learned_synopses_round_trip_through_distribution_normalization() {
+    // A learned histogram can be renormalized into a proper distribution and
+    // sampled from again (synopsis as a generative model).
+    let p = datasets::to_distribution(&datasets::hist_dataset()).unwrap();
+    let sampler = AliasSampler::new(&p).unwrap();
+    let mut rng = StdRng::seed_from_u64(12);
+    let samples = sampler.sample_many(20_000, &mut rng);
+    let learned =
+        learn_histogram_from_samples(1_000, &samples, &LearnerConfig::paper(10, 0.02, 0.1)).unwrap();
+
+    let as_distribution = learned.histogram.normalized().unwrap();
+    let renormalized = Distribution::from_histogram(&as_distribution).unwrap();
+    assert!((renormalized.total_mass() - 1.0).abs() < 1e-9);
+    let resampler = AliasSampler::new(&renormalized).unwrap();
+    let more = resampler.sample_many(1_000, &mut rng);
+    assert_eq!(more.len(), 1_000);
+    assert!(more.iter().all(|&s| s < 1_000));
+
+    // The resampled synopsis still resembles the original distribution.
+    let tv = renormalized.tv_distance(&p).unwrap();
+    assert!(tv < 0.2, "total variation between synopsis and truth is {tv}");
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: the merging algorithms of `hist-core`
+//! against the exact optima computed by `hist-baselines`, including
+//! property-based tests over random signals (Theorem 3.3 / Theorem 3.5).
+
+use approx_hist::baselines;
+use approx_hist::core::{
+    construct_hierarchical_histogram, construct_histogram, construct_histogram_fast,
+};
+use approx_hist::{DiscreteFunction, MergingParams, SparseFunction};
+use proptest::prelude::*;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, 2..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.3: ‖q̄_I − q‖₂² ≤ (1 + δ)·opt_k² for every δ and every signal.
+    #[test]
+    fn algorithm1_respects_the_error_guarantee(
+        values in signal_strategy(120),
+        k in 1usize..6,
+        delta in prop::sample::select(vec![0.5f64, 1.0, 4.0, 1000.0]),
+    ) {
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let params = MergingParams::new(k, delta, 1.0).unwrap();
+        let h = construct_histogram(&q, &params).unwrap();
+        prop_assert!(h.num_pieces() <= params.output_pieces_bound());
+
+        let opt = baselines::opt_sse(&values, k).unwrap();
+        let sse = h.l2_distance_squared_dense(&values).unwrap();
+        prop_assert!(
+            sse <= (1.0 + delta) * opt + 1e-6,
+            "sse {} exceeds (1+{})·opt = {}", sse, delta, (1.0 + delta) * opt
+        );
+    }
+
+    /// The fastmerging variant obeys the same guarantee.
+    #[test]
+    fn fastmerging_respects_the_error_guarantee(
+        values in signal_strategy(120),
+        k in 1usize..6,
+    ) {
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let params = MergingParams::new(k, 1.0, 1.0).unwrap();
+        let h = construct_histogram_fast(&q, &params).unwrap();
+        let opt = baselines::opt_sse(&values, k).unwrap();
+        let sse = h.l2_distance_squared_dense(&values).unwrap();
+        prop_assert!(sse <= 2.0 * opt + 1e-6);
+        prop_assert!(h.num_pieces() <= params.output_pieces_bound());
+    }
+
+    /// Theorem 3.5: some level of the hierarchy has ≤ 8k pieces and error ≤ 2·opt_k.
+    #[test]
+    fn hierarchical_respects_the_error_guarantee(
+        values in signal_strategy(100),
+        k in 1usize..5,
+    ) {
+        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+        let hierarchy = construct_hierarchical_histogram(&q).unwrap();
+        let level = hierarchy.level_for_k(k);
+        let opt = baselines::opt_sse(&values, k).unwrap().sqrt();
+        prop_assert!(level.num_pieces() <= 8 * k);
+        prop_assert!(level.error() <= 2.0 * opt + 1e-6);
+    }
+
+    /// The pruned DP and the naive DP always agree on the optimum.
+    #[test]
+    fn exact_dps_agree(values in signal_strategy(80), k in 1usize..8) {
+        let naive = baselines::opt_sse(&values, k).unwrap();
+        let pruned = baselines::opt_sse_pruned(&values, k).unwrap();
+        prop_assert!((naive - pruned).abs() <= 1e-9 * (1.0 + naive));
+    }
+}
+
+#[test]
+fn merging_beats_the_k_piece_optimum_with_double_budget_on_real_data() {
+    // The headline empirical observation of Table 1: with 2k+1 pieces the merging
+    // algorithm often achieves *smaller* error than the exact k-piece optimum.
+    let values = approx_hist::datasets::dow_dataset_with_length(4_096);
+    let k = 50;
+    let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+    let merged = construct_histogram(&q, &MergingParams::paper_defaults(k).unwrap()).unwrap();
+    let exact = baselines::exact_histogram_pruned(&values, k).unwrap();
+
+    let merged_err = merged.l2_distance_dense(&values).unwrap();
+    assert!(
+        merged_err < exact.error(),
+        "merging with 2k+1 pieces ({merged_err}) should beat the k-piece optimum ({})",
+        exact.error()
+    );
+}
+
+#[test]
+fn merging_handles_extreme_sparsity_over_huge_domains() {
+    // A 40-sparse signal over a domain of a billion points: running time and
+    // output size must not depend on the domain size.
+    let n = 1_000_000_000usize;
+    let entries: Vec<(usize, f64)> = (0..40).map(|i| (i * 24_999_983 + 7, 1.0 + (i % 5) as f64)).collect();
+    let q = SparseFunction::new(n, entries).unwrap();
+    let params = MergingParams::paper_defaults(5).unwrap();
+    let h = construct_histogram(&q, &params).unwrap();
+    assert_eq!(h.domain(), n);
+    assert!(h.num_pieces() <= params.output_pieces_bound());
+    let fast = construct_histogram_fast(&q, &params).unwrap();
+    assert!(fast.num_pieces() <= params.output_pieces_bound());
+}
