@@ -75,7 +75,10 @@ mod tests {
         }
         let fit = equal_mass_histogram(&values, 5).unwrap();
         let breaks = fit.histogram.partition().breakpoints();
-        assert!(breaks.iter().all(|&b| b >= 50), "breaks {breaks:?} should sit in the massive half");
+        assert!(
+            breaks.iter().all(|&b| b >= 50),
+            "breaks {breaks:?} should sit in the massive half"
+        );
         assert!(fit.histogram.num_pieces() <= 5);
     }
 

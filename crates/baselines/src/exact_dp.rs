@@ -8,7 +8,7 @@
 //! the backtracking table.
 //!
 //! A row-parallel variant splits each row's `i`-loop across threads with
-//! `crossbeam::scope`; the rows themselves are inherently sequential.
+//! `std::thread::scope`; the rows themselves are inherently sequential.
 
 use crate::FitResult;
 use hist_core::{flatten_dense, DensePrefix, Error, Partition, Result};
@@ -31,6 +31,7 @@ pub fn exact_histogram_parallel(values: &[f64], k: usize, threads: usize) -> Res
 
 /// The optimal squared error `opt_j²` for every piece budget `j = 1, …, k`
 /// (useful for Pareto-curve experiments). `O(n²·k)` time, `O(n)` memory.
+#[allow(clippy::needless_range_loop)]
 pub fn opt_sse_table(values: &[f64], k: usize) -> Result<Vec<f64>> {
     validate(values, k)?;
     let n = values.len();
@@ -80,6 +81,7 @@ fn validate(values: &[f64], k: usize) -> Result<()> {
     Ok(())
 }
 
+#[allow(clippy::needless_range_loop)]
 fn exact_histogram_impl(values: &[f64], k: usize, threads: usize) -> Result<FitResult> {
     validate(values, k)?;
     let n = values.len();
@@ -95,8 +97,7 @@ fn exact_histogram_impl(values: &[f64], k: usize, threads: usize) -> Result<FitR
 
     for j in 0..k {
         curr[0] = if j == 0 { 0.0 } else { f64::INFINITY };
-        let use_threads =
-            threads > 1 && n * n / threads.max(1) >= PARALLEL_MIN_CELLS_PER_THREAD;
+        let use_threads = threads > 1 && n * n / threads.max(1) >= PARALLEL_MIN_CELLS_PER_THREAD;
         if use_threads {
             compute_row_parallel(&prefix, &prev, &mut curr[1..], &mut choice[j][1..], threads);
         } else {
@@ -160,16 +161,15 @@ fn compute_row_parallel(
 ) {
     let n = curr.len();
     let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, (curr_chunk, choice_chunk)) in
             curr.chunks_mut(chunk).zip(choice.chunks_mut(chunk)).enumerate()
         {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 compute_row(prefix, prev, curr_chunk, choice_chunk, t * chunk);
             });
         }
-    })
-    .expect("DP worker threads do not panic");
+    });
 }
 
 #[cfg(test)]
@@ -244,7 +244,10 @@ mod tests {
         let seq = exact_histogram(&values, 7).unwrap();
         let par = exact_histogram_parallel(&values, 7, 4).unwrap();
         assert!((seq.sse - par.sse).abs() < 1e-12);
-        assert_eq!(seq.histogram.partition().breakpoints(), par.histogram.partition().breakpoints());
+        assert_eq!(
+            seq.histogram.partition().breakpoints(),
+            par.histogram.partition().breakpoints()
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod dual_greedy;
 pub mod equal_mass;
 pub mod equal_width;
+pub mod estimators;
 pub mod exact_dp;
 pub mod gks;
 pub mod greedy_split;
@@ -55,6 +56,7 @@ impl FitResult {
 pub use dual_greedy::{dual_histogram, greedy_sweep, DualSweep};
 pub use equal_mass::equal_mass_histogram;
 pub use equal_width::equal_width_histogram;
+pub use estimators::{DualGreedy, EqualMass, EqualWidth, ExactDp, GksQuantile, GreedySplit};
 pub use exact_dp::{exact_histogram, exact_histogram_parallel, opt_sse, opt_sse_table};
 pub use gks::approx_dp;
 pub use greedy_split::greedy_split_histogram;

@@ -1,12 +1,11 @@
-//! Benchmark of the baseline algorithms at a fixed input size (`dow`
+//! Benchmark of the baseline estimators at a fixed input size (`dow`
 //! truncated to 2048 points, `k = 20`): the naive exact DP, the pruned exact
 //! DP, the dual greedy, the AHIST-style approximate DP, and the trivial
-//! baselines. Together with the `merging` group this reproduces the ordering
-//! merging ≪ dual ≪ gks ≪ exactdp of the paper's timing columns.
-
+//! baselines — all through the unified `Estimator` API.
 
 // Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
 #![allow(missing_docs)]
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal};
 use criterion::{criterion_group, criterion_main, Criterion};
 use hist_baselines as baselines;
 use hist_datasets as datasets;
@@ -15,39 +14,33 @@ use std::time::Duration;
 
 fn baseline_algorithms(c: &mut Criterion) {
     let values = datasets::dow_dataset_with_length(2_048);
-    let k = 20usize;
+    let signal = Signal::from_slice(&values).expect("finite signal");
+    let k = 20;
+    let builder = EstimatorBuilder::new(k);
 
     let mut group = c.benchmark_group("baselines_dow2048_k20");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
-
-    group.bench_function("exactdp_naive", |b| {
-        b.iter(|| black_box(baselines::exact_histogram(&values, k).expect("valid input")))
-    });
+    for kind in [
+        EstimatorKind::ExactDpNaive,
+        EstimatorKind::ExactDp,
+        EstimatorKind::Dual,
+        EstimatorKind::Gks,
+        EstimatorKind::EqualWidth,
+        EstimatorKind::EqualMass,
+        EstimatorKind::GreedySplit,
+    ] {
+        let estimator = kind.build(builder);
+        group.bench_function(estimator.name(), |b| {
+            b.iter(|| black_box(estimator.fit(&signal).expect("valid input")))
+        });
+    }
+    // The row-parallel exact DP has no estimator adapter (thread count is an
+    // implementation knob, not an algorithm); keep its timing for comparison.
     group.bench_function("exactdp_naive_parallel", |b| {
-        b.iter(|| {
-            black_box(baselines::exact_histogram_parallel(&values, k, 4).expect("valid input"))
-        })
-    });
-    group.bench_function("exactdp_pruned", |b| {
-        b.iter(|| black_box(baselines::exact_histogram_pruned(&values, k).expect("valid input")))
-    });
-    group.bench_function("dual_greedy", |b| {
-        b.iter(|| black_box(baselines::dual_histogram(&values, k).expect("valid input")))
-    });
-    group.bench_function("gks_approx_dp", |b| {
-        b.iter(|| black_box(baselines::approx_dp(&values, k, 0.1).expect("valid input")))
-    });
-    group.bench_function("equal_width", |b| {
-        b.iter(|| black_box(baselines::equal_width_histogram(&values, k).expect("valid input")))
-    });
-    group.bench_function("equal_mass", |b| {
-        b.iter(|| black_box(baselines::equal_mass_histogram(&values, k).expect("valid input")))
-    });
-    group.bench_function("greedy_split", |b| {
-        b.iter(|| black_box(baselines::greedy_split_histogram(&values, k).expect("valid input")))
+        b.iter(|| black_box(baselines::exact_histogram_parallel(&values, k, 4).expect("valid")))
     });
     group.finish();
 }

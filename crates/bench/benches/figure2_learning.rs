@@ -1,13 +1,14 @@
 //! Criterion benchmark behind Figure 2: the cost of learning a histogram from
-//! `m = 10000` samples — sampling, building the empirical distribution, and
-//! post-processing with `exactdp`, `merging` or `merging2`.
-
+//! `m = 10000` samples — sampling, building the empirical signal, and
+//! post-processing with `exactdp`, `merging` or `merging2` through the unified
+//! `Estimator` API.
 
 // Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
 #![allow(missing_docs)]
+use approx_hist::{Estimator, Signal};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hist_bench::learning::{figure2_datasets, LearningAlgorithm};
-use hist_sampling::{AliasSampler, EmpiricalDistribution};
+use hist_bench::learning::{figure2_datasets, figure2_estimators};
+use hist_sampling::AliasSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -26,22 +27,18 @@ fn learning_pipeline(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let samples = sampler.sample_many(m, &mut rng);
         let domain = dataset.distribution.pmf().len();
-        let empirical = EmpiricalDistribution::from_samples(domain, &samples)
-            .expect("non-empty samples")
-            .to_sparse();
+        let empirical = Signal::from_samples(domain, &samples).expect("non-empty samples");
 
         // Post-processing stage (the part the paper's Theorem 2.1 bounds by O(m)).
-        for algorithm in
-            [LearningAlgorithm::ExactDp, LearningAlgorithm::Merging, LearningAlgorithm::Merging2]
-        {
+        for estimator in figure2_estimators(dataset.k) {
             group.bench_with_input(
-                BenchmarkId::new(format!("postprocess/{}", algorithm.name()), &dataset.name),
+                BenchmarkId::new(format!("postprocess/{}", estimator.name()), &dataset.name),
                 &empirical,
-                |b, empirical| b.iter(|| black_box(algorithm.learn(empirical, dataset.k))),
+                |b, empirical| b.iter(|| black_box(estimator.fit(empirical).expect("valid"))),
             );
         }
 
-        // Sampling stage (alias sampling + empirical distribution construction).
+        // Sampling stage (alias sampling + empirical signal construction).
         group.bench_with_input(
             BenchmarkId::new("sample-and-count", &dataset.name),
             &domain,
@@ -49,10 +46,7 @@ fn learning_pipeline(c: &mut Criterion) {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(7);
                     let samples = sampler.sample_many(m, &mut rng);
-                    black_box(
-                        EmpiricalDistribution::from_samples(domain, &samples)
-                            .expect("non-empty samples"),
-                    )
+                    black_box(Signal::from_samples(domain, &samples).expect("non-empty samples"))
                 })
             },
         );

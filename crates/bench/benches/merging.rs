@@ -1,22 +1,18 @@
-//! Scaling benchmark for the merging algorithms: construction time of
+//! Scaling benchmark for the merging estimators: construction time of
 //! Algorithm 1, `fastmerging` and Algorithm 2 as a function of the input
 //! sparsity `s` — the paper's claim is linear scaling independent of the
 //! domain size `n`.
 
-
 // Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
 #![allow(missing_docs)]
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal, SparseFunction};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hist_core::{
-    construct_hierarchical_histogram, construct_histogram, construct_histogram_fast,
-    MergingParams, SparseFunction,
-};
 use std::hint::black_box;
 use std::time::Duration;
 
 /// A deterministic pseudo-random sparse signal with `s` nonzeros spread over a
 /// domain 1000× larger.
-fn sparse_signal(s: usize) -> SparseFunction {
+fn sparse_signal(s: usize) -> Signal {
     let domain = s * 1_000;
     let mut seed = 0xC0FFEEu64;
     let mut lcg = move || {
@@ -24,7 +20,7 @@ fn sparse_signal(s: usize) -> SparseFunction {
         (seed >> 11) as f64 / (1u64 << 53) as f64
     };
     let entries: Vec<(usize, f64)> = (0..s).map(|i| (i * 1_000 + 17, 1.0 + lcg() * 9.0)).collect();
-    SparseFunction::new(domain, entries).expect("sorted entries")
+    Signal::from_sparse(SparseFunction::new(domain, entries).expect("sorted entries"))
 }
 
 fn merging_scaling(c: &mut Criterion) {
@@ -33,20 +29,19 @@ fn merging_scaling(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
-    let params = MergingParams::paper_defaults(10).expect("k >= 1");
+    let builder = EstimatorBuilder::new(10);
 
     for s in [1_000usize, 10_000, 100_000] {
-        let q = sparse_signal(s);
+        let signal = sparse_signal(s);
         group.throughput(Throughput::Elements(s as u64));
-        group.bench_with_input(BenchmarkId::new("merging", s), &q, |b, q| {
-            b.iter(|| black_box(construct_histogram(q, &params).expect("valid input")))
-        });
-        group.bench_with_input(BenchmarkId::new("fastmerging", s), &q, |b, q| {
-            b.iter(|| black_box(construct_histogram_fast(q, &params).expect("valid input")))
-        });
-        group.bench_with_input(BenchmarkId::new("hierarchical", s), &q, |b, q| {
-            b.iter(|| black_box(construct_hierarchical_histogram(q).expect("valid input")))
-        });
+        for kind in
+            [EstimatorKind::Merging, EstimatorKind::FastMerging, EstimatorKind::Hierarchical]
+        {
+            let estimator = kind.build(builder);
+            group.bench_with_input(BenchmarkId::new(estimator.name(), s), &signal, |b, signal| {
+                b.iter(|| black_box(estimator.fit(signal).expect("valid input")))
+            });
+        }
     }
     group.finish();
 }

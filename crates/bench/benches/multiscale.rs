@@ -1,13 +1,10 @@
-//! Benchmark of the multi-scale algorithm (Theorem 2.2): one hierarchical run
+//! Benchmark of the multi-scale estimator (Theorem 2.2): one hierarchical run
 //! versus re-running Algorithm 1 separately for several values of `k`.
-
 
 // Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
 #![allow(missing_docs)]
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hist_core::{
-    construct_hierarchical_histogram, construct_histogram, MergingParams, SparseFunction,
-};
 use hist_datasets as datasets;
 use std::hint::black_box;
 use std::time::Duration;
@@ -22,16 +19,19 @@ fn multiscale_vs_repeated(c: &mut Criterion) {
 
     for n in [4_096usize, 16_384] {
         let values = datasets::dow_dataset_with_length(n);
-        let q = SparseFunction::from_dense_keep_zeros(&values).expect("finite signal");
+        let signal = Signal::from_slice(&values).expect("finite signal");
 
-        group.bench_with_input(BenchmarkId::new("hierarchical_once", n), &q, |b, q| {
-            b.iter(|| black_box(construct_hierarchical_histogram(q).expect("valid input")))
+        let hierarchical = EstimatorKind::Hierarchical.build(EstimatorBuilder::new(50));
+        group.bench_with_input(BenchmarkId::new("hierarchical_once", n), &signal, |b, signal| {
+            b.iter(|| black_box(hierarchical.fit(signal).expect("valid input")))
         });
-        group.bench_with_input(BenchmarkId::new("algorithm1_per_k", n), &q, |b, q| {
+
+        let per_k: Vec<Box<dyn Estimator>> =
+            ks.iter().map(|&k| EstimatorKind::Merging.build(EstimatorBuilder::new(k))).collect();
+        group.bench_with_input(BenchmarkId::new("algorithm1_per_k", n), &signal, |b, signal| {
             b.iter(|| {
-                for &k in &ks {
-                    let params = MergingParams::paper_defaults(k).expect("k >= 1");
-                    black_box(construct_histogram(q, &params).expect("valid input"));
+                for estimator in &per_k {
+                    black_box(estimator.fit(signal).expect("valid input"));
                 }
             })
         });

@@ -1,14 +1,14 @@
 //! Benchmarks of the piecewise-polynomial machinery (Section 4): the
 //! `FitPoly_d` projection oracle as a function of the degree, and the full
-//! piecewise-polynomial construction on the `poly` data set.
-
+//! piecewise-polynomial estimator on the `poly` data set.
 
 // Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
 #![allow(missing_docs)]
+use approx_hist::{Estimator, EstimatorBuilder, PiecewisePoly, Signal};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hist_core::{Interval, MergingParams, SparseFunction};
+use hist_core::{Interval, SparseFunction};
 use hist_datasets as datasets;
-use hist_poly::{fit_piecewise_polynomial, fit_polynomial, least_squares_fit};
+use hist_poly::{fit_polynomial, least_squares_fit};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -36,8 +36,7 @@ fn projection_oracle(c: &mut Criterion) {
 
 fn piecewise_construction(c: &mut Criterion) {
     let values = datasets::poly_dataset();
-    let q = SparseFunction::from_dense_keep_zeros(&values).expect("finite signal");
-    let params = MergingParams::paper_defaults(10).expect("k >= 1");
+    let signal = Signal::from_slice(&values).expect("finite signal");
 
     let mut group = c.benchmark_group("piecewise_polynomial");
     group
@@ -45,8 +44,9 @@ fn piecewise_construction(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500));
     for degree in [0usize, 1, 2, 3] {
-        group.bench_with_input(BenchmarkId::new("construct", degree), &degree, |b, &d| {
-            b.iter(|| black_box(fit_piecewise_polynomial(&q, &params, d).expect("valid input")))
+        let estimator = PiecewisePoly::new(EstimatorBuilder::new(10).degree(degree));
+        group.bench_with_input(BenchmarkId::new("construct", degree), &signal, |b, signal| {
+            b.iter(|| black_box(estimator.fit(signal).expect("valid input")))
         });
     }
     group.finish();

@@ -1,16 +1,13 @@
 //! Benchmarks of the sampling substrate: alias-table construction, drawing
-//! samples, building the empirical distribution, and the end-to-end learner of
-//! Theorem 2.1 (sample + merge).
-
+//! samples, building the empirical signal, and the end-to-end learner of
+//! Theorem 2.1 (sample + merge) through the unified `SampleLearner` estimator.
 
 // Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
 #![allow(missing_docs)]
+use approx_hist::{Estimator, EstimatorBuilder, SampleLearner, Signal};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hist_datasets as datasets;
-use hist_sampling::{
-    learn_histogram_with_sample_size, AliasSampler, EmpiricalDistribution, InverseCdfSampler,
-    LearnerConfig,
-};
+use hist_sampling::{AliasSampler, InverseCdfSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -47,18 +44,14 @@ fn samplers(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let samples = alias.sample_many(m, &mut rng);
     group.bench_function("empirical/build100k", |b| {
-        b.iter(|| {
-            black_box(
-                EmpiricalDistribution::from_samples(1_000, &samples).expect("non-empty samples"),
-            )
-        })
+        b.iter(|| black_box(Signal::from_samples(1_000, &samples).expect("non-empty samples")))
     });
     group.finish();
 }
 
 fn end_to_end_learner(c: &mut Criterion) {
     let p = datasets::subsample_to_distribution(&datasets::dow_dataset(), 16).expect("valid");
-    let config = LearnerConfig::paper(50, 0.01, 0.1);
+    let weights = Signal::from_slice(p.pmf()).expect("valid pmf");
 
     let mut group = c.benchmark_group("theorem_2_1_learner");
     group
@@ -67,14 +60,10 @@ fn end_to_end_learner(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
     for m in [1_000usize, 10_000, 100_000] {
         group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::new("sample_and_merge", m), &m, |b, &m| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(11);
-                black_box(
-                    learn_histogram_with_sample_size(&p, m, &config, &mut rng)
-                        .expect("valid distribution"),
-                )
-            })
+        let learner =
+            SampleLearner::new(EstimatorBuilder::new(50).epsilon(0.01).samples(m).seed(11));
+        group.bench_with_input(BenchmarkId::new("sample_and_merge", m), &weights, |b, weights| {
+            b.iter(|| black_box(learner.fit(weights).expect("valid distribution")))
         });
     }
     group.finish();

@@ -1,15 +1,16 @@
 //! Criterion benchmark behind Table 1: construction time of every offline
-//! algorithm on the paper's three data sets.
+//! estimator on the paper's three data sets, dispatched through
+//! `&dyn Estimator`.
 //!
 //! The naive `O(n²k)` DP is benchmarked on `hist` only (it needs minutes on the
 //! full `dow` series — run the `table1` binary with `--paper-scale --naive-dp`
 //! to reproduce that number); the pruned exact DP covers the larger sets.
 
-
 // Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
 #![allow(missing_docs)]
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hist_bench::offline::{table1_datasets, OfflineAlgorithm};
+use hist_bench::offline::table1_datasets;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -21,31 +22,34 @@ fn offline_algorithms(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500));
 
     for spec in table1_datasets(false) {
-        let algorithms: Vec<OfflineAlgorithm> = match spec.name.as_str() {
+        let kinds: Vec<EstimatorKind> = match spec.name.as_str() {
             // The quadratic DP is affordable only on the smallest data set.
             "hist" => vec![
-                OfflineAlgorithm::ExactDp,
-                OfflineAlgorithm::ExactDpPruned,
-                OfflineAlgorithm::Merging,
-                OfflineAlgorithm::Merging2,
-                OfflineAlgorithm::FastMerging,
-                OfflineAlgorithm::FastMerging2,
-                OfflineAlgorithm::Dual,
+                EstimatorKind::ExactDpNaive,
+                EstimatorKind::ExactDp,
+                EstimatorKind::Merging,
+                EstimatorKind::Merging2,
+                EstimatorKind::FastMerging,
+                EstimatorKind::FastMerging2,
+                EstimatorKind::Dual,
             ],
             _ => vec![
-                OfflineAlgorithm::ExactDpPruned,
-                OfflineAlgorithm::Merging,
-                OfflineAlgorithm::Merging2,
-                OfflineAlgorithm::FastMerging,
-                OfflineAlgorithm::FastMerging2,
-                OfflineAlgorithm::Dual,
+                EstimatorKind::ExactDp,
+                EstimatorKind::Merging,
+                EstimatorKind::Merging2,
+                EstimatorKind::FastMerging,
+                EstimatorKind::FastMerging2,
+                EstimatorKind::Dual,
             ],
         };
-        for algorithm in algorithms {
+        let signal = Signal::from_slice(&spec.values).expect("finite signal");
+        let builder = EstimatorBuilder::new(spec.k);
+        for kind in kinds {
+            let estimator = kind.build(builder);
             group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), &spec.name),
-                &spec,
-                |b, spec| b.iter(|| black_box(algorithm.run(&spec.values, spec.k))),
+                BenchmarkId::new(estimator.name(), &spec.name),
+                &signal,
+                |b, signal| b.iter(|| black_box(estimator.fit(signal).expect("valid input"))),
             );
         }
     }

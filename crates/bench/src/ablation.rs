@@ -8,7 +8,7 @@
 //! * linear-time selection vs sort-based selection inside the merging loop.
 
 use crate::timing::time_algorithm;
-use hist_baselines as baselines;
+use approx_hist::{Estimator, EstimatorBuilder, ExactDp, Signal};
 use hist_core::{
     construct_histogram_fast_with_report, construct_histogram_with_report, MergingParams,
     SparseFunction,
@@ -115,19 +115,31 @@ pub struct ExactDpRow {
     pub time_ms: f64,
 }
 
-/// Compares the naive `O(n²k)` DP against the pruned DP (both exact).
+/// Compares the naive `O(n²k)` DP against the pruned DP (both exact), through
+/// the unified [`ExactDp`] estimator.
 pub fn exact_dp_comparison(values: &[f64], k: usize) -> Vec<ExactDpRow> {
     let n = values.len();
+    let signal = Signal::from_slice(values).expect("finite signal");
+    let builder = EstimatorBuilder::new(k);
     let (naive, naive_seconds) =
-        time_algorithm(|| baselines::exact_histogram(values, k).expect("valid"));
+        time_algorithm(|| ExactDp::naive(builder).fit(&signal).expect("valid"));
     let (pruned, pruned_seconds) =
-        time_algorithm(|| baselines::exact_histogram_pruned(values, k).expect("valid"));
+        time_algorithm(|| ExactDp::new(builder).fit(&signal).expect("valid"));
+    let sse = |synopsis: &approx_hist::Synopsis| {
+        let err = synopsis.l2_error(&signal).expect("same domain");
+        err * err
+    };
     vec![
-        ExactDpRow { implementation: "naive".into(), n, sse: naive.sse, time_ms: naive_seconds * 1e3 },
+        ExactDpRow {
+            implementation: "naive".into(),
+            n,
+            sse: sse(&naive),
+            time_ms: naive_seconds * 1e3,
+        },
         ExactDpRow {
             implementation: "pruned".into(),
             n,
-            sse: pruned.sse,
+            sse: sse(&pruned),
             time_ms: pruned_seconds * 1e3,
         },
     ]

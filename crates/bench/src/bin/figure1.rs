@@ -33,11 +33,8 @@ fn main() {
         )
         .expect("writing the summary CSV succeeds");
 
-        let rows: Vec<Vec<String>> = values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| vec![i.to_string(), format!("{v}")])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            values.iter().enumerate().map(|(i, v)| vec![i.to_string(), format!("{v}")]).collect();
         let path = hist_bench::report::write_csv(
             &format!("figure1_{name}.csv"),
             &["index", "value"],

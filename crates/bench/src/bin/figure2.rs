@@ -22,11 +22,8 @@ fn main() {
         .and_then(|idx| args.get(idx + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(if quick { 5 } else { 20 });
-    let sample_sizes: Vec<usize> = if quick {
-        vec![1_000, 4_000, 10_000]
-    } else {
-        (1..=10).map(|i| i * 1_000).collect()
-    };
+    let sample_sizes: Vec<usize> =
+        if quick { vec![1_000, 4_000, 10_000] } else { (1..=10).map(|i| i * 1_000).collect() };
 
     println!("Figure 2 — learning from samples ({trials} trials per point)");
     for experiment in figure2(&sample_sizes, trials, 2015) {

@@ -7,7 +7,9 @@
 //! cargo run --release -p hist-bench --bin poly_experiment
 //! ```
 
-use hist_bench::polyexp::{default_budgets, default_degrees, poly_experiment, poly_experiment_datasets};
+use hist_bench::polyexp::{
+    default_budgets, default_degrees, poly_experiment, poly_experiment_datasets,
+};
 use hist_bench::report::{emit, fmt_float};
 
 fn main() {

@@ -1,6 +1,7 @@
 //! Regenerates Table 1 of the paper: offline histogram approximation on the
 //! `hist`, `poly` and `dow` data sets with `exactdp`, `merging`, `merging2`,
-//! `fastmerging`, `fastmerging2` and `dual`.
+//! `fastmerging`, `fastmerging2` and `dual`, all dispatched through the
+//! unified `Estimator` trait.
 //!
 //! Usage:
 //! ```text
@@ -12,7 +13,9 @@
 //! `--all-baselines` adds the extra baselines (`gks`, equi-width, equi-depth,
 //! greedy splitting) to every data set.
 
-use hist_bench::offline::{run_offline, table1_datasets, OfflineAlgorithm};
+use hist_bench::offline::{
+    extra_baseline_estimators, run_offline, table1_datasets, table1_estimators,
+};
 use hist_bench::report::{emit, fmt_float};
 
 fn main() {
@@ -30,16 +33,11 @@ fn main() {
 
     for spec in table1_datasets(paper_scale) {
         let naive = naive_dp || spec.values.len() <= 4_096;
-        let mut algorithms = OfflineAlgorithm::table1_set(naive);
+        let mut estimators = table1_estimators(spec.k, naive);
         if all_baselines {
-            algorithms.extend([
-                OfflineAlgorithm::Gks,
-                OfflineAlgorithm::EqualWidth,
-                OfflineAlgorithm::EqualMass,
-                OfflineAlgorithm::GreedySplit,
-            ]);
+            estimators.extend(extra_baseline_estimators(spec.k));
         }
-        let results = run_offline(&spec.values, spec.k, &algorithms);
+        let results = run_offline(&spec.values, &estimators);
         let rows: Vec<Vec<String>> = results
             .iter()
             .map(|r| {

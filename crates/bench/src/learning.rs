@@ -1,71 +1,29 @@
-//! The learning-from-samples experiment (Figure 2 of the paper).
+//! The learning-from-samples experiment (Figure 2 of the paper), driven
+//! through the unified [`Estimator`] API.
 //!
 //! For each learning data set (`hist'`, `poly'`, `dow'`) and each sample size
-//! `m`, we draw `m` samples, learn a histogram with `exactdp` (exact V-optimal
-//! fit to the empirical distribution), `merging` and `merging2`, and record the
-//! mean and standard deviation of the `ℓ₂` error to the *true* distribution
-//! over a number of independent trials, together with the `opt_k` reference
-//! line (the error of the best `k`-histogram fit to the true distribution).
+//! `m`, we draw `m` samples, wrap them as a [`Signal`], fit a histogram with
+//! `exactdp` (exact V-optimal fit to the empirical distribution), `merging`
+//! and `merging2`, and record the mean and standard deviation of the `ℓ₂`
+//! error to the *true* distribution over a number of independent trials,
+//! together with the `opt_k` reference line (the error of the best
+//! `k`-histogram fit to the true distribution).
 
-use hist_baselines as baselines;
-use hist_core::{DiscreteFunction, Distribution, Histogram, MergingParams, SparseFunction};
+use approx_hist::{
+    DiscreteFunction, Distribution, Estimator, EstimatorBuilder, EstimatorKind, Signal, Synopsis,
+};
 use hist_datasets as datasets;
-use hist_sampling::{AliasSampler, EmpiricalDistribution};
+use hist_sampling::AliasSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// The learning algorithms compared in Figure 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LearningAlgorithm {
-    /// Exact V-optimal `k`-histogram of the empirical distribution.
-    ExactDp,
-    /// Algorithm 1 on the empirical distribution (`2k + 1` pieces).
-    Merging,
-    /// Algorithm 1 with `k/2` (`k + 1` pieces).
-    Merging2,
-    /// The `fastmerging` variant (extension; not in the paper's Figure 2).
-    FastMerging,
-}
-
-impl LearningAlgorithm {
-    /// The algorithm's display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            LearningAlgorithm::ExactDp => "exactdp",
-            LearningAlgorithm::Merging => "merging",
-            LearningAlgorithm::Merging2 => "merging2",
-            LearningAlgorithm::FastMerging => "fastmerging",
-        }
-    }
-
-    /// The three algorithms plotted in the paper's Figure 2.
-    pub fn figure2_set() -> Vec<LearningAlgorithm> {
-        vec![LearningAlgorithm::ExactDp, LearningAlgorithm::Merging, LearningAlgorithm::Merging2]
-    }
-
-    /// Learns a histogram from the empirical distribution of a sample multiset.
-    pub fn learn(&self, empirical: &SparseFunction, k: usize) -> Histogram {
-        match self {
-            LearningAlgorithm::ExactDp => {
-                // The pruned DP computes the identical exact optimum at a fraction
-                // of the cost; the empirical support has at most m entries.
-                let dense = empirical.to_dense();
-                baselines::exact_histogram_pruned(&dense, k).expect("valid empirical").histogram
-            }
-            LearningAlgorithm::Merging => {
-                let params = MergingParams::paper_defaults(k).expect("k >= 1");
-                hist_core::construct_histogram(empirical, &params).expect("valid empirical")
-            }
-            LearningAlgorithm::Merging2 => {
-                let params = MergingParams::paper_defaults((k / 2).max(1)).expect("k >= 1");
-                hist_core::construct_histogram(empirical, &params).expect("valid empirical")
-            }
-            LearningAlgorithm::FastMerging => {
-                let params = MergingParams::paper_defaults(k).expect("k >= 1");
-                hist_core::construct_histogram_fast(empirical, &params).expect("valid empirical")
-            }
-        }
-    }
+/// The three estimators plotted in the paper's Figure 2.
+pub fn figure2_estimators(k: usize) -> Vec<Box<dyn Estimator>> {
+    let builder = EstimatorBuilder::new(k);
+    [EstimatorKind::ExactDp, EstimatorKind::Merging, EstimatorKind::Merging2]
+        .into_iter()
+        .map(|kind| kind.build(builder))
+        .collect()
 }
 
 /// One learning data set: a true distribution plus its piece budget.
@@ -103,10 +61,10 @@ pub struct LearningPoint {
     pub std_error: f64,
 }
 
-/// A learning curve for one algorithm on one data set.
+/// A learning curve for one estimator on one data set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LearningCurve {
-    /// Algorithm name.
+    /// Estimator name.
     pub algorithm: String,
     /// Curve points, one per sample size.
     pub points: Vec<LearningPoint>,
@@ -120,57 +78,60 @@ pub struct LearningExperiment {
     /// Error of the best `k`-histogram fit to the *true* distribution
     /// (the `opt_k` reference line of Figure 2).
     pub opt_k: f64,
-    /// One curve per algorithm.
+    /// One curve per estimator.
     pub curves: Vec<LearningCurve>,
 }
 
-/// `ℓ₂` distance of a learned histogram to the true distribution.
-pub fn error_to_distribution(h: &Histogram, p: &Distribution) -> f64 {
-    h.to_dense()
-        .iter()
-        .zip(p.pmf())
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt()
+/// `ℓ₂` distance of a fitted synopsis to the true distribution.
+pub fn error_to_distribution(synopsis: &Synopsis, p: &Distribution) -> f64 {
+    synopsis.to_dense().iter().zip(p.pmf()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+}
+
+/// The `opt_k` reference line: the error of the best `k`-histogram fit to the
+/// true distribution, computed through the exact-DP estimator.
+pub fn opt_k_reference(p: &Distribution, k: usize) -> f64 {
+    let signal = Signal::from_slice(p.pmf()).expect("valid pmf");
+    EstimatorKind::ExactDp
+        .build(EstimatorBuilder::new(k))
+        .fit(&signal)
+        .expect("valid distribution")
+        .l2_error(&signal)
+        .expect("same domain")
 }
 
 /// Runs the Figure 2 experiment on one data set.
 pub fn run_learning_experiment(
     dataset: &LearningDataset,
-    algorithms: &[LearningAlgorithm],
+    estimators: &[Box<dyn Estimator>],
     sample_sizes: &[usize],
     trials: usize,
     seed: u64,
 ) -> LearningExperiment {
     let sampler = AliasSampler::new(&dataset.distribution).expect("valid distribution");
-    let opt_k = baselines::exact_histogram_pruned(dataset.distribution.pmf(), dataset.k)
-        .expect("valid distribution")
-        .sse
-        .sqrt();
+    let opt_k = opt_k_reference(&dataset.distribution, dataset.k);
 
-    let mut curves: Vec<LearningCurve> = algorithms
+    let mut curves: Vec<LearningCurve> = estimators
         .iter()
-        .map(|a| LearningCurve { algorithm: a.name().to_string(), points: Vec::new() })
+        .map(|e| LearningCurve { algorithm: e.name().to_string(), points: Vec::new() })
         .collect();
 
     for &m in sample_sizes {
-        let mut errors: Vec<Vec<f64>> = vec![Vec::with_capacity(trials); algorithms.len()];
+        let mut errors: Vec<Vec<f64>> = vec![Vec::with_capacity(trials); estimators.len()];
         for trial in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed ^ (m as u64) << 20 ^ trial as u64);
             let samples = sampler.sample_many(m, &mut rng);
-            let empirical = EmpiricalDistribution::from_samples(dataset.distribution.domain(), &samples)
-                .expect("non-empty sample set")
-                .to_sparse();
-            for (a_idx, algorithm) in algorithms.iter().enumerate() {
-                let h = algorithm.learn(&empirical, dataset.k);
-                errors[a_idx].push(error_to_distribution(&h, &dataset.distribution));
+            let signal = Signal::from_samples(dataset.distribution.domain(), &samples)
+                .expect("non-empty sample set");
+            for (e_idx, estimator) in estimators.iter().enumerate() {
+                let synopsis = estimator.fit(&signal).expect("valid empirical signal");
+                errors[e_idx].push(error_to_distribution(&synopsis, &dataset.distribution));
             }
         }
-        for (a_idx, algorithm_errors) in errors.iter().enumerate() {
-            let mean = algorithm_errors.iter().sum::<f64>() / trials as f64;
-            let var = algorithm_errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
+        for (e_idx, estimator_errors) in errors.iter().enumerate() {
+            let mean = estimator_errors.iter().sum::<f64>() / trials as f64;
+            let var = estimator_errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
                 / (trials.max(2) - 1) as f64;
-            curves[a_idx].points.push(LearningPoint {
+            curves[e_idx].points.push(LearningPoint {
                 samples: m,
                 mean_error: mean,
                 std_error: var.sqrt(),
@@ -181,15 +142,15 @@ pub fn run_learning_experiment(
     LearningExperiment { dataset: dataset.name.clone(), opt_k, curves }
 }
 
-/// The full Figure 2: all data sets, all algorithms, the requested sample sizes
-/// and trial count.
+/// The full Figure 2: all data sets, all estimators, the requested sample
+/// sizes and trial count.
 pub fn figure2(sample_sizes: &[usize], trials: usize, seed: u64) -> Vec<LearningExperiment> {
     figure2_datasets()
         .iter()
         .map(|dataset| {
             run_learning_experiment(
                 dataset,
-                &LearningAlgorithm::figure2_set(),
+                &figure2_estimators(dataset.k),
                 sample_sizes,
                 trials,
                 seed,
@@ -205,13 +166,10 @@ mod tests {
     #[test]
     fn learning_curves_decrease_towards_opt_k() {
         let dataset = &figure2_datasets()[0]; // hist'
-        let experiment = run_learning_experiment(
-            dataset,
-            &[LearningAlgorithm::Merging, LearningAlgorithm::Merging2],
-            &[500, 4_000],
-            4,
-            7,
-        );
+        let builder = EstimatorBuilder::new(dataset.k);
+        let estimators: Vec<Box<dyn Estimator>> =
+            vec![EstimatorKind::Merging.build(builder), EstimatorKind::Merging2.build(builder)];
+        let experiment = run_learning_experiment(dataset, &estimators, &[500, 4_000], 4, 7);
         assert_eq!(experiment.curves.len(), 2);
         for curve in &experiment.curves {
             assert_eq!(curve.points.len(), 2);
@@ -243,8 +201,9 @@ mod tests {
     #[test]
     fn exactdp_curve_is_produced_and_finite() {
         let dataset = &figure2_datasets()[0];
-        let experiment =
-            run_learning_experiment(dataset, &[LearningAlgorithm::ExactDp], &[1_000], 2, 3);
+        let estimators: Vec<Box<dyn Estimator>> =
+            vec![EstimatorKind::ExactDp.build(EstimatorBuilder::new(dataset.k))];
+        let experiment = run_learning_experiment(dataset, &estimators, &[1_000], 2, 3);
         let point = &experiment.curves[0].points[0];
         assert!(point.mean_error.is_finite() && point.mean_error > 0.0);
         assert!(point.std_error.is_finite());

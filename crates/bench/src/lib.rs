@@ -23,5 +23,8 @@ pub mod polyexp;
 pub mod report;
 pub mod timing;
 
-pub use offline::{table1, table1_datasets, OfflineAlgorithm, OfflineResult};
+pub use offline::{
+    extra_baseline_estimators, run_offline, table1, table1_datasets, table1_estimators,
+    OfflineResult,
+};
 pub use timing::time_algorithm;

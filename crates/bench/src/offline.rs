@@ -1,129 +1,48 @@
 //! The offline histogram-approximation experiment (Table 1 of the paper) and
-//! the Figure 1 data-set dump.
+//! the Figure 1 data-set dump, driven entirely through the unified
+//! [`Estimator`] API.
 //!
 //! For each data set (`hist` with `k = 10`, `poly` with `k = 10`, `dow` with
-//! `k = 50`) every algorithm constructs a histogram from the dense signal; we
-//! record its `ℓ₂` error, the error relative to the exact optimum, its wall
-//! clock time, and the time relative to the fastest merging variant — the same
-//! four rows the paper reports.
+//! `k = 50`) every estimator fits the same [`Signal`]; we record its `ℓ₂`
+//! error, the error relative to the exact optimum, its wall clock time, and
+//! the time relative to the fastest algorithm — the same four rows the paper
+//! reports.
 
 use crate::timing::time_algorithm;
-use hist_baselines as baselines;
-use hist_core::{
-    construct_histogram_dense, construct_histogram_fast, Histogram, MergingParams, SparseFunction,
-};
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal};
 use hist_datasets as datasets;
 
-/// The algorithms of the paper's Table 1 plus the extra baselines this
-/// reproduction ships.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum OfflineAlgorithm {
-    /// Exact V-optimal DP of [JKM+98] — `exactdp`.
-    ExactDp,
-    /// Exact V-optimal optimum via the pruned DP (identical error, much faster).
-    ExactDpPruned,
-    /// Algorithm 1 with `δ = 1000`, `γ = 1` (≈ `2k + 1` pieces) — `merging`.
-    Merging,
-    /// Algorithm 1 invoked with `k/2` (≈ `k + 1` pieces) — `merging2`.
-    Merging2,
-    /// Aggressive group merging — `fastmerging`.
-    FastMerging,
-    /// Aggressive group merging invoked with `k/2` — `fastmerging2`.
-    FastMerging2,
-    /// Dual greedy of [JKM+98] with binary search over the error — `dual`.
-    Dual,
-    /// Compressed-row approximate DP in the spirit of AHIST [GKS06].
-    Gks,
-    /// Equi-width buckets (sanity floor).
-    EqualWidth,
-    /// Equi-depth buckets (sanity floor).
-    EqualMass,
-    /// Top-down greedy splitting (ablation partner of bottom-up merging).
-    GreedySplit,
+/// The six estimators of the paper's Table 1 (with the pruned exact DP
+/// standing in for `exactdp` when `use_naive_exact` is off — same optimum,
+/// practical running time at `n = 16384`).
+pub fn table1_estimators(k: usize, use_naive_exact: bool) -> Vec<Box<dyn Estimator>> {
+    let builder = EstimatorBuilder::new(k);
+    let exact = if use_naive_exact { EstimatorKind::ExactDpNaive } else { EstimatorKind::ExactDp };
+    [
+        exact,
+        EstimatorKind::Merging,
+        EstimatorKind::Merging2,
+        EstimatorKind::FastMerging,
+        EstimatorKind::FastMerging2,
+        EstimatorKind::Dual,
+    ]
+    .into_iter()
+    .map(|kind| kind.build(builder))
+    .collect()
 }
 
-impl OfflineAlgorithm {
-    /// The algorithm's name as used in the paper / the output tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            OfflineAlgorithm::ExactDp => "exactdp",
-            OfflineAlgorithm::ExactDpPruned => "exactdp-pruned",
-            OfflineAlgorithm::Merging => "merging",
-            OfflineAlgorithm::Merging2 => "merging2",
-            OfflineAlgorithm::FastMerging => "fastmerging",
-            OfflineAlgorithm::FastMerging2 => "fastmerging2",
-            OfflineAlgorithm::Dual => "dual",
-            OfflineAlgorithm::Gks => "gks",
-            OfflineAlgorithm::EqualWidth => "equalwidth",
-            OfflineAlgorithm::EqualMass => "equalmass",
-            OfflineAlgorithm::GreedySplit => "greedysplit",
-        }
-    }
-
-    /// The six algorithms of the paper's Table 1 (with the pruned exact DP
-    /// standing in for `exactdp` when `paper_scale` is off — same optimum,
-    /// practical running time at `n = 16384`).
-    pub fn table1_set(use_naive_exact: bool) -> Vec<OfflineAlgorithm> {
-        let exact = if use_naive_exact {
-            OfflineAlgorithm::ExactDp
-        } else {
-            OfflineAlgorithm::ExactDpPruned
-        };
-        vec![
-            exact,
-            OfflineAlgorithm::Merging,
-            OfflineAlgorithm::Merging2,
-            OfflineAlgorithm::FastMerging,
-            OfflineAlgorithm::FastMerging2,
-            OfflineAlgorithm::Dual,
-        ]
-    }
-
-    /// Runs the algorithm on a dense signal with piece budget `k` and returns
-    /// the constructed histogram.
-    pub fn run(&self, values: &[f64], k: usize) -> Histogram {
-        match self {
-            OfflineAlgorithm::ExactDp => {
-                baselines::exact_histogram(values, k).expect("valid input").histogram
-            }
-            OfflineAlgorithm::ExactDpPruned => {
-                baselines::exact_histogram_pruned(values, k).expect("valid input").histogram
-            }
-            OfflineAlgorithm::Merging => {
-                let params = MergingParams::paper_defaults(k).expect("k >= 1");
-                construct_histogram_dense(values, &params).expect("valid input")
-            }
-            OfflineAlgorithm::Merging2 => {
-                let params = MergingParams::paper_defaults((k / 2).max(1)).expect("k >= 1");
-                construct_histogram_dense(values, &params).expect("valid input")
-            }
-            OfflineAlgorithm::FastMerging => {
-                let params = MergingParams::paper_defaults(k).expect("k >= 1");
-                let q = SparseFunction::from_dense_keep_zeros(values).expect("finite input");
-                construct_histogram_fast(&q, &params).expect("valid input")
-            }
-            OfflineAlgorithm::FastMerging2 => {
-                let params = MergingParams::paper_defaults((k / 2).max(1)).expect("k >= 1");
-                let q = SparseFunction::from_dense_keep_zeros(values).expect("finite input");
-                construct_histogram_fast(&q, &params).expect("valid input")
-            }
-            OfflineAlgorithm::Dual => {
-                baselines::dual_histogram(values, k).expect("valid input").histogram
-            }
-            OfflineAlgorithm::Gks => {
-                baselines::approx_dp(values, k, 0.1).expect("valid input").histogram
-            }
-            OfflineAlgorithm::EqualWidth => {
-                baselines::equal_width_histogram(values, k).expect("valid input").histogram
-            }
-            OfflineAlgorithm::EqualMass => {
-                baselines::equal_mass_histogram(values, k).expect("valid input").histogram
-            }
-            OfflineAlgorithm::GreedySplit => {
-                baselines::greedy_split_histogram(values, k).expect("valid input").histogram
-            }
-        }
-    }
+/// The extra baselines this reproduction ships beyond the paper's Table 1.
+pub fn extra_baseline_estimators(k: usize) -> Vec<Box<dyn Estimator>> {
+    let builder = EstimatorBuilder::new(k);
+    [
+        EstimatorKind::Gks,
+        EstimatorKind::EqualWidth,
+        EstimatorKind::EqualMass,
+        EstimatorKind::GreedySplit,
+    ]
+    .into_iter()
+    .map(|kind| kind.build(builder))
+    .collect()
 }
 
 /// One data set of the offline experiment.
@@ -156,11 +75,11 @@ pub fn table1_datasets(paper_scale: bool) -> Vec<DatasetSpec> {
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OfflineResult {
-    /// Algorithm name.
+    /// Estimator name.
     pub algorithm: String,
-    /// Number of pieces of the produced histogram.
+    /// Number of pieces of the produced synopsis.
     pub pieces: usize,
-    /// `ℓ₂` error of the produced histogram against the input signal.
+    /// `ℓ₂` error of the produced synopsis against the input signal.
     pub error: f64,
     /// Error relative to the exact optimum (the paper's "Error (relative)").
     pub relative_error: f64,
@@ -170,26 +89,22 @@ pub struct OfflineResult {
     pub relative_time: f64,
 }
 
-/// Runs a set of algorithms on one data set and assembles the Table 1 rows:
-/// errors are reported relative to the first exact algorithm in the batch (or
-/// to the best achieved error if none is exact), times relative to the fastest.
-pub fn run_offline(
-    values: &[f64],
-    k: usize,
-    algorithms: &[OfflineAlgorithm],
-) -> Vec<OfflineResult> {
-    let mut raw: Vec<(String, usize, f64, f64)> = Vec::with_capacity(algorithms.len());
-    for algorithm in algorithms {
-        let (histogram, elapsed) = time_algorithm(|| algorithm.run(values, k));
-        let error = histogram
-            .l2_distance_dense(values)
-            .expect("histogram lives on the signal's domain");
-        raw.push((algorithm.name().to_string(), histogram.num_pieces(), error, elapsed * 1e3));
+/// Fits every estimator to one dense signal and assembles the Table 1 rows:
+/// errors are reported relative to the first exact estimator in the batch (or
+/// to the best achieved error if none is exact), times relative to the
+/// fastest.
+pub fn run_offline(values: &[f64], estimators: &[Box<dyn Estimator>]) -> Vec<OfflineResult> {
+    let signal = Signal::from_slice(values).expect("finite signal");
+    let mut raw: Vec<(String, usize, f64, f64)> = Vec::with_capacity(estimators.len());
+    for estimator in estimators {
+        let (synopsis, elapsed) = time_algorithm(|| estimator.fit(&signal).expect("valid input"));
+        let error = synopsis.l2_error(&signal).expect("synopsis lives on the signal's domain");
+        raw.push((estimator.name().to_string(), synopsis.num_pieces(), error, elapsed * 1e3));
     }
 
-    let reference_error = algorithms
+    let reference_error = estimators
         .iter()
-        .position(|a| matches!(a, OfflineAlgorithm::ExactDp | OfflineAlgorithm::ExactDpPruned))
+        .position(|e| e.name().starts_with("exactdp"))
         .map(|idx| raw[idx].2)
         .unwrap_or_else(|| raw.iter().map(|r| r.2).fold(f64::INFINITY, f64::min));
     let fastest = raw.iter().map(|r| r.3).fold(f64::INFINITY, f64::min).max(f64::MIN_POSITIVE);
@@ -206,16 +121,19 @@ pub fn run_offline(
         .collect()
 }
 
-/// The full Table 1: every data set with the paper's six algorithms.
-pub fn table1(paper_scale: bool, use_naive_exact_everywhere: bool) -> Vec<(DatasetSpec, Vec<OfflineResult>)> {
+/// The full Table 1: every data set with the paper's six estimators.
+pub fn table1(
+    paper_scale: bool,
+    use_naive_exact_everywhere: bool,
+) -> Vec<(DatasetSpec, Vec<OfflineResult>)> {
     let specs = table1_datasets(paper_scale);
     specs
         .into_iter()
         .map(|spec| {
             // The naive DP is affordable on hist/poly; on dow it is opt-in.
             let naive = use_naive_exact_everywhere || spec.values.len() <= 4_096;
-            let algorithms = OfflineAlgorithm::table1_set(naive);
-            let results = run_offline(&spec.values, spec.k, &algorithms);
+            let estimators = table1_estimators(spec.k, naive);
+            let results = run_offline(&spec.values, &estimators);
             (spec, results)
         })
         .collect()
@@ -223,10 +141,7 @@ pub fn table1(paper_scale: bool, use_naive_exact_everywhere: bool) -> Vec<(Datas
 
 /// The Figure 1 payload: `(name, signal)` for the three data sets.
 pub fn figure1(paper_scale: bool) -> Vec<(String, Vec<f64>)> {
-    table1_datasets(paper_scale)
-        .into_iter()
-        .map(|spec| (spec.name, spec.values))
-        .collect()
+    table1_datasets(paper_scale).into_iter().map(|spec| (spec.name, spec.values)).collect()
 }
 
 #[cfg(test)]
@@ -234,24 +149,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn merging_names_match_the_paper() {
-        assert_eq!(OfflineAlgorithm::Merging.name(), "merging");
-        assert_eq!(OfflineAlgorithm::ExactDp.name(), "exactdp");
-        let set = OfflineAlgorithm::table1_set(true);
+    fn estimator_names_match_the_paper() {
+        let set = table1_estimators(10, true);
         assert_eq!(set.len(), 6);
-        assert_eq!(set[0], OfflineAlgorithm::ExactDp);
+        let names: Vec<&str> = set.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            ["exactdp-naive", "merging", "merging2", "fastmerging", "fastmerging2", "dual"]
+        );
+        assert_eq!(table1_estimators(10, false)[0].name(), "exactdp");
+        assert_eq!(extra_baseline_estimators(10).len(), 4);
     }
 
     #[test]
     fn offline_rows_have_consistent_relative_columns() {
         let values = datasets::hist_dataset();
-        let algorithms = [
-            OfflineAlgorithm::ExactDpPruned,
-            OfflineAlgorithm::Merging,
-            OfflineAlgorithm::Merging2,
-            OfflineAlgorithm::Dual,
+        let builder = EstimatorBuilder::new(10);
+        let estimators: Vec<Box<dyn Estimator>> = vec![
+            EstimatorKind::ExactDp.build(builder),
+            EstimatorKind::Merging.build(builder),
+            EstimatorKind::Merging2.build(builder),
+            EstimatorKind::Dual.build(builder),
         ];
-        let rows = run_offline(&values, 10, &algorithms);
+        let rows = run_offline(&values, &estimators);
         assert_eq!(rows.len(), 4);
         // The exact algorithm has relative error 1 by definition.
         assert!((rows[0].relative_error - 1.0).abs() < 1e-12);

@@ -2,9 +2,14 @@
 //! the number of histogram pieces and the achieved error with a *single* run of
 //! Algorithm 2, and compare each level against the exact optimum `opt_k` and
 //! the guarantee `2·opt_k`.
+//!
+//! The per-`k` extraction goes through the unified
+//! [`Hierarchical`](approx_hist::Hierarchical) estimator; the raw curve uses
+//! its [`fit_hierarchy`](approx_hist::Hierarchical::fit_hierarchy) extension
+//! (the Pareto sweep is the one capability a single fitted synopsis
+//! intentionally does not carry).
 
-use hist_baselines as baselines;
-use hist_core::{construct_hierarchical_histogram, SparseFunction};
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Hierarchical, Signal};
 use hist_datasets as datasets;
 
 /// One row of the Pareto experiment: a hierarchy level compared against the
@@ -23,22 +28,25 @@ pub struct ParetoRow {
     pub ratio: f64,
 }
 
-/// The Pareto experiment on one dense signal: run Algorithm 2 once, then for
-/// each requested `k` compare the selected level against the exact optimum.
+/// The Pareto experiment on one dense signal: build the hierarchy *once*
+/// (that is the point of Algorithm 2), then compare the level served for each
+/// requested `k` against the exact optimum.
 pub fn pareto_experiment(values: &[f64], ks: &[usize]) -> Vec<ParetoRow> {
-    let q = SparseFunction::from_dense_keep_zeros(values).expect("finite signal");
-    let hierarchy = construct_hierarchical_histogram(&q).expect("valid signal");
+    let signal = Signal::from_slice(values).expect("finite signal");
+    let hierarchy =
+        Hierarchical::new(EstimatorBuilder::new(1)).fit_hierarchy(&signal).expect("valid signal");
     ks.iter()
         .map(|&k| {
-            let level = hierarchy.level_for_k(k);
-            let opt_k = baselines::exact_histogram_pruned(values, k)
+            let (histogram, error) = hierarchy.histogram_for_k(k);
+            let opt_k = EstimatorKind::ExactDp
+                .build(EstimatorBuilder::new(k))
+                .fit(&signal)
                 .expect("valid signal")
-                .sse
-                .sqrt();
-            let error = level.error();
+                .l2_error(&signal)
+                .expect("same domain");
             ParetoRow {
                 k,
-                pieces: level.num_pieces(),
+                pieces: histogram.num_pieces(),
                 error,
                 opt_k,
                 ratio: if opt_k > 0.0 { error / opt_k } else { f64::NAN },
@@ -49,8 +57,11 @@ pub fn pareto_experiment(values: &[f64], ks: &[usize]) -> Vec<ParetoRow> {
 
 /// The raw Pareto curve (pieces, error) of a single hierarchy on a signal.
 pub fn pareto_curve(values: &[f64]) -> Vec<(usize, f64)> {
-    let q = SparseFunction::from_dense_keep_zeros(values).expect("finite signal");
-    construct_hierarchical_histogram(&q).expect("valid signal").pareto_curve()
+    let signal = Signal::from_slice(values).expect("finite signal");
+    Hierarchical::new(EstimatorBuilder::new(1))
+        .fit_hierarchy(&signal)
+        .expect("valid signal")
+        .pareto_curve()
 }
 
 /// The default data set of the Pareto experiment: the `dow` series (truncated

@@ -5,11 +5,11 @@
 //! The paper motivates piecewise polynomials as a strictly more expressive
 //! synopsis for the same space; this experiment quantifies that claim on the
 //! smooth `poly` and `dow` signals and on the piecewise-constant `hist` signal
-//! (where degree 0 is expected to win).
+//! (where degree 0 is expected to win). Fits run through the unified
+//! [`PiecewisePoly`](approx_hist::PiecewisePoly) estimator.
 
-use hist_core::{MergingParams, SparseFunction};
+use approx_hist::{Estimator, EstimatorBuilder, PiecewisePoly, Signal};
 use hist_datasets as datasets;
-use hist_poly::fit_piecewise_polynomial;
 
 /// One row of the experiment: a `(budget, degree)` combination.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,26 +30,24 @@ pub struct PolyExpRow {
 
 /// Runs the budget-vs-degree sweep on one dense signal.
 pub fn poly_experiment(values: &[f64], budgets: &[usize], degrees: &[usize]) -> Vec<PolyExpRow> {
-    let q = SparseFunction::from_dense_keep_zeros(values).expect("finite signal");
+    let signal = Signal::from_slice(values).expect("finite signal");
     let mut rows = Vec::with_capacity(budgets.len() * degrees.len());
     for &budget in budgets {
         for &degree in degrees {
             let k = (budget / (degree + 1)).max(1);
             // merging2-style parameterization: the output has ≈ k pieces.
-            let params = MergingParams::paper_defaults(k.div_ceil(2)).expect("k >= 1");
-            let fit = fit_piecewise_polynomial(&q, &params, degree).expect("valid signal");
-            let error = fit
-                .l2_distance_squared_dense(values)
-                .expect("matching domain")
-                .max(0.0)
-                .sqrt();
+            let estimator = PiecewisePoly::new(EstimatorBuilder::new(k.div_ceil(2)).degree(degree));
+            let synopsis = estimator.fit(&signal).expect("valid signal");
             rows.push(PolyExpRow {
                 budget,
                 degree,
                 k,
-                pieces: fit.num_pieces(),
-                parameters: fit.parameter_count(),
-                error,
+                pieces: synopsis.num_pieces(),
+                parameters: synopsis
+                    .polynomial()
+                    .expect("piecewise-poly synopsis")
+                    .parameter_count(),
+                error: synopsis.l2_error(&signal).expect("matching domain"),
             });
         }
     }

@@ -128,12 +128,9 @@ mod tests {
     fn csv_round_trip() {
         let dir = std::env::temp_dir().join("hist_bench_report_test");
         std::env::set_var("HIST_BENCH_OUT_DIR", &dir);
-        let path = write_csv(
-            "unit_test.csv",
-            &["a", "b"],
-            &[vec!["1".to_string(), "2".to_string()]],
-        )
-        .unwrap();
+        let path =
+            write_csv("unit_test.csv", &["a", "b"], &[vec!["1".to_string(), "2".to_string()]])
+                .unwrap();
         assert!(csv_exists(&path));
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents.trim(), "a,b\n1,2");

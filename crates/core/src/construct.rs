@@ -15,13 +15,13 @@
 //!   for the parameterization of Corollary 3.1.
 
 use crate::error::Result;
+use crate::function::DiscreteFunction;
 use crate::histogram::Histogram;
 use crate::params::MergingParams;
 use crate::partition::Partition;
 use crate::segment::{initial_segments, segments_to_histogram, segments_to_partition, Segment};
 use crate::select::top_t_mask;
 use crate::sparse::SparseFunction;
-use crate::function::DiscreteFunction;
 
 /// Summary statistics of one run of the merging algorithm, useful for
 /// diagnostics, tests and the ablation experiments.
@@ -79,9 +79,8 @@ fn merge_segments(q: &SparseFunction, params: &MergingParams) -> (Vec<Segment>, 
         if num_pairs <= keep {
             break;
         }
-        let errors: Vec<f64> = (0..num_pairs)
-            .map(|u| segments[2 * u].merged_sse(&segments[2 * u + 1]))
-            .collect();
+        let errors: Vec<f64> =
+            (0..num_pairs).map(|u| segments[2 * u].merged_sse(&segments[2 * u + 1])).collect();
         let keep_mask = top_t_mask(&errors, keep);
 
         let kept_pairs = keep.min(num_pairs);
@@ -101,11 +100,7 @@ fn merge_segments(q: &SparseFunction, params: &MergingParams) -> (Vec<Segment>, 
         rounds += 1;
     }
 
-    let report = MergingReport {
-        initial_intervals,
-        final_intervals: segments.len(),
-        rounds,
-    };
+    let report = MergingReport { initial_intervals, final_intervals: segments.len(), rounds };
     (segments, report)
 }
 
@@ -116,6 +111,7 @@ mod tests {
 
     /// Brute-force optimal k-histogram error via dynamic programming, used only
     /// on tiny inputs to validate the approximation guarantee.
+    #[allow(clippy::needless_range_loop)]
     fn opt_k_sse(values: &[f64], k: usize) -> f64 {
         let n = values.len();
         let prefix = crate::prefix::DensePrefix::new(values).unwrap();
@@ -168,9 +164,10 @@ mod tests {
         let n = 200;
         let k = 5;
         // Piecewise-constant ground truth plus noise.
-        let truth = Histogram::from_breakpoints(n, &[37, 80, 120, 160], vec![2.0, 7.0, 1.0, 5.0, 3.0])
-            .unwrap()
-            .to_dense();
+        let truth =
+            Histogram::from_breakpoints(n, &[37, 80, 120, 160], vec![2.0, 7.0, 1.0, 5.0, 3.0])
+                .unwrap()
+                .to_dense();
         let noisy: Vec<f64> = truth.iter().map(|v| v + 0.4 * (lcg(&mut seed) - 0.5)).collect();
 
         let q = SparseFunction::from_dense_keep_zeros(&noisy).unwrap();
@@ -197,7 +194,8 @@ mod tests {
     fn sparse_input_ignores_long_zero_runs_cheaply() {
         // A very sparse function over a huge domain.
         let n = 1_000_000;
-        let entries: Vec<(usize, f64)> = (0..50).map(|i| (i * 19_997 + 13, (i % 7) as f64 + 1.0)).collect();
+        let entries: Vec<(usize, f64)> =
+            (0..50).map(|i| (i * 19_997 + 13, (i % 7) as f64 + 1.0)).collect();
         let q = SparseFunction::new(n, entries).unwrap();
         let params = MergingParams::paper_defaults(10).unwrap();
         let (h, report) = construct_histogram_with_report(&q, &params).unwrap();

@@ -58,16 +58,12 @@ impl Distribution {
                 return Err(Error::NonFiniteValue { context: "Distribution::from_weights" });
             }
             if w < 0.0 {
-                return Err(Error::InvalidDistribution {
-                    reason: format!("negative weight {w}"),
-                });
+                return Err(Error::InvalidDistribution { reason: format!("negative weight {w}") });
             }
             total += w;
         }
         if total <= 0.0 {
-            return Err(Error::InvalidDistribution {
-                reason: "weights sum to zero".into(),
-            });
+            return Err(Error::InvalidDistribution { reason: "weights sum to zero".into() });
         }
         Ok(Self { pmf: weights.iter().map(|w| w / total).collect() })
     }
@@ -137,12 +133,7 @@ impl Distribution {
                 reason: "domain sizes differ".into(),
             });
         }
-        Ok(self
-            .pmf
-            .iter()
-            .zip(&other.pmf)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum())
+        Ok(self.pmf.iter().zip(&other.pmf).map(|(a, b)| (a - b) * (a - b)).sum())
     }
 
     /// `ℓ₂` distance to another distribution.
@@ -158,13 +149,7 @@ impl Distribution {
                 reason: "domain sizes differ".into(),
             });
         }
-        Ok(0.5
-            * self
-                .pmf
-                .iter()
-                .zip(&other.pmf)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>())
+        Ok(0.5 * self.pmf.iter().zip(&other.pmf).map(|(a, b)| (a - b).abs()).sum::<f64>())
     }
 
     /// Hellinger distance `h(p, q) = √(½ Σ_i (√p(i) − √q(i))²)`, used in the

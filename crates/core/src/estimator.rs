@@ -1,0 +1,407 @@
+//! The unified estimation API: one trait every construction algorithm in the
+//! workspace implements, and one builder that configures them all.
+//!
+//! ```text
+//!   Signal  ──► Estimator::fit ──► Synopsis ──► mass / cdf / quantile / …
+//! ```
+//!
+//! The [`Estimator`] trait is object safe, so harnesses (benches, servers,
+//! examples) dispatch over `&dyn Estimator` and treat every algorithm — the
+//! merging algorithms here, the exact DPs in `hist-baselines`, the polynomial
+//! fitter in `hist-poly`, the sample learners in `hist-sampling` — uniformly.
+//! [`EstimatorBuilder`] subsumes the per-algorithm parameter structs
+//! (`MergingParams`, the learners' configs) behind one builder-style surface;
+//! each adapter reads the knobs it cares about and ignores the rest.
+
+use crate::construct::construct_histogram;
+use crate::error::{Error, Result};
+use crate::fast::construct_histogram_fast;
+use crate::hierarchical::construct_hierarchical_histogram;
+use crate::params::MergingParams;
+use crate::signal::Signal;
+use crate::synopsis::{FittedModel, Synopsis};
+
+/// A fitting algorithm: consumes a [`Signal`], produces a query-ready
+/// [`Synopsis`].
+///
+/// Implementations must be deterministic given their configuration (estimators
+/// with internal randomness derive it from [`EstimatorBuilder::seed`]).
+pub trait Estimator {
+    /// Short algorithm name, as used in the paper's tables (`merging`,
+    /// `exactdp`, `dual`, …).
+    fn name(&self) -> &'static str;
+
+    /// Fits the model to the signal.
+    fn fit(&self, signal: &Signal) -> Result<Synopsis>;
+}
+
+impl<E: Estimator + ?Sized> Estimator for &E {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        (**self).fit(signal)
+    }
+}
+
+impl<E: Estimator + ?Sized> Estimator for Box<E> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        (**self).fit(signal)
+    }
+}
+
+/// One builder for every estimator in the workspace.
+///
+/// The defaults reproduce the paper's experimental parameterization
+/// (`δ = 1000`, `γ = 1` for the merging algorithms; `ε = 0.05`, failure
+/// probability `0.1` for the learners). Knobs irrelevant to a given algorithm
+/// are simply ignored by its adapter, so one builder can configure a whole
+/// fleet of estimators for a comparison run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorBuilder {
+    k: usize,
+    merge_delta: f64,
+    merge_gamma: f64,
+    degree: usize,
+    epsilon: f64,
+    fail_prob: f64,
+    samples: Option<usize>,
+    seed: u64,
+    approx_delta: f64,
+}
+
+impl EstimatorBuilder {
+    /// A builder targeting `k` output pieces, with the paper's defaults for
+    /// everything else.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            merge_delta: 1000.0,
+            merge_gamma: 1.0,
+            degree: 2,
+            epsilon: 0.05,
+            fail_prob: 0.1,
+            samples: None,
+            seed: 2015,
+            approx_delta: 0.1,
+        }
+    }
+
+    /// The linear-time parameterization of Corollary 3.1 (`δ = 1`,
+    /// `γ = (2 + 2/δ)k`): guaranteed `O(s)` merging time for every `k`.
+    pub fn linear_time(k: usize) -> Self {
+        let delta = 1.0;
+        Self::new(k).merge_delta(delta).merge_gamma((2.0 + 2.0 / delta) * k as f64)
+    }
+
+    /// Retargets the builder to a different piece budget `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the merging trade-off `δ` (approximation ratio vs output pieces).
+    pub fn merge_delta(mut self, delta: f64) -> Self {
+        self.merge_delta = delta;
+        self
+    }
+
+    /// Sets the merging trade-off `γ` (running time vs output pieces).
+    pub fn merge_gamma(mut self, gamma: f64) -> Self {
+        self.merge_gamma = gamma;
+        self
+    }
+
+    /// Sets the per-piece polynomial degree `d` (piecewise-poly estimators).
+    pub fn degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Sets the additive accuracy `ε` of the sample learners.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the failure probability `δ` of the sample learners.
+    pub fn fail_prob(mut self, fail_prob: f64) -> Self {
+        self.fail_prob = fail_prob;
+        self
+    }
+
+    /// Overrides the learners' sample size (instead of the `ε`-derived bound).
+    pub fn samples(mut self, m: usize) -> Self {
+        self.samples = Some(m);
+        self
+    }
+
+    /// Sets the deterministic seed used by randomized estimators.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the approximation parameter of the AHIST-style approximate DP.
+    pub fn approx_delta(mut self, delta: f64) -> Self {
+        self.approx_delta = delta;
+        self
+    }
+
+    /// Target number of pieces `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-piece polynomial degree `d`.
+    #[inline]
+    pub fn poly_degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Additive learner accuracy `ε`.
+    #[inline]
+    pub fn learner_epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Learner failure probability `δ`.
+    #[inline]
+    pub fn learner_fail_prob(&self) -> f64 {
+        self.fail_prob
+    }
+
+    /// Explicit learner sample size, when overridden.
+    #[inline]
+    pub fn sample_size_override(&self) -> Option<usize> {
+        self.samples
+    }
+
+    /// Deterministic seed for randomized estimators.
+    #[inline]
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Approximation parameter of the approximate DP.
+    #[inline]
+    pub fn approx_delta_value(&self) -> f64 {
+        self.approx_delta
+    }
+
+    /// The validated [`MergingParams`] this builder describes.
+    pub fn merging_params(&self) -> Result<MergingParams> {
+        MergingParams::new(self.k, self.merge_delta, self.merge_gamma)
+    }
+
+    /// Validates the knobs shared by every estimator (`k ≥ 1` and, for the
+    /// learners, `ε > 0`, `0 < δ < 1`).
+    pub fn validate(&self) -> Result<()> {
+        self.merging_params()?;
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must be a positive finite number, got {}", self.epsilon),
+            });
+        }
+        if !(0.0..1.0).contains(&self.fail_prob) || self.fail_prob == 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "fail_prob",
+                reason: format!("must lie in (0, 1), got {}", self.fail_prob),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Algorithm 1 (iterative greedy pair merging) as an [`Estimator`]:
+/// `(2 + 2/δ)k + γ` pieces, error `≤ √(1+δ)·opt_k`, input-sparsity time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyMerging {
+    name: &'static str,
+    builder: EstimatorBuilder,
+}
+
+impl GreedyMerging {
+    /// The paper's `merging` configuration.
+    pub fn new(builder: EstimatorBuilder) -> Self {
+        Self { name: "merging", builder }
+    }
+
+    /// Same algorithm under a different display name (the paper's `merging2`
+    /// is this estimator invoked with `k/2`).
+    pub fn named(name: &'static str, builder: EstimatorBuilder) -> Self {
+        Self { name, builder }
+    }
+}
+
+impl Estimator for GreedyMerging {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        let params = self.builder.merging_params()?;
+        let histogram = construct_histogram(signal.as_sparse().as_ref(), &params)?;
+        Ok(Synopsis::new(self.name, self.builder.k(), FittedModel::Histogram(histogram)))
+    }
+}
+
+/// The `fastmerging` variant (Section 5.1: aggressive group merging) as an
+/// [`Estimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastMerging {
+    name: &'static str,
+    builder: EstimatorBuilder,
+}
+
+impl FastMerging {
+    /// The paper's `fastmerging` configuration.
+    pub fn new(builder: EstimatorBuilder) -> Self {
+        Self { name: "fastmerging", builder }
+    }
+
+    /// Same algorithm under a different display name (`fastmerging2`).
+    pub fn named(name: &'static str, builder: EstimatorBuilder) -> Self {
+        Self { name, builder }
+    }
+}
+
+impl Estimator for FastMerging {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        let params = self.builder.merging_params()?;
+        let histogram = construct_histogram_fast(signal.as_sparse().as_ref(), &params)?;
+        Ok(Synopsis::new(self.name, self.builder.k(), FittedModel::Histogram(histogram)))
+    }
+}
+
+/// Algorithm 2 (multi-scale construction) as an [`Estimator`]: builds the full
+/// hierarchy, then serves the level Theorem 3.5 promises for the builder's `k`
+/// (`≤ 8k` pieces, error `≤ 2·opt_k`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hierarchical {
+    builder: EstimatorBuilder,
+}
+
+impl Hierarchical {
+    /// A hierarchical estimator serving the level for the builder's `k`.
+    pub fn new(builder: EstimatorBuilder) -> Self {
+        Self { builder }
+    }
+
+    /// Fits the full multi-scale hierarchy (every level, not just the one a
+    /// single [`Synopsis`] serves) — the entry point for Pareto sweeps over
+    /// all piece budgets at once.
+    pub fn fit_hierarchy(
+        &self,
+        signal: &Signal,
+    ) -> Result<crate::hierarchical::HierarchicalHistogram> {
+        construct_hierarchical_histogram(signal.as_sparse().as_ref())
+    }
+}
+
+impl Estimator for Hierarchical {
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        self.builder.merging_params()?; // validate k
+        let hierarchy = construct_hierarchical_histogram(signal.as_sparse().as_ref())?;
+        let (histogram, _) = hierarchy.histogram_for_k(self.builder.k());
+        Ok(Synopsis::new(self.name(), self.builder.k(), FittedModel::Histogram(histogram)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::DiscreteFunction;
+
+    fn step_signal() -> Signal {
+        let values: Vec<f64> = (0..240)
+            .map(|i| {
+                if i < 80 {
+                    1.0
+                } else if i < 160 {
+                    5.0
+                } else {
+                    2.0
+                }
+            })
+            .collect();
+        Signal::from_dense(values).unwrap()
+    }
+
+    #[test]
+    fn core_estimators_recover_step_signals() {
+        let signal = step_signal();
+        let builder = EstimatorBuilder::new(3);
+        let estimators: Vec<Box<dyn Estimator>> = vec![
+            Box::new(GreedyMerging::new(builder)),
+            Box::new(FastMerging::new(builder)),
+            Box::new(Hierarchical::new(builder)),
+        ];
+        for estimator in &estimators {
+            let synopsis = estimator.fit(&signal).unwrap();
+            assert_eq!(synopsis.estimator(), estimator.name());
+            assert_eq!(synopsis.domain(), 240);
+            assert!(
+                synopsis.l2_error(&signal).unwrap() < 1e-9,
+                "{} must recover an exact 3-histogram",
+                estimator.name()
+            );
+            assert!(synopsis.num_pieces() <= 24);
+        }
+    }
+
+    #[test]
+    fn dyn_dispatch_works_through_references_and_boxes() {
+        let signal = step_signal();
+        let merging = GreedyMerging::new(EstimatorBuilder::new(3));
+        let by_ref: &dyn Estimator = &merging;
+        let boxed: Box<dyn Estimator> = Box::new(merging);
+        assert_eq!(by_ref.name(), "merging");
+        assert_eq!(
+            by_ref.fit(&signal).unwrap().num_pieces(),
+            boxed.fit(&signal).unwrap().num_pieces()
+        );
+    }
+
+    #[test]
+    fn builder_validation_rejects_bad_knobs() {
+        assert!(EstimatorBuilder::new(0).validate().is_err());
+        assert!(EstimatorBuilder::new(3).merge_delta(0.0).validate().is_err());
+        assert!(EstimatorBuilder::new(3).epsilon(-1.0).validate().is_err());
+        assert!(EstimatorBuilder::new(3).fail_prob(1.0).validate().is_err());
+        assert!(EstimatorBuilder::new(3).validate().is_ok());
+        let b = EstimatorBuilder::linear_time(5);
+        assert_eq!(b.merging_params().unwrap().gamma(), 20.0);
+    }
+
+    #[test]
+    fn named_variants_show_up_in_the_synopsis() {
+        let signal = step_signal();
+        let merging2 = GreedyMerging::named("merging2", EstimatorBuilder::new(2));
+        let synopsis = merging2.fit(&signal).unwrap();
+        assert_eq!(synopsis.estimator(), "merging2");
+        assert_eq!(synopsis.target_k(), 2);
+    }
+
+    #[test]
+    fn synopsis_total_mass_tracks_the_signal() {
+        let signal = step_signal();
+        let synopsis = GreedyMerging::new(EstimatorBuilder::new(3)).fit(&signal).unwrap();
+        assert!((synopsis.total_mass() - signal.total_mass()).abs() < 1e-6);
+    }
+}

@@ -142,6 +142,7 @@ mod tests {
     use crate::function::DiscreteFunction;
     use crate::prefix::DensePrefix;
 
+    #[allow(clippy::needless_range_loop)]
     fn opt_k_sse(values: &[f64], k: usize) -> f64 {
         let n = values.len();
         let prefix = DensePrefix::new(values).unwrap();
@@ -241,7 +242,8 @@ mod tests {
 
     #[test]
     fn exact_recovery_of_a_k_histogram() {
-        let h = Histogram::from_breakpoints(400, &[100, 250, 320], vec![1.0, 6.0, 2.0, 9.0]).unwrap();
+        let h =
+            Histogram::from_breakpoints(400, &[100, 250, 320], vec![1.0, 6.0, 2.0, 9.0]).unwrap();
         let dense = h.to_dense();
         let q = SparseFunction::from_dense_keep_zeros(&dense).unwrap();
         let params = MergingParams::new(4, 1.0, 1.0).unwrap();

@@ -61,8 +61,7 @@ pub fn construct_general_with_report<O: ProjectionOracle>(
     params: &MergingParams,
     oracle: &O,
 ) -> Result<(PiecewisePolynomial, GeneralMergingReport)> {
-    let mut intervals: Vec<Interval> =
-        initial_segments(q).iter().map(|s| s.interval()).collect();
+    let mut intervals: Vec<Interval> = initial_segments(q).iter().map(|s| s.interval()).collect();
     let initial_intervals = intervals.len();
     let max_intervals = params.max_intervals().max(1);
     let keep = params.keep_count();

@@ -154,9 +154,8 @@ pub fn construct_hierarchical_histogram(q: &SparseFunction) -> Result<Hierarchic
     while segments.len() >= 8 {
         let num_pairs = segments.len() / 2;
         let keep = segments.len() / 4;
-        let errors: Vec<f64> = (0..num_pairs)
-            .map(|u| segments[2 * u].merged_sse(&segments[2 * u + 1]))
-            .collect();
+        let errors: Vec<f64> =
+            (0..num_pairs).map(|u| segments[2 * u].merged_sse(&segments[2 * u + 1])).collect();
         let keep_mask = top_t_mask(&errors, keep);
 
         let mut next = Vec::with_capacity(num_pairs + keep + 1);
@@ -185,6 +184,7 @@ mod tests {
     use crate::prefix::DensePrefix;
 
     /// Exact optimal k-histogram SSE by dynamic programming (tiny inputs only).
+    #[allow(clippy::needless_range_loop)]
     fn opt_k_sse(values: &[f64], k: usize) -> f64 {
         let n = values.len();
         let prefix = DensePrefix::new(values).unwrap();

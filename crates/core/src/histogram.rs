@@ -100,12 +100,8 @@ impl Histogram {
     /// must be a probability distribution).
     pub fn normalized(&self) -> Result<Self> {
         let clamped: Vec<f64> = self.values.iter().map(|&v| v.max(0.0)).collect();
-        let mass: f64 = self
-            .partition
-            .iter()
-            .zip(&clamped)
-            .map(|(iv, &v)| iv.len() as f64 * v)
-            .sum();
+        let mass: f64 =
+            self.partition.iter().zip(&clamped).map(|(iv, &v)| iv.len() as f64 * v).sum();
         if mass <= 0.0 {
             // Degenerate input: fall back to the uniform histogram.
             let n = self.partition.domain();
@@ -287,12 +283,7 @@ mod tests {
     fn distances_match_naive() {
         let h = simple();
         let q: Vec<f64> = (0..10).map(|i| i as f64 * 0.3).collect();
-        let naive: f64 = h
-            .to_dense()
-            .iter()
-            .zip(&q)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let naive: f64 = h.to_dense().iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
         assert!((h.l2_distance_squared_dense(&q).unwrap() - naive).abs() < 1e-9);
 
         let sparse = SparseFunction::from_dense(&q).unwrap();
@@ -304,12 +295,8 @@ mod tests {
     fn distance_between_histograms() {
         let a = Histogram::from_breakpoints(8, &[4], vec![1.0, 3.0]).unwrap();
         let b = Histogram::from_breakpoints(8, &[2, 6], vec![1.0, 2.0, 3.0]).unwrap();
-        let naive: f64 = a
-            .to_dense()
-            .iter()
-            .zip(b.to_dense())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let naive: f64 =
+            a.to_dense().iter().zip(b.to_dense()).map(|(x, y)| (x - y) * (x - y)).sum();
         assert!((a.l2_distance_squared_histogram(&b).unwrap() - naive).abs() < 1e-12);
         assert!((b.l2_distance_squared_histogram(&a).unwrap() - naive).abs() < 1e-12);
     }

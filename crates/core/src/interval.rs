@@ -133,13 +133,13 @@ impl Interval {
     pub fn split_at(&self, at: usize) -> Result<(Interval, Interval)> {
         if at < self.start || at >= self.end {
             return Err(Error::InvalidInterval {
-                reason: format!("split point {at} not strictly inside [{}, {}]", self.start, self.end),
+                reason: format!(
+                    "split point {at} not strictly inside [{}, {}]",
+                    self.start, self.end
+                ),
             });
         }
-        Ok((
-            Interval { start: self.start, end: at },
-            Interval { start: at + 1, end: self.end },
-        ))
+        Ok((Interval { start: self.start, end: at }, Interval { start: at + 1, end: self.end }))
     }
 
     /// Iterator over the indices contained in the interval.

@@ -20,12 +20,16 @@
 //!   groups per round (Section 5.1 of the paper);
 //! * the generalized merging algorithm ([`construct_general`]) parameterized by a
 //!   [`ProjectionOracle`], which underlies the piecewise-polynomial extension of
-//!   Section 4 (implemented in the companion crate `hist-poly`).
+//!   Section 4 (implemented in the companion crate `hist-poly`);
+//! * the **unified estimation API** — [`Signal`], [`Estimator`],
+//!   [`EstimatorBuilder`] and [`Synopsis`] — one trait every construction
+//!   algorithm in the workspace implements, so harnesses dispatch over
+//!   `&dyn Estimator` instead of per-algorithm function calls.
 //!
 //! ## Quick example
 //!
 //! ```
-//! use hist_core::{construct_histogram, MergingParams, SparseFunction};
+//! use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
 //!
 //! // A noisy step signal over [0, 100).
 //! let values: Vec<f64> = (0..100)
@@ -34,20 +38,24 @@
 //!         step + 0.01 * (i % 3) as f64
 //!     })
 //!     .collect();
-//! let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
+//! let signal = Signal::from_dense(values).unwrap();
 //!
 //! // Ask for a ~2-piece histogram with the paper's experimental parameters.
-//! let params = MergingParams::paper_defaults(2).unwrap();
-//! let h = construct_histogram(&q, &params).unwrap();
+//! let estimator = GreedyMerging::new(EstimatorBuilder::new(2));
+//! let synopsis = estimator.fit(&signal).unwrap();
 //!
-//! assert!(h.num_pieces() <= params.output_pieces_bound());
-//! let err = h.l2_distance_dense(&values).unwrap();
-//! assert!(err < 1.0);
+//! assert!(synopsis.num_pieces() <= 7);
+//! assert!(synopsis.l2_error(&signal).unwrap() < 1.0);
+//! // The synopsis is query-ready: range masses, cdf, quantiles.
+//! assert!(synopsis.cdf(99).unwrap() > 0.999);
+//! let median = synopsis.quantile(0.5).unwrap();
+//! assert!(median > 50, "most of the mass sits in the tall right step");
 //! ```
 
 pub mod construct;
 pub mod distribution;
 pub mod error;
+pub mod estimator;
 pub mod fast;
 pub mod function;
 pub mod general;
@@ -63,8 +71,10 @@ pub mod prefix;
 pub mod query;
 pub mod segment;
 pub mod select;
+pub mod signal;
 pub mod sparse;
 pub mod stats;
+pub mod synopsis;
 
 pub use construct::{
     construct_histogram, construct_histogram_dense, construct_histogram_with_report,
@@ -72,6 +82,7 @@ pub use construct::{
 };
 pub use distribution::Distribution;
 pub use error::{Error, Result};
+pub use estimator::{Estimator, EstimatorBuilder, FastMerging, GreedyMerging, Hierarchical};
 pub use fast::{
     construct_histogram_fast, construct_histogram_fast_with_report, construct_partition_fast,
     FastMergingReport,
@@ -80,9 +91,7 @@ pub use function::{DenseFunction, DiscreteFunction};
 pub use general::{
     construct_general, construct_general_with_report, GeneralMergingReport, GeneralPiece,
 };
-pub use hierarchical::{
-    construct_hierarchical_histogram, HierarchicalHistogram, HierarchyLevel,
-};
+pub use hierarchical::{construct_hierarchical_histogram, HierarchicalHistogram, HierarchyLevel};
 pub use histogram::Histogram;
 pub use interval::Interval;
 pub use norms::{l1_distance, l2_distance, l2_distance_squared, l2_norm, linf_distance};
@@ -92,5 +101,7 @@ pub use partition::Partition;
 pub use piecewise_poly::{PiecewisePolynomial, PolynomialPiece};
 pub use prefix::{DensePrefix, SparsePrefix};
 pub use segment::{initial_segments, segments_to_histogram, segments_to_partition, Segment};
+pub use signal::Signal;
 pub use sparse::SparseFunction;
 pub use stats::{flatten, flatten_dense, flattening_sse, interval_mean, interval_sse};
+pub use synopsis::{FittedModel, Synopsis};

@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn oracle_name_and_default() {
-        let oracle = ConstantOracle::default();
+        let oracle = ConstantOracle;
         assert_eq!(oracle.name(), "constant");
     }
 

@@ -43,7 +43,9 @@ impl Partition {
         }
         if expected_start != domain {
             return Err(Error::InvalidPartition {
-                reason: format!("intervals cover [0, {expected_start}) but the domain is [0, {domain})"),
+                reason: format!(
+                    "intervals cover [0, {expected_start}) but the domain is [0, {domain})"
+                ),
             });
         }
         Ok(Self { domain, intervals })
@@ -199,11 +201,8 @@ impl Partition {
                 reason: format!("domains differ: {} vs {}", self.domain, other.domain),
             });
         }
-        let mut breaks: Vec<usize> = self
-            .breakpoints()
-            .into_iter()
-            .chain(other.breakpoints())
-            .collect();
+        let mut breaks: Vec<usize> =
+            self.breakpoints().into_iter().chain(other.breakpoints()).collect();
         breaks.sort_unstable();
         breaks.dedup();
         Partition::from_breakpoints(self.domain, &breaks)

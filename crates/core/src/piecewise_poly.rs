@@ -146,10 +146,7 @@ impl PiecewisePolynomial {
     /// must be visited).
     pub fn l2_distance_squared_sparse(&self, q: &SparseFunction) -> Result<f64> {
         if q.domain() != self.domain {
-            return Err(Error::InvalidParameter {
-                name: "q",
-                reason: "domain mismatch".into(),
-            });
+            return Err(Error::InvalidParameter { name: "q", reason: "domain mismatch".into() });
         }
         self.l2_distance_squared_dense(&q.to_dense())
     }
@@ -227,10 +224,8 @@ mod tests {
         );
         assert!(gap.is_err());
 
-        let short = PiecewisePolynomial::new(
-            6,
-            vec![PolynomialPiece::constant(iv(0, 2), 1.0).unwrap()],
-        );
+        let short =
+            PiecewisePolynomial::new(6, vec![PolynomialPiece::constant(iv(0, 2), 1.0).unwrap()]);
         assert!(short.is_err());
         assert!(PiecewisePolynomial::new(0, vec![]).is_err());
     }
@@ -265,12 +260,7 @@ mod tests {
         )
         .unwrap();
         let q = vec![0.5, 1.5, 0.0, 2.0];
-        let naive: f64 = f
-            .to_dense()
-            .iter()
-            .zip(&q)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let naive: f64 = f.to_dense().iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
         assert!((f.l2_distance_squared_dense(&q).unwrap() - naive).abs() < 1e-12);
         let sparse = SparseFunction::from_dense(&q).unwrap();
         assert!((f.l2_distance_squared_sparse(&sparse).unwrap() - naive).abs() < 1e-12);

@@ -16,10 +16,7 @@ impl Histogram {
     /// For a frequency synopsis this is the classical *range-count estimate*.
     pub fn range_sum(&self, range: Interval) -> Result<f64> {
         if range.end() >= self.domain_size() {
-            return Err(Error::IndexOutOfRange {
-                index: range.end(),
-                domain: self.domain_size(),
-            });
+            return Err(Error::IndexOutOfRange { index: range.end(), domain: self.domain_size() });
         }
         let start_piece = self.partition().locate(range.start())?;
         let mut total = 0.0;

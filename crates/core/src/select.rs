@@ -51,9 +51,8 @@ pub fn t_th_largest(values: &[f64], t: usize) -> f64 {
         return f64::NEG_INFINITY;
     }
     let mut copy = values.to_vec();
-    let (_, kth, _) = copy.select_nth_unstable_by(t - 1, |a, b| {
-        b.partial_cmp(a).expect("finite values")
-    });
+    let (_, kth, _) =
+        copy.select_nth_unstable_by(t - 1, |a, b| b.partial_cmp(a).expect("finite values"));
     *kth
 }
 

@@ -78,12 +78,8 @@ impl SparseFunction {
         if values.iter().any(|v| !v.is_finite()) {
             return Err(Error::NonFiniteValue { context: "SparseFunction::from_dense" });
         }
-        let entries = values
-            .iter()
-            .enumerate()
-            .filter(|&(_, &v)| v != 0.0)
-            .map(|(i, &v)| (i, v))
-            .collect();
+        let entries =
+            values.iter().enumerate().filter(|&(_, &v)| v != 0.0).map(|(i, &v)| (i, v)).collect();
         Ok(Self { domain: values.len(), entries })
     }
 
@@ -98,10 +94,7 @@ impl SparseFunction {
         if values.iter().any(|v| !v.is_finite()) {
             return Err(Error::NonFiniteValue { context: "SparseFunction::from_dense_keep_zeros" });
         }
-        Ok(Self {
-            domain: values.len(),
-            entries: values.iter().copied().enumerate().collect(),
-        })
+        Ok(Self { domain: values.len(), entries: values.iter().copied().enumerate().collect() })
     }
 
     /// The all-zero function on `[0, n)`.

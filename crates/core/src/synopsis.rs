@@ -1,0 +1,559 @@
+//! The serving-side output of the estimation API.
+//!
+//! A [`Synopsis`] wraps a fitted model (a [`Histogram`] or a
+//! [`PiecewisePolynomial`]) together with precomputed per-piece cumulative
+//! masses, turning it into the object a query engine actually serves:
+//! range-mass estimates, a cumulative distribution function, approximate
+//! quantiles, and error evaluation against the original signal — all in
+//! `O(log k)` or `O(piece)` time, never touching the raw data again.
+
+use crate::error::{Error, Result};
+use crate::function::DiscreteFunction;
+use crate::histogram::Histogram;
+use crate::interval::Interval;
+use crate::piecewise_poly::PiecewisePolynomial;
+use crate::signal::Signal;
+
+/// Tolerance used when comparing cumulative masses (guards against the usual
+/// floating-point drift of prefix sums).
+const MASS_EPS: f64 = 1e-12;
+
+/// Longest polynomial piece whose point-level clamping is computed by an exact
+/// per-index walk. Beyond this (pieces spanning millions of indices, which
+/// only arise for sparse signals over huge domains), possibly-negative pieces
+/// fall back to piece-level clamping so construction stays input-sparsity.
+const CLAMP_SCAN_LIMIT: usize = 1 << 16;
+
+/// Power sums `S_r(m) = Σ_{x=0}^{m} x^r` for `r = 0, …, max_degree`, via the
+/// binomial recurrence `(r+1)·S_r(m) = (m+1)^{r+1} − Σ_{j<r} C(r+1, j)·S_j(m)`
+/// — `O(d²)` total.
+fn power_sums(m: u64, max_degree: usize) -> Vec<f64> {
+    let mut sums = Vec::with_capacity(max_degree + 1);
+    let m1 = (m + 1) as f64;
+    for r in 0..=max_degree {
+        // C(r+1, j) built incrementally.
+        let mut rhs = m1.powi(r as i32 + 1);
+        let mut binom = 1.0; // C(r+1, 0)
+        for (j, s) in sums.iter().enumerate().take(r) {
+            rhs -= binom * s;
+            binom *= (r + 1 - j) as f64 / (j + 1) as f64;
+        }
+        sums.push(rhs / (r as f64 + 1.0));
+    }
+    sums
+}
+
+/// Closed-form `Σ_{x=0}^{t} p(x)` for a polynomial given by local monomial
+/// coefficients, in `O(d²)` time.
+fn poly_prefix_sum(coefficients: &[f64], t: u64) -> f64 {
+    let sums = power_sums(t, coefficients.len().saturating_sub(1));
+    coefficients.iter().zip(&sums).map(|(c, s)| c * s).sum()
+}
+
+/// Whether the polynomial is provably non-negative on local `[0, len − 1]`:
+/// `Some(true)`/`Some(false)` when cheaply decidable (degree ≤ 2 or
+/// all-non-negative coefficients), `None` otherwise.
+fn poly_nonneg(coefficients: &[f64], len: usize) -> Option<bool> {
+    if coefficients.iter().all(|&c| c >= 0.0) {
+        return Some(true);
+    }
+    let eval = |x: f64| coefficients.iter().rev().fold(0.0, |acc, &c| acc * x + c);
+    let end = (len - 1) as f64;
+    match coefficients.len() {
+        0 | 1 => Some(coefficients.first().copied().unwrap_or(0.0) >= 0.0),
+        2 => Some(eval(0.0) >= 0.0 && eval(end) >= 0.0),
+        3 => {
+            if eval(0.0) < 0.0 || eval(end) < 0.0 {
+                return Some(false);
+            }
+            let (b, a) = (coefficients[1], coefficients[2]);
+            if a == 0.0 {
+                return Some(true);
+            }
+            let vertex = -b / (2.0 * a);
+            Some(!(0.0..=end).contains(&vertex) || eval(vertex) >= 0.0)
+        }
+        _ => None,
+    }
+}
+
+/// The model class a [`Synopsis`] wraps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FittedModel {
+    /// A piecewise-constant model (`k`-histogram).
+    Histogram(Histogram),
+    /// A piecewise-polynomial model (`(k, d)`-piecewise polynomial).
+    Polynomial(PiecewisePolynomial),
+}
+
+impl FittedModel {
+    fn domain(&self) -> usize {
+        match self {
+            FittedModel::Histogram(h) => h.domain(),
+            FittedModel::Polynomial(p) => p.domain(),
+        }
+    }
+
+    fn num_pieces(&self) -> usize {
+        match self {
+            FittedModel::Histogram(h) => h.num_pieces(),
+            FittedModel::Polynomial(p) => p.num_pieces(),
+        }
+    }
+
+    fn piece_interval(&self, j: usize) -> Interval {
+        match self {
+            FittedModel::Histogram(h) => h.partition().interval(j),
+            FittedModel::Polynomial(p) => p.pieces()[j].interval(),
+        }
+    }
+
+    /// Raw (possibly negative) mass of piece `j`. `O(1)` for histograms,
+    /// `O(d²)` closed form for polynomials.
+    fn piece_mass(&self, j: usize) -> f64 {
+        match self {
+            FittedModel::Histogram(h) => h.partition().interval(j).len() as f64 * h.values()[j],
+            FittedModel::Polynomial(p) => {
+                let piece = &p.pieces()[j];
+                poly_prefix_sum(piece.coefficients(), piece.interval().len() as u64 - 1)
+            }
+        }
+    }
+
+    /// Mass of piece `j` with negative point values clamped to zero (the
+    /// measure used by `cdf`/`quantile`, which need monotonicity).
+    ///
+    /// Exact for histograms, for provably non-negative polynomial pieces
+    /// (closed form) and for polynomial pieces up to [`CLAMP_SCAN_LIMIT`]
+    /// indices (per-index walk); longer possibly-negative polynomial pieces
+    /// use piece-level clamping `max(raw, 0)` so that construction stays
+    /// input-sparsity on huge domains.
+    fn piece_clamped_mass(&self, j: usize) -> f64 {
+        match self {
+            FittedModel::Histogram(h) => {
+                h.partition().interval(j).len() as f64 * h.values()[j].max(0.0)
+            }
+            FittedModel::Polynomial(p) => {
+                let piece = &p.pieces()[j];
+                let len = piece.interval().len();
+                match poly_nonneg(piece.coefficients(), len) {
+                    Some(true) => self.piece_mass(j).max(0.0),
+                    _ if len <= CLAMP_SCAN_LIMIT => {
+                        piece.interval().indices().map(|i| piece.evaluate(i).max(0.0)).sum()
+                    }
+                    _ => self.piece_mass(j).max(0.0),
+                }
+            }
+        }
+    }
+
+    /// Clamped mass of the indices `piece_start ..= x` of piece `j`, under the
+    /// same exactness tiers as [`Self::piece_clamped_mass`] (the huge-piece
+    /// fallback interpolates the piece's clamped mass linearly, which keeps
+    /// the cdf monotone).
+    fn piece_clamped_prefix(&self, j: usize, x: usize) -> f64 {
+        match self {
+            FittedModel::Histogram(h) => {
+                let interval = h.partition().interval(j);
+                debug_assert!(interval.contains(x));
+                (x - interval.start() + 1) as f64 * h.values()[j].max(0.0)
+            }
+            FittedModel::Polynomial(p) => {
+                let piece = &p.pieces()[j];
+                let interval = piece.interval();
+                debug_assert!(interval.contains(x));
+                let len = interval.len();
+                let t = (x - interval.start()) as u64;
+                match poly_nonneg(piece.coefficients(), len) {
+                    Some(true) => poly_prefix_sum(piece.coefficients(), t).max(0.0),
+                    _ if len <= CLAMP_SCAN_LIMIT => {
+                        (interval.start()..=x).map(|i| piece.evaluate(i).max(0.0)).sum()
+                    }
+                    _ => self.piece_clamped_mass(j) * (t + 1) as f64 / len as f64,
+                }
+            }
+        }
+    }
+
+    /// Raw mass of the overlap of piece `j` with `range`. `O(1)` for
+    /// histograms, `O(d²)` closed form for polynomials.
+    fn piece_overlap_mass(&self, j: usize, range: Interval) -> f64 {
+        let interval = self.piece_interval(j);
+        let Some(overlap) = interval.intersection(&range) else { return 0.0 };
+        match self {
+            FittedModel::Histogram(h) => overlap.len() as f64 * h.values()[j],
+            FittedModel::Polynomial(p) => {
+                let piece = &p.pieces()[j];
+                let hi = (overlap.end() - interval.start()) as u64;
+                let upto_hi = poly_prefix_sum(piece.coefficients(), hi);
+                if overlap.start() == interval.start() {
+                    upto_hi
+                } else {
+                    let lo = (overlap.start() - interval.start()) as u64;
+                    upto_hi - poly_prefix_sum(piece.coefficients(), lo - 1)
+                }
+            }
+        }
+    }
+
+    fn value(&self, i: usize) -> f64 {
+        match self {
+            FittedModel::Histogram(h) => h.value(i),
+            FittedModel::Polynomial(p) => p.value(i),
+        }
+    }
+
+    /// Index of the piece containing domain index `i`.
+    fn locate(&self, i: usize) -> usize {
+        match self {
+            FittedModel::Histogram(h) => h.partition().locate(i).expect("index inside domain"),
+            FittedModel::Polynomial(p) => {
+                p.pieces().partition_point(|piece| piece.interval().end() < i)
+            }
+        }
+    }
+}
+
+/// A fitted, query-ready synopsis: the output of every
+/// [`Estimator`](crate::Estimator).
+///
+/// Construction precomputes the cumulative clamped mass at the `k + 1` piece
+/// boundaries, so [`Synopsis::cdf`] and [`Synopsis::quantile`] run in
+/// `O(log k)` time for histograms (plus `O(d²·log |piece|)` inside a
+/// polynomial piece, via closed-form power sums) and [`Synopsis::mass`] in
+/// `O(log k + #overlapping pieces)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Synopsis {
+    estimator: &'static str,
+    target_k: usize,
+    model: FittedModel,
+    /// Cumulative *clamped* (non-negative) mass at piece boundaries;
+    /// `boundary_cdf[j]` is the clamped mass of the first `j` pieces.
+    boundary_cdf: Vec<f64>,
+    /// Raw total mass (negative values included).
+    raw_mass: f64,
+}
+
+impl Synopsis {
+    /// Wraps a fitted model, recording which estimator produced it and the
+    /// piece budget `k` it was asked for.
+    pub fn new(estimator: &'static str, target_k: usize, model: FittedModel) -> Self {
+        let k = model.num_pieces();
+        let mut boundary_cdf = Vec::with_capacity(k + 1);
+        boundary_cdf.push(0.0);
+        let mut clamped = 0.0;
+        let mut raw_mass = 0.0;
+        for j in 0..k {
+            clamped += model.piece_clamped_mass(j);
+            raw_mass += model.piece_mass(j);
+            boundary_cdf.push(clamped);
+        }
+        Self { estimator, target_k, model, boundary_cdf, raw_mass }
+    }
+
+    /// Name of the estimator that produced this synopsis.
+    #[inline]
+    pub fn estimator(&self) -> &'static str {
+        self.estimator
+    }
+
+    /// The piece budget `k` the estimator was configured with (the output may
+    /// legally have `O(k)` pieces, e.g. `2k + 1` for the merging algorithms).
+    #[inline]
+    pub fn target_k(&self) -> usize {
+        self.target_k
+    }
+
+    /// The wrapped model.
+    #[inline]
+    pub fn model(&self) -> &FittedModel {
+        &self.model
+    }
+
+    /// The wrapped histogram, when the model is piecewise constant.
+    pub fn histogram(&self) -> Option<&Histogram> {
+        match &self.model {
+            FittedModel::Histogram(h) => Some(h),
+            FittedModel::Polynomial(_) => None,
+        }
+    }
+
+    /// The wrapped piecewise polynomial, when the model is one.
+    pub fn polynomial(&self) -> Option<&PiecewisePolynomial> {
+        match &self.model {
+            FittedModel::Histogram(_) => None,
+            FittedModel::Polynomial(p) => Some(p),
+        }
+    }
+
+    /// Number of pieces of the fitted model.
+    pub fn num_pieces(&self) -> usize {
+        self.model.num_pieces()
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> usize {
+        self.model.domain()
+    }
+
+    /// Total (raw) mass `Σ_i h(i)` of the model — for a frequency synopsis,
+    /// the estimated table size.
+    pub fn total_mass(&self) -> f64 {
+        self.raw_mass
+    }
+
+    /// Estimated mass `Σ_{i ∈ R} h(i)` over an index range — the classical
+    /// range-count estimate of a database synopsis.
+    pub fn mass(&self, range: Interval) -> Result<f64> {
+        if range.end() >= self.domain() {
+            return Err(Error::IndexOutOfRange { index: range.end(), domain: self.domain() });
+        }
+        let first = self.model.locate(range.start());
+        let mut total = 0.0;
+        for j in first..self.num_pieces() {
+            if self.model.piece_interval(j).start() > range.end() {
+                break;
+            }
+            total += self.model.piece_overlap_mass(j, range);
+        }
+        Ok(total)
+    }
+
+    /// The normalized cumulative distribution function at index `x`: the
+    /// fraction of the synopsis' (clamped, non-negative) mass lying in
+    /// `[0, x]`. Monotone in `x` with `cdf(n − 1) = 1`.
+    pub fn cdf(&self, x: usize) -> Result<f64> {
+        if x >= self.domain() {
+            return Err(Error::IndexOutOfRange { index: x, domain: self.domain() });
+        }
+        let total = self.clamped_total()?;
+        let j = self.model.locate(x);
+        let cumulative = self.boundary_cdf[j] + self.model.piece_clamped_prefix(j, x);
+        Ok((cumulative / total).min(1.0))
+    }
+
+    /// The smallest index `x` with `cdf(x) ≥ p`, for `p ∈ [0, 1]` — an
+    /// approximate quantile served directly from the synopsis.
+    pub fn quantile(&self, p: f64) -> Result<usize> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(Error::InvalidParameter {
+                name: "p",
+                reason: format!("quantile fractions must lie in [0, 1], got {p}"),
+            });
+        }
+        let total = self.clamped_total()?;
+        let target = p * total;
+        // First piece whose boundary cumulative reaches the target — binary
+        // search over the non-decreasing cumulative masses.
+        let j = self.boundary_cdf[1..]
+            .partition_point(|&c| c < target - MASS_EPS)
+            .min(self.num_pieces() - 1);
+        let interval = self.model.piece_interval(j);
+        let remaining = (target - self.boundary_cdf[j]).max(0.0);
+        match &self.model {
+            FittedModel::Histogram(h) => {
+                let v = h.values()[j].max(0.0);
+                if v <= 0.0 {
+                    return Ok(interval.start());
+                }
+                // Smallest offset c ≥ 1 with v·c ≥ remaining.
+                let count = (remaining / v - MASS_EPS).ceil().max(1.0) as usize;
+                Ok(interval.start() + (count - 1).min(interval.len() - 1))
+            }
+            FittedModel::Polynomial(_) => {
+                // The within-piece clamped prefix is monotone in every
+                // exactness tier, so quantile inverts cdf by binary search.
+                let (mut lo, mut hi) = (interval.start(), interval.end());
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if self.model.piece_clamped_prefix(j, mid) >= remaining - MASS_EPS {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                Ok(lo)
+            }
+        }
+    }
+
+    /// Exact `ℓ₂` error `‖h − q‖₂` of the synopsis against a signal over the
+    /// same domain.
+    pub fn l2_error(&self, signal: &Signal) -> Result<f64> {
+        if signal.domain() != self.domain() {
+            return Err(Error::InvalidParameter {
+                name: "signal",
+                reason: format!(
+                    "domain mismatch: synopsis over {}, signal over {}",
+                    self.domain(),
+                    signal.domain()
+                ),
+            });
+        }
+        match &self.model {
+            FittedModel::Histogram(h) => {
+                if signal.is_sparse() {
+                    h.l2_distance_sparse(signal.as_sparse().as_ref())
+                } else {
+                    h.l2_distance_dense(signal.dense_values().as_ref())
+                }
+            }
+            FittedModel::Polynomial(p) => {
+                Ok(p.l2_distance_squared_dense(signal.dense_values().as_ref())?.max(0.0).sqrt())
+            }
+        }
+    }
+
+    fn clamped_total(&self) -> Result<f64> {
+        let total = *self.boundary_cdf.last().expect("boundary cdf is non-empty");
+        if total <= 0.0 {
+            return Err(Error::InvalidDistribution {
+                reason: "the synopsis carries no positive mass".into(),
+            });
+        }
+        Ok(total)
+    }
+}
+
+impl DiscreteFunction for Synopsis {
+    fn domain(&self) -> usize {
+        Synopsis::domain(self)
+    }
+
+    fn value(&self, i: usize) -> f64 {
+        self.model.value(i)
+    }
+
+    fn to_dense(&self) -> Vec<f64> {
+        match &self.model {
+            FittedModel::Histogram(h) => h.to_dense(),
+            FittedModel::Polynomial(p) => p.to_dense(),
+        }
+    }
+
+    fn total_mass(&self) -> f64 {
+        self.raw_mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::piecewise_poly::PolynomialPiece;
+
+    fn histogram_synopsis() -> Synopsis {
+        // [0,9] -> 1, [10,29] -> 3, [30,39] -> 0, [40,49] -> 6; mass 130.
+        let h = Histogram::from_breakpoints(50, &[10, 30, 40], vec![1.0, 3.0, 0.0, 6.0]).unwrap();
+        Synopsis::new("test", 4, FittedModel::Histogram(h))
+    }
+
+    fn polynomial_synopsis() -> Synopsis {
+        // Linear ramp 0..10 on [0, 9], constant 5 on [10, 19].
+        let pieces = vec![
+            PolynomialPiece::new(Interval::new(0, 9).unwrap(), vec![0.0, 1.0]).unwrap(),
+            PolynomialPiece::constant(Interval::new(10, 19).unwrap(), 5.0).unwrap(),
+        ];
+        let p = PiecewisePolynomial::new(20, pieces).unwrap();
+        Synopsis::new("poly", 2, FittedModel::Polynomial(p))
+    }
+
+    #[test]
+    fn mass_matches_pointwise_sums() {
+        for synopsis in [histogram_synopsis(), polynomial_synopsis()] {
+            let n = synopsis.domain();
+            for (a, b) in [(0usize, n - 1), (0, n / 2), (n / 4, n - 1), (3, 3)] {
+                let range = Interval::new(a, b).unwrap();
+                let direct: f64 = range.indices().map(|i| synopsis.value(i)).sum();
+                assert!((synopsis.mass(range).unwrap() - direct).abs() < 1e-9, "range [{a}, {b}]");
+            }
+            assert!(
+                (synopsis.mass(Interval::new(0, n - 1).unwrap()).unwrap() - synopsis.total_mass())
+                    .abs()
+                    < 1e-9
+            );
+            assert!(synopsis.mass(Interval::new(0, n).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        for synopsis in [histogram_synopsis(), polynomial_synopsis()] {
+            let mut previous = 0.0;
+            for x in 0..synopsis.domain() {
+                let c = synopsis.cdf(x).unwrap();
+                assert!(c + 1e-12 >= previous, "cdf must be monotone at {x}");
+                assert!((0.0..=1.0).contains(&c));
+                previous = c;
+            }
+            assert!((synopsis.cdf(synopsis.domain() - 1).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_the_cdf() {
+        for synopsis in [histogram_synopsis(), polynomial_synopsis()] {
+            for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1.0] {
+                let x = synopsis.quantile(p).unwrap();
+                assert!(synopsis.cdf(x).unwrap() + 1e-9 >= p, "cdf(quantile({p})) < {p}");
+                if x > 0 {
+                    assert!(
+                        synopsis.cdf(x - 1).unwrap() < p + 1e-9,
+                        "quantile({p}) = {x} is not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_walks_through_histogram_mass() {
+        let synopsis = histogram_synopsis();
+        assert_eq!(synopsis.quantile(0.0).unwrap(), 0);
+        // 50% of 130 = 65: 10 from piece 0, then ceil(55/3) = 19 indices into piece 1.
+        let median = synopsis.quantile(0.5).unwrap();
+        assert!((28..=29).contains(&median), "median {median}");
+        let p90 = synopsis.quantile(0.9).unwrap();
+        assert!((40..50).contains(&p90), "p90 {p90}");
+        assert_eq!(synopsis.quantile(1.0).unwrap(), 49);
+        assert!(synopsis.quantile(-0.1).is_err());
+        assert!(synopsis.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn l2_error_matches_direct_computation() {
+        let synopsis = histogram_synopsis();
+        let values: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let signal = Signal::from_slice(&values).unwrap();
+        let direct: f64 = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (synopsis.value(i) - v) * (synopsis.value(i) - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!((synopsis.l2_error(&signal).unwrap() - direct).abs() < 1e-9);
+        let wrong = Signal::from_slice(&[1.0, 2.0]).unwrap();
+        assert!(synopsis.l2_error(&wrong).is_err());
+    }
+
+    #[test]
+    fn empty_synopses_report_no_mass() {
+        let h = Histogram::constant(5, 0.0).unwrap();
+        let synopsis = Synopsis::new("zero", 1, FittedModel::Histogram(h));
+        assert!(synopsis.cdf(2).is_err());
+        assert!(synopsis.quantile(0.5).is_err());
+        assert_eq!(synopsis.mass(Interval::new(0, 4).unwrap()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accessors_expose_the_model() {
+        let synopsis = histogram_synopsis();
+        assert_eq!(synopsis.estimator(), "test");
+        assert_eq!(synopsis.target_k(), 4);
+        assert_eq!(synopsis.num_pieces(), 4);
+        assert!(synopsis.histogram().is_some());
+        assert!(synopsis.polynomial().is_none());
+        let poly = polynomial_synopsis();
+        assert!(poly.histogram().is_none());
+        assert!(poly.polynomial().is_some());
+    }
+}

@@ -98,7 +98,7 @@ pub struct PolyDatasetParams {
 
 impl Default for PolyDatasetParams {
     fn default() -> Self {
-        Self { n: 4_000, degree: 5, value_range: (0.0, 30.0), noise_std: 1.0, seed: 0x90_15_EED }
+        Self { n: 4_000, degree: 5, value_range: (0.0, 30.0), noise_std: 1.0, seed: 0x901_5EED }
     }
 }
 
@@ -151,11 +151,7 @@ mod tests {
         let runs = 1 + truth.windows(2).filter(|w| (w[0] - w[1]).abs() > 1e-12).count();
         assert_eq!(runs, 10);
         // The noise is visible but bounded.
-        let max_dev = noisy
-            .iter()
-            .zip(&truth)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let max_dev = noisy.iter().zip(&truth).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(max_dev > 0.1 && max_dev < 5.0, "max deviation {max_dev}");
     }
 
@@ -200,8 +196,12 @@ mod tests {
 
     #[test]
     fn custom_parameters_are_honored() {
-        let (noisy, truth) =
-            hist_dataset_with(&HistDatasetParams { n: 200, pieces: 4, noise_std: 0.0, ..Default::default() });
+        let (noisy, truth) = hist_dataset_with(&HistDatasetParams {
+            n: 200,
+            pieces: 4,
+            noise_std: 0.0,
+            ..Default::default()
+        });
         assert_eq!(noisy, truth, "zero noise keeps the signal clean");
         let runs = 1 + truth.windows(2).filter(|w| (w[0] - w[1]).abs() > 1e-12).count();
         assert_eq!(runs, 4);

@@ -186,15 +186,15 @@ mod tests {
     #[test]
     fn matches_naive_least_squares() {
         let mut seed = 77u64;
-        let values: Vec<f64> = (0..60).map(|i| (i as f64 / 7.0).sin() * 4.0 + lcg(&mut seed)).collect();
+        let values: Vec<f64> =
+            (0..60).map(|i| (i as f64 / 7.0).sin() * 4.0 + lcg(&mut seed)).collect();
         let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
         for (a, b) in [(0usize, 59usize), (5, 40), (17, 23), (0, 3)] {
             let interval = Interval::new(a, b).unwrap();
             for degree in 0..=3usize {
                 let fit = fit_polynomial(&q, interval, degree).unwrap();
                 let piece = fit_to_piece(&fit).unwrap();
-                let (lsq_piece, lsq_sse) =
-                    least_squares_fit(&values, interval, degree).unwrap();
+                let (lsq_piece, lsq_sse) = least_squares_fit(&values, interval, degree).unwrap();
                 assert!(
                     (fit.sse() - lsq_sse).abs() < 1e-6 * (1.0 + lsq_sse),
                     "interval [{a},{b}], degree {degree}: gram sse {} vs lsq sse {}",
@@ -220,10 +220,8 @@ mod tests {
         let piece = fit_to_piece(&fit).unwrap();
         let mean = (1.0 + 5.0 + 2.0) / 5.0;
         assert!((piece.evaluate(3) - mean).abs() < 1e-12);
-        let expected_sse: f64 = [1.0, 5.0, 2.0, 0.0, 0.0]
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum();
+        let expected_sse: f64 =
+            [1.0, 5.0, 2.0, 0.0, 0.0].iter().map(|v| (v - mean) * (v - mean)).sum();
         assert!((fit.sse() - expected_sse).abs() < 1e-12);
     }
 

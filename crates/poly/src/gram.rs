@@ -40,7 +40,10 @@ impl GramBasis {
         if degree >= len {
             return Err(Error::InvalidParameter {
                 name: "degree",
-                reason: format!("degree {degree} requires at least {} points, got {len}", degree + 1),
+                reason: format!(
+                    "degree {degree} requires at least {} points, got {len}",
+                    degree + 1
+                ),
             });
         }
         let n = len as f64;
@@ -91,8 +94,7 @@ impl GramBasis {
         out[1] = curr * self.inv_norms[1];
         for r in 1..self.degree {
             let rf = r as f64;
-            let next =
-                ((2.0 * rf + 1.0) * z * curr - rf * (n * n - rf * rf) * prev) / (rf + 1.0);
+            let next = ((2.0 * rf + 1.0) * z * curr - rf * (n * n - rf * rf) * prev) / (rf + 1.0);
             prev = curr;
             curr = next;
             out[r + 1] = curr * self.inv_norms[r + 1];
@@ -211,10 +213,7 @@ mod tests {
             for x in 0..len {
                 let direct = basis.evaluate(x);
                 for r in 0..=degree {
-                    let horner = coeffs[r]
-                        .iter()
-                        .rev()
-                        .fold(0.0, |acc, &c| acc * x as f64 + c);
+                    let horner = coeffs[r].iter().rev().fold(0.0, |acc, &c| acc * x as f64 + c);
                     assert!(
                         (horner - direct[r]).abs() < 1e-7 * (1.0 + direct[r].abs()),
                         "len {len}, r {r}, x {x}: {horner} vs {direct:?}"

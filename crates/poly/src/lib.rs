@@ -33,11 +33,13 @@
 //! assert!(pp.l2_distance_dense(&values).unwrap() < 0.5);
 //! ```
 
+pub mod estimator;
 pub mod fitpoly;
 pub mod gram;
 pub mod lsq;
 pub mod piecewise;
 
+pub use estimator::PiecewisePoly;
 pub use fitpoly::{fit_polynomial, fit_to_piece, FitPolyOracle, PolynomialFit};
 pub use gram::{evaluate_gram, GramBasis};
 pub use lsq::least_squares_fit;

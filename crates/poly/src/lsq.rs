@@ -3,10 +3,10 @@
 //! [`crate::fitpoly`].
 //!
 //! The fit solves the normal equations `(VᵀV)·c = Vᵀy` for the Vandermonde
-//! matrix `V` of local monomials with Gaussian elimination. This is `O(|I|·d²
-//! + d³)` per interval and numerically inferior to the orthogonal-basis
-//! projection, but straightforward to audit — which is exactly what a test
-//! reference should be.
+//! matrix `V` of local monomials with Gaussian elimination. This is
+//! `O(|I|·d² + d³)` per interval and numerically inferior to the
+//! orthogonal-basis projection, but straightforward to audit — which is
+//! exactly what a test reference should be.
 
 use hist_core::{Error, Interval, PolynomialPiece, Result};
 
@@ -56,6 +56,7 @@ pub fn least_squares_fit(
 }
 
 /// Solves `A·x = b` in place by Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)]
 fn solve_gaussian(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
@@ -103,7 +104,8 @@ mod tests {
 
     #[test]
     fn fits_exact_polynomials() {
-        let values: Vec<f64> = (0..40).map(|i| 3.0 - 0.5 * i as f64 + 0.25 * (i * i) as f64).collect();
+        let values: Vec<f64> =
+            (0..40).map(|i| 3.0 - 0.5 * i as f64 + 0.25 * (i * i) as f64).collect();
         let interval = Interval::new(0, 39).unwrap();
         let (piece, sse) = least_squares_fit(&values, interval, 2).unwrap();
         assert!(sse < 1e-10);

@@ -108,7 +108,8 @@ mod tests {
 
     #[test]
     fn sparse_signal_over_large_domain() {
-        let entries: Vec<(usize, f64)> = (0..30).map(|i| (i * 33_331, (i % 5) as f64 + 0.5)).collect();
+        let entries: Vec<(usize, f64)> =
+            (0..30).map(|i| (i * 33_331, (i % 5) as f64 + 0.5)).collect();
         let q = SparseFunction::new(1_000_000, entries).unwrap();
         let params = MergingParams::paper_defaults(5).unwrap();
         let out = fit_piecewise_polynomial(&q, &params, 2).unwrap();

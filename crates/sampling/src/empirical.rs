@@ -76,11 +76,8 @@ impl EmpiricalDistribution {
     /// The empirical distribution as a sparse function (the input handed to the
     /// merging algorithms).
     pub fn to_sparse(&self) -> SparseFunction {
-        let entries: Vec<(usize, f64)> = self
-            .counts
-            .iter()
-            .map(|&(v, c)| (v, c as f64 / self.num_samples as f64))
-            .collect();
+        let entries: Vec<(usize, f64)> =
+            self.counts.iter().map(|&(v, c)| (v, c as f64 / self.num_samples as f64)).collect();
         SparseFunction::new(self.domain, entries)
             .expect("counts are sorted, distinct, and within the domain")
     }

@@ -1,0 +1,157 @@
+//! [`Estimator`] adapter for the agnostic sample learner of Theorem 2.1.
+
+use hist_core::{Distribution, Estimator, EstimatorBuilder, FittedModel, Result, Signal, Synopsis};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::alias::AliasSampler;
+use crate::empirical::sample_complexity;
+use crate::learn::{learn_histogram_from_samples, LearnerConfig, MergingVariant};
+
+/// The two-stage agnostic histogram learner as an [`Estimator`].
+///
+/// * A signal built via [`Signal::from_samples`] is already the empirical
+///   distribution `p̂_m`, so only stage 2 (merging) runs — the entry point for
+///   samples arriving from an external source.
+/// * Any other signal is treated as the (unnormalized) probability weights of
+///   the unknown distribution: the learner normalizes it, draws its own
+///   `m = O(ε⁻²·log(1/δ))` samples (deterministically, from
+///   [`EstimatorBuilder::seed`]), and learns from those — the full Theorem 2.1
+///   pipeline, never reading the signal beyond sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleLearner {
+    builder: EstimatorBuilder,
+    variant: MergingVariant,
+}
+
+impl SampleLearner {
+    /// A learner post-processing with pair merging (Algorithm 1).
+    pub fn new(builder: EstimatorBuilder) -> Self {
+        Self { builder, variant: MergingVariant::Pairs }
+    }
+
+    /// A learner post-processing with aggressive group merging
+    /// (`fastmerging`).
+    pub fn fast(builder: EstimatorBuilder) -> Self {
+        Self { builder, variant: MergingVariant::Groups }
+    }
+
+    /// The learner configuration, reusing the builder's merging knobs
+    /// verbatim; errors on invalid merging parameters.
+    fn config(&self) -> Result<LearnerConfig> {
+        let merging = self.builder.merging_params()?;
+        Ok(LearnerConfig {
+            k: self.builder.k(),
+            epsilon: self.builder.learner_epsilon(),
+            delta: self.builder.learner_fail_prob(),
+            merge_delta: merging.delta(),
+            merge_gamma: merging.gamma(),
+            variant: self.variant,
+        })
+    }
+
+    /// The number of samples this learner draws when it has to sample itself.
+    pub fn sample_size(&self) -> usize {
+        self.builder.sample_size_override().unwrap_or_else(|| {
+            sample_complexity(self.builder.learner_epsilon(), self.builder.learner_fail_prob())
+        })
+    }
+}
+
+impl Estimator for SampleLearner {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            MergingVariant::Pairs => "sample-learner",
+            MergingVariant::Groups => "sample-learner-fast",
+        }
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        self.builder.validate()?;
+        let config = self.config()?;
+        let learned = if let Some(m) = signal.num_samples() {
+            // Stage 2 only: the signal already is the empirical distribution.
+            crate::learn::learn_histogram_from_empirical(signal.as_sparse().as_ref(), m, &config)?
+        } else {
+            let p = Distribution::from_weights(&signal.dense_values())?;
+            let sampler = AliasSampler::new(&p)?;
+            let mut rng = StdRng::seed_from_u64(self.builder.seed_value());
+            let samples = sampler.sample_many(self.sample_size(), &mut rng);
+            learn_histogram_from_samples(signal.domain(), &samples, &config)?
+        };
+        Ok(Synopsis::new(self.name(), self.builder.k(), FittedModel::Histogram(learned.histogram)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hist_core::DiscreteFunction;
+
+    fn step_weights() -> Vec<f64> {
+        (0..120)
+            .map(|i| match i {
+                _ if i < 30 => 1.0,
+                _ if i < 60 => 4.0,
+                _ if i < 100 => 0.5,
+                _ => 2.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_from_a_distribution_signal() {
+        let weights = step_weights();
+        let signal = Signal::from_dense(weights.clone()).unwrap();
+        let learner = SampleLearner::new(EstimatorBuilder::new(4).epsilon(0.02).fail_prob(0.05));
+        let synopsis = learner.fit(&signal).unwrap();
+
+        let p = Distribution::from_weights(&weights).unwrap();
+        let err: f64 = synopsis
+            .to_dense()
+            .iter()
+            .zip(p.pmf())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err <= 0.04, "4-histogram target must be learned to O(ε), got {err}");
+        assert!(synopsis.num_pieces() <= 11);
+    }
+
+    #[test]
+    fn learns_from_an_explicit_sample_signal() {
+        let p = Distribution::from_weights(&step_weights()).unwrap();
+        let sampler = AliasSampler::new(&p).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = sampler.sample_many(50_000, &mut rng);
+        let signal = Signal::from_samples(120, &samples).unwrap();
+
+        let learner = SampleLearner::new(EstimatorBuilder::new(4));
+        let synopsis = learner.fit(&signal).unwrap();
+        let err: f64 = synopsis
+            .to_dense()
+            .iter()
+            .zip(p.pmf())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 0.03, "stage-2 learning from 50k samples, got {err}");
+    }
+
+    #[test]
+    fn deterministic_given_the_seed() {
+        let signal = Signal::from_dense(step_weights()).unwrap();
+        let learner = SampleLearner::new(EstimatorBuilder::new(4).samples(5_000).seed(99));
+        let a = learner.fit(&signal).unwrap();
+        let b = learner.fit(&signal).unwrap();
+        assert_eq!(a.histogram(), b.histogram());
+    }
+
+    #[test]
+    fn fast_variant_reports_its_name() {
+        let learner = SampleLearner::fast(EstimatorBuilder::new(4).samples(2_000));
+        assert_eq!(learner.name(), "sample-learner-fast");
+        let signal = Signal::from_dense(step_weights()).unwrap();
+        assert!(learner.fit(&signal).is_ok());
+    }
+}

@@ -44,7 +44,14 @@ impl LearnerConfig {
     /// The configuration used in the paper's experiments for a given `k`, `ε`
     /// and `δ`.
     pub fn paper(k: usize, epsilon: f64, delta: f64) -> Self {
-        Self { k, epsilon, delta, merge_delta: 1000.0, merge_gamma: 1.0, variant: MergingVariant::Pairs }
+        Self {
+            k,
+            epsilon,
+            delta,
+            merge_delta: 1000.0,
+            merge_gamma: 1.0,
+            variant: MergingVariant::Pairs,
+        }
     }
 
     /// The number of samples the learner will draw.
@@ -79,14 +86,24 @@ pub fn learn_histogram_from_samples(
     config: &LearnerConfig,
 ) -> Result<LearnedHistogram> {
     let empirical = EmpiricalDistribution::from_samples(domain, samples)?;
-    let sparse = empirical.to_sparse();
+    learn_histogram_from_empirical(&empirical.to_sparse(), samples.len(), config)
+}
+
+/// Stage 2 on an already-materialized empirical distribution `p̂_m` (stored as
+/// a sparse function); the entry point of the [`SampleLearner`]
+/// (crate::SampleLearner) estimator when the signal carries its own samples.
+pub fn learn_histogram_from_empirical(
+    empirical: &hist_core::SparseFunction,
+    num_samples: usize,
+    config: &LearnerConfig,
+) -> Result<LearnedHistogram> {
     let params = config.merging_params()?;
     let histogram = match config.variant {
-        MergingVariant::Pairs => construct_histogram(&sparse, &params)?,
-        MergingVariant::Groups => construct_histogram_fast(&sparse, &params)?,
+        MergingVariant::Pairs => construct_histogram(empirical, &params)?,
+        MergingVariant::Groups => construct_histogram_fast(empirical, &params)?,
     };
-    let empirical_error = histogram.l2_distance_sparse(&sparse)?;
-    Ok(LearnedHistogram { histogram, num_samples: samples.len(), empirical_error })
+    let empirical_error = histogram.l2_distance_sparse(empirical)?;
+    Ok(LearnedHistogram { histogram, num_samples, empirical_error })
 }
 
 /// The full two-stage learner of Theorem 2.1: draws `m = O(ε⁻²·log(1/δ))`

@@ -35,6 +35,7 @@
 
 pub mod alias;
 pub mod empirical;
+pub mod estimator;
 pub mod learn;
 pub mod minimax;
 pub mod multiscale;
@@ -43,9 +44,10 @@ pub mod streaming;
 
 pub use alias::{AliasSampler, InverseCdfSampler};
 pub use empirical::{sample_complexity, EmpiricalDistribution};
+pub use estimator::SampleLearner;
 pub use learn::{
-    learn_histogram, learn_histogram_from_samples, learn_histogram_with_sample_size,
-    LearnedHistogram, LearnerConfig, MergingVariant,
+    learn_histogram, learn_histogram_from_empirical, learn_histogram_from_samples,
+    learn_histogram_with_sample_size, LearnedHistogram, LearnerConfig, MergingVariant,
 };
 pub use minimax::{
     distinguish, hellinger_lower_bound, sample_lower_bound, two_point_pair, DistinguisherVerdict,

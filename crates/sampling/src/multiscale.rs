@@ -111,12 +111,7 @@ mod tests {
     }
 
     fn l2_to_distribution(h: &Histogram, p: &Distribution) -> f64 {
-        h.to_dense()
-            .iter()
-            .zip(p.pmf())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        h.to_dense().iter().zip(p.pmf()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     #[test]

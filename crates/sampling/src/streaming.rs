@@ -126,8 +126,17 @@ mod tests {
     use rand::SeedableRng;
 
     fn target() -> Distribution {
-        let weights: Vec<f64> =
-            (0..400).map(|i| if i < 150 { 4.0 } else if i < 300 { 1.0 } else { 6.0 }).collect();
+        let weights: Vec<f64> = (0..400)
+            .map(|i| {
+                if i < 150 {
+                    4.0
+                } else if i < 300 {
+                    1.0
+                } else {
+                    6.0
+                }
+            })
+            .collect();
         Distribution::from_weights(&weights).unwrap()
     }
 
@@ -171,7 +180,10 @@ mod tests {
 
         assert_eq!(whole, merged);
         let config = LearnerConfig::paper(3, 0.05, 0.1);
-        assert_eq!(whole.histogram(&config).unwrap().histogram, merged.histogram(&config).unwrap().histogram);
+        assert_eq!(
+            whole.histogram(&config).unwrap().histogram,
+            merged.histogram(&config).unwrap().histogram
+        );
     }
 
     #[test]

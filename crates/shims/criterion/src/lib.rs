@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of criterion's API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`Throughput`], [`criterion_group!`] and [`criterion_main!`] — backed by a
+//! simple adaptive wall-clock loop. Results are printed as
+//! `group/name  time: <mean> (<iters> iters)` lines; no statistics, plots or
+//! baselines are recorded. Honors `CRITERION_QUICK=1` for an even shorter
+//! measurement window (used by CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Measurement settings shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Settings {
+    fn quick() -> bool {
+        std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+    }
+
+    fn effective_measurement(&self) -> Duration {
+        if Self::quick() {
+            Duration::from_millis(20)
+        } else {
+            self.measurement_time
+        }
+    }
+
+    fn effective_warm_up(&self) -> Duration {
+        if Self::quick() {
+            Duration::from_millis(5)
+        } else {
+            self.warm_up_time
+        }
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Entry point of the harness; create via [`Criterion::default`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI-configuration hook; arguments are ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings, _parent: self }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.settings, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion tunes its statistics with this; the shim only keeps the
+    /// setting for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Records the work per iteration (reported but not otherwise used).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.settings, f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` with parameter `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// A benchmark identified by its parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.name, p),
+            (false, None) => write!(f, "{}", self.name),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name, parameter: None }
+    }
+}
+
+/// The amount of work one iteration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code under
+/// measurement.
+pub struct Bencher {
+    settings: Settings,
+    /// Mean seconds per iteration and iteration count, filled by `iter`.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measures `f`, first warming up, then running it until the measurement
+    /// window is filled.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up: also yields a first timing estimate.
+        let warm_up = self.settings.effective_warm_up();
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let window = self.settings.effective_measurement().as_secs_f64();
+        let iters = ((window / per_iter.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        self.result = Some((elapsed / iters as f64, iters));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut f: F) {
+    let mut bencher = Bencher { settings, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some((seconds, iters)) => {
+            println!("{label:<60} time: {:>12} ({iters} iters)", format_seconds(seconds));
+        }
+        None => println!("{label:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares the benchmark functions of one bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the `main` function of one bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10).measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("algo", 32).to_string(), "algo/32");
+        let plain: BenchmarkId = "plain".into();
+        assert_eq!(plain.to_string(), "plain");
+    }
+}

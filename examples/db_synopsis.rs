@@ -4,28 +4,20 @@
 //!
 //! This is the motivating workload of the paper's introduction: the histogram
 //! is a succinct synopsis whose size (`O(k)` numbers) is tiny compared to the
-//! column, yet range aggregates remain accurate.
+//! column, yet range aggregates remain accurate. The whole flow — fitting and
+//! query answering — runs through the unified `Signal → Estimator → Synopsis`
+//! API.
 //!
 //! ```text
 //! cargo run --release --example db_synopsis
 //! ```
 
 use approx_hist::datasets::zipf_frequencies;
-use approx_hist::{construct_histogram, DiscreteFunction, Interval, MergingParams, SparseFunction};
+use approx_hist::{DiscreteFunction, Estimator, EstimatorBuilder, GreedyMerging, Interval, Signal};
 
 /// Exact range count from the raw column.
 fn exact_range_count(column: &[f64], range: Interval) -> f64 {
     column[range.as_range()].iter().sum()
-}
-
-/// Approximate range count from the histogram synopsis only.
-fn synopsis_range_count(histogram: &approx_hist::Histogram, range: Interval) -> f64 {
-    histogram
-        .pieces()
-        .filter_map(|(interval, value)| {
-            interval.intersection(&range).map(|overlap| value * overlap.len() as f64)
-        })
-        .sum()
 }
 
 fn main() {
@@ -38,9 +30,9 @@ fn main() {
     // Build a 64-piece synopsis. The column is dense, but the same code path
     // handles arbitrary sparse columns.
     let k = 64;
-    let q = SparseFunction::from_dense_keep_zeros(&column).expect("finite column");
-    let params = MergingParams::paper_defaults(k).expect("k >= 1");
-    let synopsis = construct_histogram(&q, &params).expect("valid column");
+    let signal = Signal::from_slice(&column).expect("finite column");
+    let estimator = GreedyMerging::new(EstimatorBuilder::new(k));
+    let synopsis = estimator.fit(&signal).expect("valid column");
 
     println!("column:   {n} items, total count {total:.0}");
     println!(
@@ -50,7 +42,8 @@ fn main() {
         200.0 * synopsis.num_pieces() as f64 / n as f64
     );
 
-    // Answer a few range-count queries from the synopsis alone.
+    // Answer a few range-count queries from the synopsis alone — this is
+    // `Synopsis::mass`, the selectivity estimate of a query optimizer.
     let queries = [
         Interval::new(0, 999).unwrap(),
         Interval::new(10_000, 19_999).unwrap(),
@@ -60,15 +53,26 @@ fn main() {
     println!("\n{:>24}  {:>14}  {:>14}  {:>10}", "range", "exact", "estimate", "rel. error");
     for query in queries {
         let exact = exact_range_count(&column, query);
-        let estimate = synopsis_range_count(&synopsis, query);
+        let estimate = synopsis.mass(query).expect("range inside domain");
         let rel = if exact > 0.0 { (estimate - exact).abs() / exact } else { 0.0 };
-        println!("{:>24}  {exact:>14.0}  {estimate:>14.0}  {rel:>9.4}%", format!("{query}"), rel = 100.0 * rel);
+        println!(
+            "{:>24}  {exact:>14.0}  {estimate:>14.0}  {rel:>9.4}%",
+            format!("{query}"),
+            rel = 100.0 * rel
+        );
     }
+
+    // Quantile serving: which item index splits the mass in half?
+    println!(
+        "\nmedian-mass item (synopsis): {}  |  cdf(1000) = {:.4}",
+        synopsis.quantile(0.5).expect("positive mass"),
+        synopsis.cdf(1_000).expect("in domain"),
+    );
 
     // The synopsis is also a bona fide discrete function: point lookups work too.
     let hot_item = (0..n).max_by(|&a, &b| column[a].partial_cmp(&column[b]).unwrap()).unwrap();
     println!(
-        "\nhottest item {hot_item}: true count {:.0}, synopsis estimate {:.0}",
+        "hottest item {hot_item}: true count {:.0}, synopsis estimate {:.0}",
         column[hot_item],
         synopsis.value(hot_item)
     );

@@ -1,16 +1,18 @@
 //! Agnostic learning from samples (Theorem 2.1): approximate an unknown
 //! distribution from i.i.d. draws — without ever reading the full domain —
 //! and watch the error approach the best achievable `opt_k` as the sample
-//! size grows.
+//! size grows. Samples flow through `Signal::from_samples` into the same
+//! `SampleLearner` estimator the benches use.
 //!
 //! ```text
 //! cargo run --release --example learn_from_samples
 //! ```
 
-use approx_hist::baselines;
-use approx_hist::datasets::{subsample_to_distribution, dow_dataset};
-use approx_hist::sampling::{learn_histogram_with_sample_size, sample_complexity, LearnerConfig};
-use approx_hist::DiscreteFunction;
+use approx_hist::datasets::{dow_dataset, subsample_to_distribution};
+use approx_hist::sampling::{sample_complexity, AliasSampler};
+use approx_hist::{
+    DiscreteFunction, Estimator, EstimatorBuilder, EstimatorKind, SampleLearner, Signal,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,7 +21,7 @@ fn main() {
     // (the Dow-Jones-like series, subsampled 16x and normalized).
     let p = subsample_to_distribution(&dow_dataset(), 16).expect("valid series");
     let k = 50;
-    let config = LearnerConfig::paper(k, 0.01, 0.05);
+    let builder = EstimatorBuilder::new(k).epsilon(0.01).fail_prob(0.05);
 
     // The information-theoretically required sample size for ε = 0.01, δ = 0.05.
     println!(
@@ -29,27 +31,33 @@ fn main() {
     );
 
     // The best any k-histogram can do against the true distribution.
-    let opt_k = baselines::exact_histogram_pruned(p.pmf(), k).expect("valid pmf").error();
+    let truth = Signal::from_slice(p.pmf()).expect("valid pmf");
+    let opt_k = EstimatorKind::ExactDp
+        .build(builder)
+        .fit(&truth)
+        .expect("valid pmf")
+        .l2_error(&truth)
+        .expect("same domain");
     println!("best achievable error with {k} pieces: opt_k = {opt_k:.5}\n");
 
     println!("{:>10}  {:>12}  {:>12}  {:>8}", "samples", "l2 error", "vs opt_k", "pieces");
+    let sampler = AliasSampler::new(&p).expect("valid distribution");
     let mut rng = StdRng::seed_from_u64(2015);
+    let learner = SampleLearner::new(builder);
     for m in [500usize, 2_000, 8_000, 32_000, 128_000] {
-        let learned =
-            learn_histogram_with_sample_size(&p, m, &config, &mut rng).expect("valid distribution");
-        let error: f64 = learned
-            .histogram
+        // Samples arrive from an external source (here: the alias sampler);
+        // wrapping them as a Signal runs stage 2 of the learner only.
+        let samples = sampler.sample_many(m, &mut rng);
+        let signal = Signal::from_samples(p.domain(), &samples).expect("non-empty samples");
+        let synopsis = learner.fit(&signal).expect("valid empirical signal");
+        let error: f64 = synopsis
             .to_dense()
             .iter()
             .zip(p.pmf())
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();
-        println!(
-            "{m:>10}  {error:>12.5}  {:>12.3}  {:>8}",
-            error / opt_k,
-            learned.histogram.num_pieces()
-        );
+        println!("{m:>10}  {error:>12.5}  {:>12.3}  {:>8}", error / opt_k, synopsis.num_pieces());
     }
 
     println!("\nThe error converges towards opt_k — the learner pays only an additive ε");

@@ -2,18 +2,22 @@
 //! histograms for *every* size at once, so the right size can be picked after
 //! the fact — here, the smallest histogram meeting an error budget.
 //!
+//! The per-`k` query goes through the unified `Hierarchical` estimator; the
+//! full Pareto sweep uses the `MultiScaleLearner`, whose whole-curve view is
+//! the one capability a single fitted synopsis intentionally does not carry.
+//!
 //! ```text
 //! cargo run --release --example multiscale_budget
 //! ```
 
 use approx_hist::datasets::{dow_dataset, subsample_to_distribution};
 use approx_hist::sampling::MultiScaleLearner;
-use approx_hist::DiscreteFunction;
+use approx_hist::{DiscreteFunction, Estimator, EstimatorBuilder, Hierarchical, Signal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    // The unknown distribution (dow'), learned from 50 000 samples.
+    // The unknown distribution (dow'), learned from samples.
     let p = subsample_to_distribution(&dow_dataset(), 16).expect("valid series");
     let mut rng = StdRng::seed_from_u64(7);
     let learner = MultiScaleLearner::learn(&p, 0.005, 0.05, &mut rng).expect("valid distribution");
@@ -51,10 +55,15 @@ fn main() {
         }
     }
 
-    // The Theorem 2.2 query: a near-optimal histogram for a specific k.
-    let (h, estimate) = learner.histogram_for_k(50);
+    // The Theorem 2.2 query for a specific k, through the unified API: the
+    // same empirical samples, wrapped as a Signal, fitted by the hierarchical
+    // estimator.
+    let empirical = Signal::from_sparse(learner.empirical().clone());
+    let hierarchical = Hierarchical::new(EstimatorBuilder::new(50));
+    let synopsis = hierarchical.fit(&empirical).expect("valid empirical signal");
     println!(
-        "\nfor k = 50: {} pieces, estimated error {estimate:.5} (Theorem 2.2 guarantees ≤ 2·opt_50 + ε)",
-        h.num_pieces()
+        "\nfor k = 50 (unified API): {} pieces, empirical error {:.5} (Theorem 2.2 guarantees ≤ 2·opt_50 + ε)",
+        synopsis.num_pieces(),
+        synopsis.l2_error(&empirical).expect("same domain"),
     );
 }

@@ -1,13 +1,13 @@
-//! Quickstart: compress a noisy step signal into a small histogram in a few
-//! lines, and compare against the exact V-optimal optimum.
+//! Quickstart: compress a noisy step signal into a small histogram synopsis
+//! in a few lines of the unified Estimator API, and compare against the exact
+//! V-optimal optimum.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use approx_hist::baselines;
 use approx_hist::datasets::{hist_dataset_with, HistDatasetParams};
-use approx_hist::{construct_histogram, MergingParams, SparseFunction};
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal};
 
 fn main() {
     // A noisy signal whose ground truth is a 10-piece histogram (the paper's
@@ -16,30 +16,41 @@ fn main() {
     let n = noisy.len();
     let k = 10;
 
-    // Step 1: wrap the signal. Dense signals are just n-sparse functions.
-    let q = SparseFunction::from_dense_keep_zeros(&noisy).expect("finite signal");
+    // Step 1: wrap the signal. Dense vectors, slices, sparse functions and
+    // sample multisets all become a `Signal`.
+    let signal = Signal::from_slice(&noisy).expect("finite signal");
 
-    // Step 2: pick the merging parameters. `paper_defaults` reproduces the
-    // parameterization of the paper's experiments (δ = 1000, γ = 1, ≈ 2k+1 pieces).
-    let params = MergingParams::paper_defaults(k).expect("k >= 1");
+    // Step 2: configure an estimator. The builder's defaults reproduce the
+    // paper's parameterization (δ = 1000, γ = 1, ≈ 2k+1 pieces).
+    let builder = EstimatorBuilder::new(k);
+    let merging = EstimatorKind::Merging.build(builder);
 
-    // Step 3: construct the histogram (runs in O(n) time).
-    let histogram = construct_histogram(&q, &params).expect("valid signal");
-    let error = histogram.l2_distance_dense(&noisy).expect("same domain");
+    // Step 3: fit. Every algorithm in the workspace runs behind this one call.
+    let synopsis = merging.fit(&signal).expect("valid signal");
+    let error = synopsis.l2_error(&signal).expect("same domain");
 
-    // Reference: the exact V-optimal k-histogram.
-    let exact = baselines::exact_histogram_pruned(&noisy, k).expect("valid signal");
+    // Reference: the exact V-optimal k-histogram through the same trait.
+    let exact = EstimatorKind::ExactDp.build(builder).fit(&signal).expect("valid signal");
+    let exact_error = exact.l2_error(&signal).expect("same domain");
 
     println!("input:              n = {n}, target pieces k = {k}");
     println!(
         "merging:            {} pieces, l2 error {:.3} (vs optimum {:.3}, ratio {:.3})",
-        histogram.num_pieces(),
+        synopsis.num_pieces(),
         error,
-        exact.error(),
-        error / exact.error()
+        exact_error,
+        error / exact_error
     );
     println!("first three pieces of the merged histogram:");
+    let histogram = synopsis.histogram().expect("merging produces a histogram");
     for (interval, value) in histogram.pieces().take(3) {
         println!("  {interval}  ->  {value:.3}");
     }
+
+    // The synopsis is immediately query-ready.
+    println!(
+        "\nsynopsis queries:   cdf(n/2) = {:.3}, median index = {}",
+        synopsis.cdf(n / 2).expect("in domain"),
+        synopsis.quantile(0.5).expect("positive mass"),
+    );
 }

@@ -2,13 +2,63 @@
 //!
 //! A from-scratch Rust reproduction of
 //! *Fast and Near-Optimal Algorithms for Approximating Distributions by
-//! Histograms* (Acharya, Diakonikolas, Hegde, Li, Schmidt — PODS 2015).
+//! Histograms* (Acharya, Diakonikolas, Hegde, Li, Schmidt — PODS 2015),
+//! served behind one unified estimation API.
+//!
+//! ## The unified API
+//!
+//! Every construction algorithm in the workspace — the paper's merging
+//! algorithms, the exact V-optimal DPs, the classical baselines, the
+//! piecewise-polynomial fitter and the sampling-based learners — implements
+//! one object-safe trait:
+//!
+//! ```text
+//!   Signal ──► Estimator::fit ──► Synopsis ──► mass / cdf / quantile / l2_error
+//! ```
+//!
+//! * [`Signal`] unifies the input shapes (sparse function, dense vector,
+//!   borrowed slice, empirical samples) behind cheap conversions;
+//! * [`Estimator`] is the algorithm interface; concrete estimators are thin
+//!   adapter structs ([`GreedyMerging`], [`FastMerging`], [`Hierarchical`],
+//!   [`PiecewisePoly`], [`ExactDp`], [`GksQuantile`], [`SampleLearner`], …),
+//!   each configured through one builder-style [`EstimatorBuilder`];
+//! * [`Synopsis`] wraps the fitted model with the query methods a serving
+//!   system needs, in `O(log k)` per query.
+//!
+//! ```
+//! use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal};
+//!
+//! // A step signal: three plateaus over [0, 1000).
+//! let values: Vec<f64> = (0..1000).map(|i| ((i / 100) % 3) as f64 + 1.0).collect();
+//! let signal = Signal::from_dense(values).unwrap();
+//!
+//! // Fit it with the paper's merging algorithm (δ = 1000, γ = 1, ≈ 2k+1 pieces)…
+//! let estimator = EstimatorKind::Merging.build(EstimatorBuilder::new(10));
+//! let synopsis = estimator.fit(&signal).unwrap();
+//! assert!(synopsis.num_pieces() <= 23); // O(k) pieces for k = 10
+//! assert!(synopsis.l2_error(&signal).unwrap() < 1e-9); // exact recovery
+//!
+//! // …and serve queries from the synopsis alone.
+//! use approx_hist::Interval;
+//! let range = Interval::new(0, 499).unwrap();
+//! assert!((synopsis.mass(range).unwrap() - 900.0).abs() < 1e-6);
+//! assert!(synopsis.cdf(999).unwrap() > 0.999);
+//!
+//! // The same signal can be fitted by every other algorithm through the same
+//! // trait — this is how the bench harness compares them.
+//! for estimator in approx_hist::all_estimators(EstimatorBuilder::new(10)) {
+//!     let synopsis = estimator.fit(&signal).unwrap();
+//!     assert_eq!(synopsis.domain(), 1000);
+//! }
+//! ```
+//!
+//! ## Workspace layout
 //!
 //! This facade crate re-exports the whole workspace behind one dependency:
 //!
-//! * [`core`](mod@core) (`hist-core`) — the data model and the merging
+//! * [`core`](mod@core) (`hist-core`) — the data model, the merging
 //!   algorithms (Algorithm 1, Algorithm 2, `fastmerging`, the generalized
-//!   oracle-driven merging);
+//!   oracle-driven merging) and the `Signal`/`Estimator`/`Synopsis` API;
 //! * [`poly`] (`hist-poly`) — discrete Chebyshev (Gram) polynomial projection
 //!   and piecewise-polynomial fitting (Section 4);
 //! * [`baselines`] (`hist-baselines`) — the exact V-optimal DP, the dual
@@ -18,19 +68,8 @@
 //! * [`datasets`] (`hist-datasets`) — the evaluation workloads (Figure 1) and
 //!   additional synthetic families.
 //!
-//! The most common entry points are re-exported at the crate root:
-//!
-//! ```
-//! use approx_hist::{construct_histogram, MergingParams, SparseFunction};
-//!
-//! let values: Vec<f64> = (0..1000).map(|i| ((i / 100) % 3) as f64).collect();
-//! let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-//! let h = construct_histogram(&q, &MergingParams::paper_defaults(5).unwrap()).unwrap();
-//! assert!(h.num_pieces() <= 13); // O(k) pieces for k = 5
-//! ```
-//!
-//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for the
-//! harness regenerating every table and figure of the paper.
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the harness regenerating every table and figure of the paper.
 
 pub use hist_baselines as baselines;
 pub use hist_core as core;
@@ -38,16 +77,113 @@ pub use hist_datasets as datasets;
 pub use hist_poly as poly;
 pub use hist_sampling as sampling;
 
+// The unified estimation API.
+pub use hist_baselines::{DualGreedy, EqualMass, EqualWidth, ExactDp, GksQuantile, GreedySplit};
 pub use hist_core::{
-    construct_general, construct_hierarchical_histogram, construct_histogram,
-    construct_histogram_dense, construct_histogram_fast, flatten, flatten_dense, Distribution,
-    Histogram, Interval, MergingParams, Partition, PiecewisePolynomial, SparseFunction,
+    Estimator, EstimatorBuilder, FastMerging, FittedModel, GreedyMerging, Hierarchical, Signal,
+    Synopsis,
 };
-pub use hist_core::{DiscreteFunction, Error, Result};
-pub use hist_poly::{fit_piecewise_polynomial, FitPolyOracle};
-pub use hist_sampling::{
-    learn_histogram, learn_histogram_from_samples, LearnerConfig, MultiScaleLearner,
+pub use hist_poly::PiecewisePoly;
+pub use hist_sampling::SampleLearner;
+
+// The shared data model.
+pub use hist_core::{
+    DenseFunction, DiscreteFunction, Distribution, Error, Histogram, Interval, MergingParams,
+    Partition, PiecewisePolynomial, Result, SparseFunction,
 };
+
+/// Every estimator the facade can instantiate, for registry-style dispatch
+/// (benches, comparison tables, servers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// Algorithm 1 with the builder's parameters — the paper's `merging`.
+    Merging,
+    /// Algorithm 1 invoked with `k/2` (≈ `k + 1` pieces) — `merging2`.
+    Merging2,
+    /// Aggressive group merging — `fastmerging`.
+    FastMerging,
+    /// Aggressive group merging invoked with `k/2` — `fastmerging2`.
+    FastMerging2,
+    /// Algorithm 2, serving the level for the builder's `k`.
+    Hierarchical,
+    /// The generalized merging algorithm with the degree-`d` oracle.
+    PiecewisePoly,
+    /// Exact V-optimal DP (pruned; identical optimum, practical time).
+    ExactDp,
+    /// Exact V-optimal DP (naive `O(n²k)` textbook variant).
+    ExactDpNaive,
+    /// Dual greedy of [JKM+98] with a binary-search primal wrapper.
+    Dual,
+    /// AHIST-style `(1 + δ)`-approximate compressed-row DP.
+    Gks,
+    /// Equi-width buckets.
+    EqualWidth,
+    /// Equi-depth buckets.
+    EqualMass,
+    /// Top-down greedy splitting.
+    GreedySplit,
+    /// Two-stage agnostic sample learner (Theorem 2.1).
+    SampleLearner,
+}
+
+impl EstimatorKind {
+    /// Instantiates the estimator with the given configuration.
+    pub fn build(self, builder: EstimatorBuilder) -> Box<dyn Estimator> {
+        // The "2" variants halve the budget — but keep an invalid k = 0 as is,
+        // so they reject it at fit time exactly like every other estimator.
+        let half =
+            if builder.k() == 0 { builder } else { builder.with_k((builder.k() / 2).max(1)) };
+        match self {
+            EstimatorKind::Merging => Box::new(GreedyMerging::new(builder)),
+            EstimatorKind::Merging2 => Box::new(GreedyMerging::named("merging2", half)),
+            EstimatorKind::FastMerging => Box::new(FastMerging::new(builder)),
+            EstimatorKind::FastMerging2 => Box::new(FastMerging::named("fastmerging2", half)),
+            EstimatorKind::Hierarchical => Box::new(Hierarchical::new(builder)),
+            EstimatorKind::PiecewisePoly => Box::new(PiecewisePoly::new(builder)),
+            EstimatorKind::ExactDp => Box::new(ExactDp::new(builder)),
+            EstimatorKind::ExactDpNaive => Box::new(ExactDp::naive(builder)),
+            EstimatorKind::Dual => Box::new(DualGreedy::new(builder)),
+            EstimatorKind::Gks => Box::new(GksQuantile::new(builder)),
+            EstimatorKind::EqualWidth => Box::new(EqualWidth::new(builder)),
+            EstimatorKind::EqualMass => Box::new(EqualMass::new(builder)),
+            EstimatorKind::GreedySplit => Box::new(GreedySplit::new(builder)),
+            EstimatorKind::SampleLearner => Box::new(SampleLearner::new(builder)),
+        }
+    }
+
+    /// All registry entries, in a stable display order.
+    pub fn all() -> Vec<EstimatorKind> {
+        vec![
+            EstimatorKind::Merging,
+            EstimatorKind::Merging2,
+            EstimatorKind::FastMerging,
+            EstimatorKind::FastMerging2,
+            EstimatorKind::Hierarchical,
+            EstimatorKind::PiecewisePoly,
+            EstimatorKind::ExactDp,
+            EstimatorKind::ExactDpNaive,
+            EstimatorKind::Dual,
+            EstimatorKind::Gks,
+            EstimatorKind::EqualWidth,
+            EstimatorKind::EqualMass,
+            EstimatorKind::GreedySplit,
+            EstimatorKind::SampleLearner,
+        ]
+    }
+}
+
+/// One instance of every estimator in the workspace, configured from the same
+/// builder — the fleet benches and consistency tests iterate over.
+///
+/// Excludes the naive exact DP (same optimum as [`EstimatorKind::ExactDp`] at
+/// quadratic cost); add it explicitly when cross-checking the DPs.
+pub fn all_estimators(builder: EstimatorBuilder) -> Vec<Box<dyn Estimator>> {
+    EstimatorKind::all()
+        .into_iter()
+        .filter(|kind| *kind != EstimatorKind::ExactDpNaive)
+        .map(|kind| kind.build(builder))
+        .collect()
+}
 
 #[cfg(test)]
 mod tests {
@@ -56,11 +192,37 @@ mod tests {
     #[test]
     fn facade_reexports_are_usable_together() {
         let values = datasets::hist_dataset();
-        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-        let params = MergingParams::paper_defaults(10).unwrap();
-        let merged = construct_histogram(&q, &params).unwrap();
-        let exact = baselines::exact_histogram_pruned(&values, 10).unwrap();
-        let merged_err = merged.l2_distance_dense(&values).unwrap();
-        assert!(merged_err <= 1.5 * exact.sse.sqrt() + 1e-9);
+        let signal = Signal::from_slice(&values).unwrap();
+        let builder = EstimatorBuilder::new(10);
+        let merged = EstimatorKind::Merging.build(builder).fit(&signal).unwrap();
+        let exact = EstimatorKind::ExactDp.build(builder).fit(&signal).unwrap();
+        let merged_err = merged.l2_error(&signal).unwrap();
+        let exact_err = exact.l2_error(&signal).unwrap();
+        assert!(merged_err <= 1.5 * exact_err + 1e-9);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let builder = EstimatorBuilder::new(4);
+        let mut names: Vec<&'static str> =
+            EstimatorKind::all().into_iter().map(|k| k.build(builder).name()).collect();
+        assert!(names.contains(&"merging"));
+        assert!(names.contains(&"exactdp"));
+        assert!(names.contains(&"sample-learner"));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "estimator names must be unique");
+    }
+
+    #[test]
+    fn the_fleet_fits_a_common_signal() {
+        let values: Vec<f64> = (0..200).map(|i| ((i / 40) % 3) as f64 + 0.5).collect();
+        let signal = Signal::from_slice(&values).unwrap();
+        for estimator in all_estimators(EstimatorBuilder::new(5).samples(4_000)) {
+            let synopsis = estimator.fit(&signal).unwrap();
+            assert_eq!(synopsis.domain(), 200, "{}", estimator.name());
+            assert!(synopsis.num_pieces() >= 1);
+        }
     }
 }

@@ -1,57 +1,67 @@
 //! Integration tests pinning down the relationships between all baseline
-//! algorithms on the paper's data sets: exact ≤ approximate ≤ trivial, and the
-//! qualitative ordering of Table 1.
+//! estimators on the paper's data sets: exact ≤ approximate ≤ trivial, and
+//! the qualitative ordering of Table 1 — everything through the unified
+//! `Estimator` API.
 
-use approx_hist::baselines::{
-    approx_dp, dual_histogram, equal_mass_histogram, equal_width_histogram, exact_histogram,
-    exact_histogram_pruned, greedy_split_histogram, opt_sse_table,
-};
-use approx_hist::datasets;
-use approx_hist::{construct_histogram, MergingParams, SparseFunction};
-use proptest::prelude::*;
+use approx_hist::{Estimator, EstimatorBuilder, EstimatorKind, Signal, Synopsis};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fit(kind: EstimatorKind, signal: &Signal, k: usize) -> Synopsis {
+    kind.build(EstimatorBuilder::new(k)).fit(signal).expect("valid signal")
+}
+
+fn err(synopsis: &Synopsis, signal: &Signal) -> f64 {
+    synopsis.l2_error(signal).expect("same domain")
+}
 
 #[test]
 fn error_ordering_on_the_hist_dataset() {
-    let values = datasets::hist_dataset();
+    let values = approx_hist::datasets::hist_dataset();
+    let signal = Signal::from_slice(&values).unwrap();
     let k = 10;
-    let exact = exact_histogram_pruned(&values, k).unwrap();
-    let gks = approx_dp(&values, k, 0.1).unwrap();
-    let dual = dual_histogram(&values, k).unwrap();
-    let split = greedy_split_histogram(&values, k).unwrap();
-    let width = equal_width_histogram(&values, k).unwrap();
-    let mass = equal_mass_histogram(&values, k).unwrap();
+    let exact = fit(EstimatorKind::ExactDp, &signal, k);
+    let exact_err = err(&exact, &signal);
 
     // Nothing with at most k pieces beats the exact optimum.
-    for (name, fit) in
-        [("gks", &gks), ("dual", &dual), ("split", &split), ("width", &width), ("mass", &mass)]
-    {
-        assert!(fit.num_pieces() <= k, "{name} must respect the piece budget");
-        assert!(fit.sse + 1e-9 >= exact.sse, "{name} cannot beat the optimum");
+    for kind in [
+        EstimatorKind::Gks,
+        EstimatorKind::Dual,
+        EstimatorKind::GreedySplit,
+        EstimatorKind::EqualWidth,
+        EstimatorKind::EqualMass,
+    ] {
+        let synopsis = fit(kind, &signal, k);
+        assert!(
+            synopsis.num_pieces() <= k,
+            "{} must respect the piece budget",
+            synopsis.estimator()
+        );
+        assert!(
+            err(&synopsis, &signal) + 1e-9 >= exact_err,
+            "{} cannot beat the optimum",
+            synopsis.estimator()
+        );
     }
     // The data-adaptive algorithms are much closer to the optimum than the
     // data-oblivious equal-width buckets (the signal's jumps are not grid-aligned).
-    assert!(gks.sse <= 1.2 * exact.sse + 1e-9);
-    assert!(dual.sse <= 4.0 * exact.sse + 1e-9);
-    assert!(width.sse > 1.5 * exact.sse, "equal width should clearly trail on hist");
+    assert!(err(&fit(EstimatorKind::Gks, &signal, k), &signal) <= 1.1 * exact_err + 1e-9);
+    assert!(err(&fit(EstimatorKind::Dual, &signal, k), &signal) <= 2.0 * exact_err + 1e-9);
+    let width_err = err(&fit(EstimatorKind::EqualWidth, &signal, k), &signal);
+    assert!(width_err > 1.2 * exact_err, "equal width should clearly trail on hist");
 }
 
 #[test]
 fn table_1_qualitative_shape_on_dow() {
     // The headline comparison of the paper: merging (2k+1 pieces) reaches or
     // beats the exact k-optimum error, while dual trails by a visible factor.
-    let values = datasets::dow_dataset_with_length(4_096);
+    let values = approx_hist::datasets::dow_dataset_with_length(4_096);
+    let signal = Signal::from_slice(&values).unwrap();
     let k = 50;
-    let exact = exact_histogram_pruned(&values, k).unwrap();
-    let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-    let merging = construct_histogram(&q, &MergingParams::paper_defaults(k).unwrap()).unwrap();
-    let merging2 =
-        construct_histogram(&q, &MergingParams::paper_defaults(k / 2).unwrap()).unwrap();
-    let dual = dual_histogram(&values, k).unwrap();
-
-    let exact_err = exact.error();
-    let merging_err = merging.l2_distance_dense(&values).unwrap();
-    let merging2_err = merging2.l2_distance_dense(&values).unwrap();
-    let dual_err = dual.error();
+    let exact_err = err(&fit(EstimatorKind::ExactDp, &signal, k), &signal);
+    let merging_err = err(&fit(EstimatorKind::Merging, &signal, k), &signal);
+    let merging2_err = err(&fit(EstimatorKind::Merging2, &signal, k), &signal);
+    let dual_err = err(&fit(EstimatorKind::Dual, &signal, k), &signal);
 
     // Paper's Table 1 (dow, n = 16384): merging ≈ 0.81×, merging2 ≈ 1.16×,
     // dual ≈ 2.03×. At the truncated n = 4096 the gaps are smaller but the
@@ -68,49 +78,51 @@ fn table_1_qualitative_shape_on_dow() {
 }
 
 #[test]
-fn opt_table_is_the_lower_envelope_of_everything() {
-    let values = datasets::dow_dataset_with_length(512);
-    let table = opt_sse_table(&values, 12).unwrap();
-    for (idx, &opt) in table.iter().enumerate() {
-        let k = idx + 1;
-        for fit in [
-            equal_width_histogram(&values, k).unwrap(),
-            equal_mass_histogram(&values, k).unwrap(),
-            greedy_split_histogram(&values, k).unwrap(),
-            dual_histogram(&values, k).unwrap(),
+fn opt_errors_are_the_lower_envelope_of_everything() {
+    let values = approx_hist::datasets::dow_dataset_with_length(512);
+    let signal = Signal::from_slice(&values).unwrap();
+    for k in 1..=12usize {
+        let opt = err(&fit(EstimatorKind::ExactDp, &signal, k), &signal);
+        for kind in [
+            EstimatorKind::EqualWidth,
+            EstimatorKind::EqualMass,
+            EstimatorKind::GreedySplit,
+            EstimatorKind::Dual,
         ] {
-            assert!(fit.sse + 1e-9 >= opt, "k={k}: a baseline beat the optimum");
+            let baseline = err(&fit(kind, &signal, k), &signal);
+            assert!(baseline + 1e-9 >= opt, "k={k}: a baseline beat the optimum");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn exact_dp_dominates_heuristics_on_random_signals() {
+    // The naive exact DP is never worse than any heuristic baseline, and its
+    // synopsis reproduces its claimed error, on seeded random signals.
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for case in 0..32 {
+        let n = rng.gen_range(5usize..60);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..6.0)).collect();
+        let signal = Signal::from_dense(values).unwrap();
+        let k = rng.gen_range(1usize..6);
 
-    /// The naive exact DP is consistent with itself across k (monotone) and
-    /// never worse than any heuristic baseline, on random signals.
-    #[test]
-    fn exact_dp_dominates_heuristics(
-        values in prop::collection::vec(0.0f64..6.0, 5..60),
-        k in 1usize..6,
-    ) {
-        let exact = exact_histogram(&values, k).unwrap();
-        let split = greedy_split_histogram(&values, k).unwrap();
-        let width = equal_width_histogram(&values, k).unwrap();
-        prop_assert!(split.sse + 1e-9 >= exact.sse);
-        prop_assert!(width.sse + 1e-9 >= exact.sse);
-        // And the exact DP's own histogram reproduces its claimed sse.
-        let direct = exact.histogram.l2_distance_squared_dense(&values).unwrap();
-        prop_assert!((direct - exact.sse).abs() <= 1e-9 * (1.0 + exact.sse));
+        let exact_err = err(&fit(EstimatorKind::ExactDpNaive, &signal, k), &signal);
+        for kind in [EstimatorKind::GreedySplit, EstimatorKind::EqualWidth] {
+            let baseline = err(&fit(kind, &signal, k), &signal);
+            assert!(baseline + 1e-9 >= exact_err, "case {case}");
+        }
     }
+}
 
-    /// The dual greedy sweep respects its per-piece budget on arbitrary signals.
-    #[test]
-    fn dual_histogram_respects_piece_budgets(
-        values in prop::collection::vec(0.0f64..4.0, 4..80),
-        k in 1usize..8,
-    ) {
-        let fit = dual_histogram(&values, k).unwrap();
-        prop_assert!(fit.num_pieces() <= k);
+#[test]
+fn dual_histogram_respects_piece_budgets_on_random_signals() {
+    let mut rng = StdRng::seed_from_u64(0xDB);
+    for case in 0..32 {
+        let n = rng.gen_range(4usize..80);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..4.0)).collect();
+        let signal = Signal::from_dense(values).unwrap();
+        let k = rng.gen_range(1usize..8);
+        let synopsis = fit(EstimatorKind::Dual, &signal, k);
+        assert!(synopsis.num_pieces() <= k, "case {case}");
     }
 }

@@ -1,12 +1,13 @@
 //! End-to-end scenarios spanning every crate in the workspace: generate a
 //! workload, sample from it, learn synopses of several kinds, and validate the
-//! experiment harness plumbing.
+//! experiment harness plumbing — everything through the unified
+//! `Signal → Estimator → Synopsis` API.
 
 use approx_hist::datasets::{self, gaussian_mixture, steps_with_spikes, zipf_frequencies};
-use approx_hist::sampling::{learn_histogram_from_samples, AliasSampler, LearnerConfig};
+use approx_hist::sampling::AliasSampler;
 use approx_hist::{
-    construct_hierarchical_histogram, construct_histogram, fit_piecewise_polynomial,
-    DiscreteFunction, Distribution, MergingParams, SparseFunction,
+    DiscreteFunction, Distribution, Estimator, EstimatorBuilder, EstimatorKind, Hierarchical,
+    Interval, PiecewisePoly, SampleLearner, Signal,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,14 +17,14 @@ fn database_column_to_synopsis_to_query_answering() {
     // A Zipf column of item frequencies → a 2k-piece synopsis → range counts.
     let n = 50_000;
     let column = zipf_frequencies(n, 1.05, 5_000_000.0, 9);
-    let q = SparseFunction::from_dense_keep_zeros(&column).unwrap();
-    let synopsis = construct_histogram(&q, &MergingParams::paper_defaults(64).unwrap()).unwrap();
+    let signal = Signal::from_slice(&column).unwrap();
+    let synopsis = EstimatorKind::Merging.build(EstimatorBuilder::new(64)).fit(&signal).unwrap();
 
     // Range counts from the synopsis stay within a few percent of the truth for
     // large ranges (where a histogram synopsis is expected to work).
     for (lo, hi) in [(0usize, n / 2), (n / 4, 3 * n / 4), (0, n - 1)] {
         let exact: f64 = column[lo..=hi].iter().sum();
-        let estimate: f64 = (lo..=hi).map(|i| synopsis.value(i)).sum();
+        let estimate = synopsis.mass(Interval::new(lo, hi).unwrap()).unwrap();
         let rel = (estimate - exact).abs() / exact;
         assert!(rel < 0.05, "range [{lo}, {hi}]: relative error {rel}");
     }
@@ -31,37 +32,28 @@ fn database_column_to_synopsis_to_query_answering() {
 
 #[test]
 fn sample_then_learn_all_three_synopsis_kinds() {
-    // One stream of samples feeds three different learners.
+    // One stream of samples feeds three different estimators.
     let truth = gaussian_mixture(800, &[(1.0, 0.3, 0.06), (0.7, 0.7, 0.04)]);
     let p = Distribution::from_weights(&truth).unwrap();
     let sampler = AliasSampler::new(&p).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let samples = sampler.sample_many(60_000, &mut rng);
+    let empirical = Signal::from_samples(800, &samples).unwrap();
 
     // (1) Fixed-k histogram learner.
-    let learned =
-        learn_histogram_from_samples(800, &samples, &LearnerConfig::paper(12, 0.01, 0.05)).unwrap();
-    let hist_err: f64 = learned
-        .histogram
-        .to_dense()
-        .iter()
-        .zip(p.pmf())
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt();
+    let learned = SampleLearner::new(EstimatorBuilder::new(12).epsilon(0.01).fail_prob(0.05))
+        .fit(&empirical)
+        .unwrap();
+    let hist_err: f64 =
+        learned.to_dense().iter().zip(p.pmf()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     assert!(hist_err < 0.05, "histogram learner error {hist_err}");
 
-    // (2) Multi-scale hierarchy on the same empirical distribution.
-    let empirical = approx_hist::sampling::EmpiricalDistribution::from_samples(800, &samples)
-        .unwrap()
-        .to_sparse();
-    let hierarchy = construct_hierarchical_histogram(&empirical).unwrap();
-    let (h8, _) = hierarchy.histogram_for_k(8);
+    // (2) Multi-scale hierarchy on the same empirical signal.
+    let h8 = Hierarchical::new(EstimatorBuilder::new(8)).fit(&empirical).unwrap();
     assert!(h8.num_pieces() <= 64);
 
-    // (3) Piecewise-quadratic fit of the empirical distribution.
-    let pp =
-        fit_piecewise_polynomial(&empirical, &MergingParams::paper_defaults(6).unwrap(), 2).unwrap();
+    // (3) Piecewise-quadratic fit of the same empirical signal.
+    let pp = PiecewisePoly::new(EstimatorBuilder::new(6).degree(2)).fit(&empirical).unwrap();
     let pp_err: f64 = (0..800)
         .map(|i| {
             let d = pp.value(i) - p.prob(i);
@@ -79,11 +71,11 @@ fn spiky_signals_keep_their_spikes() {
     // Isolated heavy spikes must survive the merging (they carry large error and
     // are therefore never averaged away while the budget allows isolating them).
     let values = steps_with_spikes(4_000, 4, 5, 0.05, 77);
-    let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-    let h = construct_histogram(&q, &MergingParams::paper_defaults(30).unwrap()).unwrap();
+    let signal = Signal::from_slice(&values).unwrap();
+    let synopsis = EstimatorKind::Merging.build(EstimatorBuilder::new(30)).fit(&signal).unwrap();
 
     let max_true = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let max_hist = (0..values.len()).map(|i| h.value(i)).fold(f64::NEG_INFINITY, f64::max);
+    let max_hist = (0..values.len()).map(|i| synopsis.value(i)).fold(f64::NEG_INFINITY, f64::max);
     assert!(
         max_hist > 0.3 * max_true,
         "the largest spike ({max_true}) was flattened down to {max_hist}"
@@ -95,15 +87,13 @@ fn figure1_datasets_flow_through_the_harness_runners() {
     // The bench harness is a normal library crate: drive the Table 1 runner on a
     // reduced scale and check the row structure it reports.
     let (hist, _poly, _dow) = datasets::figure1_datasets();
-    let rows = hist_bench::offline::run_offline(
-        &hist,
-        10,
-        &[
-            hist_bench::OfflineAlgorithm::ExactDpPruned,
-            hist_bench::OfflineAlgorithm::Merging,
-            hist_bench::OfflineAlgorithm::Dual,
-        ],
-    );
+    let builder = EstimatorBuilder::new(10);
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        EstimatorKind::ExactDp.build(builder),
+        EstimatorKind::Merging.build(builder),
+        EstimatorKind::Dual.build(builder),
+    ];
+    let rows = hist_bench::offline::run_offline(&hist, &estimators);
     assert_eq!(rows.len(), 3);
     assert!((rows[0].relative_error - 1.0).abs() < 1e-12);
     assert!(rows.iter().all(|r| r.time_ms > 0.0 && r.error.is_finite()));
@@ -122,10 +112,11 @@ fn learned_synopses_round_trip_through_distribution_normalization() {
     let sampler = AliasSampler::new(&p).unwrap();
     let mut rng = StdRng::seed_from_u64(12);
     let samples = sampler.sample_many(20_000, &mut rng);
+    let empirical = Signal::from_samples(1_000, &samples).unwrap();
     let learned =
-        learn_histogram_from_samples(1_000, &samples, &LearnerConfig::paper(10, 0.02, 0.1)).unwrap();
+        SampleLearner::new(EstimatorBuilder::new(10).epsilon(0.02)).fit(&empirical).unwrap();
 
-    let as_distribution = learned.histogram.normalized().unwrap();
+    let as_distribution = learned.histogram().expect("histogram synopsis").normalized().unwrap();
     let renormalized = Distribution::from_histogram(&as_distribution).unwrap();
     assert!((renormalized.total_mass() - 1.0).abs() < 1e-9);
     let resampler = AliasSampler::new(&renormalized).unwrap();

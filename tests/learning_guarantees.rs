@@ -1,17 +1,21 @@
 //! Integration tests for the sampling-based learners (Theorems 2.1 and 2.2)
-//! against known ground-truth distributions.
+//! against known ground-truth distributions, driven through the unified
+//! `SampleLearner` estimator.
 
-use approx_hist::baselines;
-use approx_hist::sampling::{
-    learn_histogram, learn_histogram_with_sample_size, LearnerConfig, MergingVariant,
-    MultiScaleLearner,
+use approx_hist::sampling::MultiScaleLearner;
+use approx_hist::{
+    DiscreteFunction, Distribution, Estimator, EstimatorBuilder, EstimatorKind, Histogram,
+    SampleLearner, Signal, Synopsis,
 };
-use approx_hist::{DiscreteFunction, Distribution, Histogram};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn l2_to_distribution(h: &Histogram, p: &Distribution) -> f64 {
     h.to_dense().iter().zip(p.pmf()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+}
+
+fn synopsis_error(synopsis: &Synopsis, p: &Distribution) -> f64 {
+    l2_to_distribution(synopsis.histogram().expect("histogram synopsis"), p)
 }
 
 /// A 6-piece histogram distribution over a domain of 600.
@@ -29,53 +33,75 @@ fn ground_truth() -> Distribution {
     Distribution::from_weights(&weights).unwrap()
 }
 
+/// The best-`k`-histogram error against the true distribution, via the
+/// exact-DP estimator.
+fn opt_k_error(p: &Distribution, k: usize) -> f64 {
+    let truth = Signal::from_slice(p.pmf()).unwrap();
+    EstimatorKind::ExactDp
+        .build(EstimatorBuilder::new(k))
+        .fit(&truth)
+        .unwrap()
+        .l2_error(&truth)
+        .unwrap()
+}
+
 #[test]
 fn theorem_2_1_error_bound_holds_on_a_histogram_target() {
     // opt_6 = 0, so the learned error must be O(ε).
     let p = ground_truth();
-    let config = LearnerConfig::paper(6, 0.02, 0.05);
-    let mut rng = StdRng::seed_from_u64(1);
-    let learned = learn_histogram(&p, &config, &mut rng).unwrap();
-    let err = l2_to_distribution(&learned.histogram, &p);
-    assert!(err <= 2.0 * config.epsilon, "error {err} vs 2ε = {}", 2.0 * config.epsilon);
-    assert!(learned.histogram.num_pieces() <= 15, "O(k) pieces for k = 6");
+    let epsilon = 0.02;
+    let learner =
+        SampleLearner::new(EstimatorBuilder::new(6).epsilon(epsilon).fail_prob(0.05).seed(1));
+    let signal = Signal::from_slice(p.pmf()).unwrap();
+    let learned = learner.fit(&signal).unwrap();
+    let err = synopsis_error(&learned, &p);
+    assert!(err <= 2.0 * epsilon, "error {err} vs 2ε = {}", 2.0 * epsilon);
+    assert!(learned.num_pieces() <= 15, "O(k) pieces for k = 6");
 }
 
 #[test]
 fn theorem_2_1_against_the_true_opt_k_on_a_non_histogram_target() {
     // A smooth target: opt_k > 0, the guarantee is ‖h − p‖ ≤ 2·opt_k + ε.
-    let weights: Vec<f64> = (0..500)
-        .map(|i| ((i as f64 / 500.0) * std::f64::consts::PI).sin() + 0.01)
-        .collect();
+    let weights: Vec<f64> =
+        (0..500).map(|i| ((i as f64 / 500.0) * std::f64::consts::PI).sin() + 0.01).collect();
     let p = Distribution::from_weights(&weights).unwrap();
     let k = 8;
-    let opt_k = baselines::exact_histogram_pruned(p.pmf(), k).unwrap().error();
+    let opt_k = opt_k_error(&p, k);
 
-    let config = LearnerConfig::paper(k, 0.01, 0.05);
-    let mut rng = StdRng::seed_from_u64(3);
-    let learned = learn_histogram(&p, &config, &mut rng).unwrap();
-    let err = l2_to_distribution(&learned.histogram, &p);
+    let epsilon = 0.01;
+    let learner =
+        SampleLearner::new(EstimatorBuilder::new(k).epsilon(epsilon).fail_prob(0.05).seed(3));
+    let learned = learner.fit(&Signal::from_slice(p.pmf()).unwrap()).unwrap();
+    let err = synopsis_error(&learned, &p);
     assert!(
-        err <= 2.0 * opt_k + 2.0 * config.epsilon,
+        err <= 2.0 * opt_k + 2.0 * epsilon,
         "error {err} vs 2·opt + 2ε = {}",
-        2.0 * opt_k + 2.0 * config.epsilon
+        2.0 * opt_k + 2.0 * epsilon
     );
 }
 
 #[test]
 fn learning_curves_flatten_at_the_opt_k_floor() {
     let p = ground_truth();
-    let config = LearnerConfig::paper(6, 0.05, 0.1);
-    let mut rng = StdRng::seed_from_u64(9);
+    let signal = Signal::from_slice(p.pmf()).unwrap();
     let mut previous = f64::INFINITY;
-    for m in [300usize, 3_000, 30_000] {
+    for (idx, m) in [300usize, 3_000, 30_000].into_iter().enumerate() {
         let mut total = 0.0;
-        for _ in 0..3 {
-            let learned = learn_histogram_with_sample_size(&p, m, &config, &mut rng).unwrap();
-            total += l2_to_distribution(&learned.histogram, &p);
+        for trial in 0..3 {
+            let learner = SampleLearner::new(
+                EstimatorBuilder::new(6)
+                    .epsilon(0.05)
+                    .samples(m)
+                    .seed(9 + 100 * idx as u64 + trial),
+            );
+            let learned = learner.fit(&signal).unwrap();
+            total += synopsis_error(&learned, &p);
         }
         let mean = total / 3.0;
-        assert!(mean <= previous * 1.05, "error must (roughly) decrease with m: {mean} vs {previous}");
+        assert!(
+            mean <= previous * 1.05,
+            "error must (roughly) decrease with m: {mean} vs {previous}"
+        );
         previous = mean;
     }
     assert!(previous < 0.01, "with 30k samples the error is close to opt_6 = 0, got {previous}");
@@ -84,17 +110,16 @@ fn learning_curves_flatten_at_the_opt_k_floor() {
 #[test]
 fn both_merging_variants_learn_equally_well() {
     let p = ground_truth();
-    let mut rng = StdRng::seed_from_u64(13);
-    let pairs_cfg = LearnerConfig::paper(6, 0.03, 0.1);
-    let mut groups_cfg = pairs_cfg;
-    groups_cfg.variant = MergingVariant::Groups;
+    let signal = Signal::from_slice(p.pmf()).unwrap();
+    let epsilon = 0.03;
+    let builder = EstimatorBuilder::new(6).epsilon(epsilon).seed(13);
 
-    let pairs = learn_histogram(&p, &pairs_cfg, &mut rng).unwrap();
-    let groups = learn_histogram(&p, &groups_cfg, &mut rng).unwrap();
-    let pairs_err = l2_to_distribution(&pairs.histogram, &p);
-    let groups_err = l2_to_distribution(&groups.histogram, &p);
-    assert!(pairs_err <= 2.0 * pairs_cfg.epsilon);
-    assert!(groups_err <= 3.0 * pairs_cfg.epsilon);
+    let pairs = SampleLearner::new(builder).fit(&signal).unwrap();
+    let groups = SampleLearner::fast(builder.seed(14)).fit(&signal).unwrap();
+    let pairs_err = synopsis_error(&pairs, &p);
+    let groups_err = synopsis_error(&groups, &p);
+    assert!(pairs_err <= 2.0 * epsilon);
+    assert!(groups_err <= 3.0 * epsilon);
 }
 
 #[test]
@@ -107,7 +132,7 @@ fn theorem_2_2_multiscale_learner_guarantees_every_k() {
     for k in [1usize, 2, 4, 6, 12] {
         let (h, estimate) = learner.histogram_for_k(k);
         assert!(h.num_pieces() <= 8 * k);
-        let opt_k = baselines::exact_histogram_pruned(p.pmf(), k).unwrap().error();
+        let opt_k = opt_k_error(&p, k);
         let true_err = l2_to_distribution(&h, &p);
         // (i) of Theorem 2.2.
         assert!(
@@ -116,6 +141,9 @@ fn theorem_2_2_multiscale_learner_guarantees_every_k() {
             2.0 * opt_k + 3.0 * eps
         );
         // (ii) of Theorem 2.2: the estimate brackets the true error.
-        assert!((true_err - estimate).abs() <= 2.0 * eps, "k={k}: estimate {estimate} vs {true_err}");
+        assert!(
+            (true_err - estimate).abs() <= 2.0 * eps,
+            "k={k}: estimate {estimate} vs {true_err}"
+        );
     }
 }

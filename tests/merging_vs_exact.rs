@@ -1,76 +1,104 @@
-//! Cross-crate integration tests: the merging algorithms of `hist-core`
-//! against the exact optima computed by `hist-baselines`, including
-//! property-based tests over random signals (Theorem 3.3 / Theorem 3.5).
+//! Cross-crate integration tests: the merging estimators of `hist-core`
+//! against the exact optima of `hist-baselines`, including randomized sweeps
+//! over seeded signals (Theorem 3.3 / Theorem 3.5) — everything dispatched
+//! through the unified `Estimator` API.
 
-use approx_hist::baselines;
-use approx_hist::core::{
-    construct_hierarchical_histogram, construct_histogram, construct_histogram_fast,
+use approx_hist::{
+    Estimator, EstimatorBuilder, EstimatorKind, FastMerging, GreedyMerging, Hierarchical, Signal,
 };
-use approx_hist::{DiscreteFunction, MergingParams, SparseFunction};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..10.0, 2..max_len)
+/// A random signal with values in `[0, 10)` and a random length in `[2, max_len)`.
+fn random_signal(rng: &mut StdRng, max_len: usize) -> Vec<f64> {
+    let n = rng.gen_range(2..max_len);
+    (0..n).map(|_| rng.gen_range(0.0..10.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The exact `opt_k` error through the unified exact-DP estimator.
+fn opt_error(signal: &Signal, k: usize) -> f64 {
+    EstimatorKind::ExactDp
+        .build(EstimatorBuilder::new(k))
+        .fit(signal)
+        .expect("valid signal")
+        .l2_error(signal)
+        .expect("same domain")
+}
 
-    /// Theorem 3.3: ‖q̄_I − q‖₂² ≤ (1 + δ)·opt_k² for every δ and every signal.
-    #[test]
-    fn algorithm1_respects_the_error_guarantee(
-        values in signal_strategy(120),
-        k in 1usize..6,
-        delta in prop::sample::select(vec![0.5f64, 1.0, 4.0, 1000.0]),
-    ) {
-        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-        let params = MergingParams::new(k, delta, 1.0).unwrap();
-        let h = construct_histogram(&q, &params).unwrap();
-        prop_assert!(h.num_pieces() <= params.output_pieces_bound());
+#[test]
+fn algorithm1_respects_the_error_guarantee() {
+    // Theorem 3.3: ‖q̄_I − q‖₂² ≤ (1 + δ)·opt_k² for every δ and every signal.
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for case in 0..64 {
+        let values = random_signal(&mut rng, 120);
+        let signal = Signal::from_dense(values).unwrap();
+        let k = rng.gen_range(1usize..6);
+        let delta = [0.5f64, 1.0, 4.0, 1000.0][case % 4];
 
-        let opt = baselines::opt_sse(&values, k).unwrap();
-        let sse = h.l2_distance_squared_dense(&values).unwrap();
-        prop_assert!(
-            sse <= (1.0 + delta) * opt + 1e-6,
-            "sse {} exceeds (1+{})·opt = {}", sse, delta, (1.0 + delta) * opt
+        let builder = EstimatorBuilder::new(k).merge_delta(delta).merge_gamma(1.0);
+        let synopsis = GreedyMerging::new(builder).fit(&signal).unwrap();
+        let bound = builder.merging_params().unwrap().output_pieces_bound();
+        assert!(synopsis.num_pieces() <= bound, "case {case}");
+
+        let opt = opt_error(&signal, k);
+        let err = synopsis.l2_error(&signal).unwrap();
+        assert!(
+            err * err <= (1.0 + delta) * opt * opt + 1e-6,
+            "case {case}: sse {} exceeds (1+{delta})·opt = {}",
+            err * err,
+            (1.0 + delta) * opt * opt
         );
     }
+}
 
-    /// The fastmerging variant obeys the same guarantee.
-    #[test]
-    fn fastmerging_respects_the_error_guarantee(
-        values in signal_strategy(120),
-        k in 1usize..6,
-    ) {
-        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-        let params = MergingParams::new(k, 1.0, 1.0).unwrap();
-        let h = construct_histogram_fast(&q, &params).unwrap();
-        let opt = baselines::opt_sse(&values, k).unwrap();
-        let sse = h.l2_distance_squared_dense(&values).unwrap();
-        prop_assert!(sse <= 2.0 * opt + 1e-6);
-        prop_assert!(h.num_pieces() <= params.output_pieces_bound());
+#[test]
+fn fastmerging_respects_the_error_guarantee() {
+    let mut rng = StdRng::seed_from_u64(0xFA);
+    for case in 0..64 {
+        let values = random_signal(&mut rng, 120);
+        let signal = Signal::from_dense(values).unwrap();
+        let k = rng.gen_range(1usize..6);
+
+        let builder = EstimatorBuilder::new(k).merge_delta(1.0).merge_gamma(1.0);
+        let synopsis = FastMerging::new(builder).fit(&signal).unwrap();
+        let opt = opt_error(&signal, k);
+        let err = synopsis.l2_error(&signal).unwrap();
+        assert!(err * err <= 2.0 * opt * opt + 1e-6, "case {case}");
+        assert!(synopsis.num_pieces() <= builder.merging_params().unwrap().output_pieces_bound());
     }
+}
 
-    /// Theorem 3.5: some level of the hierarchy has ≤ 8k pieces and error ≤ 2·opt_k.
-    #[test]
-    fn hierarchical_respects_the_error_guarantee(
-        values in signal_strategy(100),
-        k in 1usize..5,
-    ) {
-        let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-        let hierarchy = construct_hierarchical_histogram(&q).unwrap();
-        let level = hierarchy.level_for_k(k);
-        let opt = baselines::opt_sse(&values, k).unwrap().sqrt();
-        prop_assert!(level.num_pieces() <= 8 * k);
-        prop_assert!(level.error() <= 2.0 * opt + 1e-6);
+#[test]
+fn hierarchical_respects_the_error_guarantee() {
+    // Theorem 3.5: the level served for k has ≤ 8k pieces and error ≤ 2·opt_k.
+    let mut rng = StdRng::seed_from_u64(0x35);
+    for case in 0..64 {
+        let values = random_signal(&mut rng, 100);
+        let signal = Signal::from_dense(values).unwrap();
+        let k = rng.gen_range(1usize..5);
+
+        let synopsis = Hierarchical::new(EstimatorBuilder::new(k)).fit(&signal).unwrap();
+        let opt = opt_error(&signal, k);
+        assert!(synopsis.num_pieces() <= 8 * k, "case {case}");
+        assert!(synopsis.l2_error(&signal).unwrap() <= 2.0 * opt + 1e-6, "case {case}");
     }
+}
 
-    /// The pruned DP and the naive DP always agree on the optimum.
-    #[test]
-    fn exact_dps_agree(values in signal_strategy(80), k in 1usize..8) {
-        let naive = baselines::opt_sse(&values, k).unwrap();
-        let pruned = baselines::opt_sse_pruned(&values, k).unwrap();
-        prop_assert!((naive - pruned).abs() <= 1e-9 * (1.0 + naive));
+#[test]
+fn exact_dps_agree() {
+    // The pruned DP and the naive DP always find the same optimum.
+    let mut rng = StdRng::seed_from_u64(0xD9);
+    for case in 0..64 {
+        let values = random_signal(&mut rng, 80);
+        let signal = Signal::from_dense(values).unwrap();
+        let k = rng.gen_range(1usize..8);
+        let builder = EstimatorBuilder::new(k);
+
+        let naive = EstimatorKind::ExactDpNaive.build(builder).fit(&signal).unwrap();
+        let pruned = EstimatorKind::ExactDp.build(builder).fit(&signal).unwrap();
+        let a = naive.l2_error(&signal).unwrap();
+        let b = pruned.l2_error(&signal).unwrap();
+        assert!((a * a - b * b).abs() <= 1e-9 * (1.0 + a * a), "case {case}: {a} vs {b}");
     }
 }
 
@@ -79,16 +107,17 @@ fn merging_beats_the_k_piece_optimum_with_double_budget_on_real_data() {
     // The headline empirical observation of Table 1: with 2k+1 pieces the merging
     // algorithm often achieves *smaller* error than the exact k-piece optimum.
     let values = approx_hist::datasets::dow_dataset_with_length(4_096);
+    let signal = Signal::from_slice(&values).unwrap();
     let k = 50;
-    let q = SparseFunction::from_dense_keep_zeros(&values).unwrap();
-    let merged = construct_histogram(&q, &MergingParams::paper_defaults(k).unwrap()).unwrap();
-    let exact = baselines::exact_histogram_pruned(&values, k).unwrap();
+    let builder = EstimatorBuilder::new(k);
+    let merged = EstimatorKind::Merging.build(builder).fit(&signal).unwrap();
+    let exact = EstimatorKind::ExactDp.build(builder).fit(&signal).unwrap();
 
-    let merged_err = merged.l2_distance_dense(&values).unwrap();
+    let merged_err = merged.l2_error(&signal).unwrap();
+    let exact_err = exact.l2_error(&signal).unwrap();
     assert!(
-        merged_err < exact.error(),
-        "merging with 2k+1 pieces ({merged_err}) should beat the k-piece optimum ({})",
-        exact.error()
+        merged_err < exact_err,
+        "merging with 2k+1 pieces ({merged_err}) should beat the k-piece optimum ({exact_err})"
     );
 }
 
@@ -97,12 +126,15 @@ fn merging_handles_extreme_sparsity_over_huge_domains() {
     // A 40-sparse signal over a domain of a billion points: running time and
     // output size must not depend on the domain size.
     let n = 1_000_000_000usize;
-    let entries: Vec<(usize, f64)> = (0..40).map(|i| (i * 24_999_983 + 7, 1.0 + (i % 5) as f64)).collect();
-    let q = SparseFunction::new(n, entries).unwrap();
-    let params = MergingParams::paper_defaults(5).unwrap();
-    let h = construct_histogram(&q, &params).unwrap();
-    assert_eq!(h.domain(), n);
-    assert!(h.num_pieces() <= params.output_pieces_bound());
-    let fast = construct_histogram_fast(&q, &params).unwrap();
-    assert!(fast.num_pieces() <= params.output_pieces_bound());
+    let entries: Vec<(usize, f64)> =
+        (0..40).map(|i| (i * 24_999_983 + 7, 1.0 + (i % 5) as f64)).collect();
+    let signal = Signal::from_sparse(approx_hist::SparseFunction::new(n, entries).unwrap());
+    let builder = EstimatorBuilder::new(5);
+    let bound = builder.merging_params().unwrap().output_pieces_bound();
+
+    let merged = GreedyMerging::new(builder).fit(&signal).unwrap();
+    assert_eq!(merged.domain(), n);
+    assert!(merged.num_pieces() <= bound);
+    let fast = FastMerging::new(builder).fit(&signal).unwrap();
+    assert!(fast.num_pieces() <= bound);
 }
