@@ -12,6 +12,12 @@ use hist_core::{flatten_dense, DensePrefix, Error, Partition, Result};
 /// Builds the equi-depth `k`-histogram of a non-negative dense signal: the
 /// `j`-th boundary is the first index at which the running mass exceeds
 /// `j/k` of the total (`O(n)` time).
+///
+/// Degenerate inputs are handled deliberately: a *heavy hitter* index that
+/// crosses several quantile thresholds at once (e.g. all the mass in one
+/// bucket) is isolated in its own singleton bucket, a massless signal falls
+/// back to equal-width boundaries, and `k ≥ n` returns the exact singleton
+/// partition.
 pub fn equal_mass_histogram(values: &[f64], k: usize) -> Result<FitResult> {
     if values.is_empty() {
         return Err(Error::EmptyDomain);
@@ -34,6 +40,11 @@ pub fn equal_mass_histogram(values: &[f64], k: usize) -> Result<FitResult> {
     let n = values.len();
     let k = k.min(n);
     let total: f64 = values.iter().sum();
+    if k == n {
+        // Piece budget covers every index: the singleton partition is exact.
+        let histogram = flatten_dense(values, &Partition::singletons(n)?)?;
+        return Ok(FitResult { histogram, sse: 0.0 });
+    }
 
     let mut breaks = Vec::with_capacity(k - 1);
     if total > 0.0 {
@@ -41,11 +52,22 @@ pub fn equal_mass_histogram(values: &[f64], k: usize) -> Result<FitResult> {
         let mut next_quantile = 1usize;
         for (i, &v) in values.iter().enumerate() {
             running += v;
+            let mut crossed = 0usize;
             while next_quantile < k && running >= total * next_quantile as f64 / k as f64 {
-                if i + 1 < n && breaks.last() != Some(&(i + 1)) {
-                    breaks.push(i + 1);
-                }
+                crossed += 1;
                 next_quantile += 1;
+            }
+            if crossed == 0 {
+                continue;
+            }
+            if crossed > 1 && i > 0 && breaks.last() != Some(&i) && breaks.len() + 2 <= k {
+                // Heavy hitter: it swallowed several quantiles on its own, so
+                // give it a singleton bucket instead of smearing its mass over
+                // a wide piece (crossing ≥ 2 thresholds frees the budget).
+                breaks.push(i);
+            }
+            if i + 1 < n && breaks.last() != Some(&(i + 1)) && breaks.len() < k - 1 {
+                breaks.push(i + 1);
             }
         }
     } else {
@@ -106,6 +128,28 @@ mod tests {
         let fit = equal_mass_histogram(&values, 3).unwrap();
         assert_eq!(fit.histogram.num_pieces(), 3);
         assert_eq!(fit.sse, 0.0);
+    }
+
+    #[test]
+    fn heavy_hitters_get_singleton_buckets() {
+        // All the mass on index 17: it crosses every quantile at once and must
+        // be isolated instead of smeared over a wide piece.
+        let mut values = vec![0.0; 64];
+        values[17] = 250.0;
+        let fit = equal_mass_histogram(&values, 5).unwrap();
+        let breaks = fit.histogram.partition().breakpoints();
+        assert!(breaks.contains(&17) && breaks.contains(&18), "breaks {breaks:?}");
+        assert!(fit.sse < 1e-12, "isolating the spike makes the fit exact");
+    }
+
+    #[test]
+    fn budgets_at_or_beyond_the_domain_are_exact() {
+        let values: Vec<f64> = (0..12).map(|i| (i % 4) as f64 + 0.5).collect();
+        for k in [12, 20] {
+            let fit = equal_mass_histogram(&values, k).unwrap();
+            assert_eq!(fit.histogram.num_pieces(), 12);
+            assert_eq!(fit.sse, 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Merging-vs-refit benchmark for the `hist-stream` subsystem: what does
+//! keeping a synopsis fresh cost, compared to refitting from scratch?
+//!
+//! * `refit` — fit the whole signal directly (the baseline a non-mergeable
+//!   synopsis would pay on every update);
+//! * `chunked` — fit per chunk and tree-merge (the sharded construction);
+//! * `merge_step` — fold one new chunk synopsis into a running synopsis (the
+//!   incremental cost of advancing a stream);
+//! * `window_advance` — push one bucket's worth of values through a
+//!   [`SlidingWindow`] and re-serve its synopsis.
+
+// Criterion's generated `main` has no doc comment; benches are exempt from the workspace lint.
+#![allow(missing_docs)]
+use approx_hist::stream::{ChunkedFitter, SlidingWindow};
+use approx_hist::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+const K: usize = 10;
+
+/// A deterministic plateaued signal with pseudo-random jitter.
+fn stream_signal(n: usize) -> Signal {
+    let mut seed = 0x5EEDu64;
+    let mut lcg = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let values: Vec<f64> =
+        (0..n).map(|i| ((i / 512) % 5) as f64 * 2.0 + 1.0 + 0.05 * lcg()).collect();
+    Signal::from_dense(values).unwrap()
+}
+
+fn merge_vs_refit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_vs_refit");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let builder = EstimatorBuilder::new(K);
+    let estimator = GreedyMerging::new(builder);
+
+    for n in [16_384usize, 65_536] {
+        let signal = stream_signal(n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("refit", n), &signal, |b, signal| {
+            b.iter(|| black_box(estimator.fit(signal).expect("valid input")))
+        });
+
+        let chunked = ChunkedFitter::new(Box::new(estimator), K).with_chunk_len(4_096);
+        group.bench_with_input(BenchmarkId::new("chunked", n), &signal, |b, signal| {
+            b.iter(|| black_box(chunked.fit(signal).expect("valid input")))
+        });
+
+        // Incremental advance: one pre-fitted running synopsis + one new chunk.
+        let running = estimator.fit(&signal).expect("valid input");
+        let chunk = estimator.fit(&stream_signal(4_096)).expect("valid input");
+        group.bench_with_input(BenchmarkId::new("merge_step", n), &running, |b, running| {
+            b.iter(|| black_box(running.merge(&chunk, 2 * K + 1).expect("adjacent domains")))
+        });
+    }
+    group.finish();
+}
+
+fn window_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_advance");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    let values = stream_signal(65_536).dense_values().into_owned();
+
+    for bucket_len in [512usize, 4_096] {
+        let mut window = SlidingWindow::new(
+            Box::new(GreedyMerging::new(EstimatorBuilder::new(K))),
+            K,
+            bucket_len,
+            8,
+        )
+        .expect("valid window");
+        window.extend(&values[..window.capacity()]).expect("finite values");
+        group.throughput(Throughput::Elements(bucket_len as u64));
+        let mut cursor = window.capacity();
+        group.bench_function(BenchmarkId::new("advance_and_serve", bucket_len), |b| {
+            b.iter(|| {
+                // One bucket of fresh values, then re-serve the synopsis.
+                for _ in 0..bucket_len {
+                    window.push(values[cursor % values.len()]).expect("finite values");
+                    cursor += 1;
+                }
+                black_box(window.synopsis().expect("non-empty window"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, merge_vs_refit, window_advance);
+criterion_main!(benches);

@@ -73,6 +73,7 @@ pub struct EstimatorBuilder {
     samples: Option<usize>,
     seed: u64,
     approx_delta: f64,
+    chunk_len: Option<usize>,
 }
 
 impl EstimatorBuilder {
@@ -89,6 +90,7 @@ impl EstimatorBuilder {
             samples: None,
             seed: 2015,
             approx_delta: 0.1,
+            chunk_len: None,
         }
     }
 
@@ -153,6 +155,14 @@ impl EstimatorBuilder {
         self
     }
 
+    /// Sets the chunk length of the chunked/streaming estimators (`hist-stream`):
+    /// how many signal values each per-chunk sub-fit covers. Unset means the
+    /// fitter picks a heuristic chunk length from the domain size.
+    pub fn chunk_len(mut self, len: usize) -> Self {
+        self.chunk_len = Some(len);
+        self
+    }
+
     /// Target number of pieces `k`.
     #[inline]
     pub fn k(&self) -> usize {
@@ -195,6 +205,12 @@ impl EstimatorBuilder {
         self.approx_delta
     }
 
+    /// Explicit chunk length for the chunked/streaming estimators, when set.
+    #[inline]
+    pub fn chunk_len_value(&self) -> Option<usize> {
+        self.chunk_len
+    }
+
     /// The validated [`MergingParams`] this builder describes.
     pub fn merging_params(&self) -> Result<MergingParams> {
         MergingParams::new(self.k, self.merge_delta, self.merge_gamma)
@@ -214,6 +230,12 @@ impl EstimatorBuilder {
             return Err(Error::InvalidParameter {
                 name: "fail_prob",
                 reason: format!("must lie in (0, 1), got {}", self.fail_prob),
+            });
+        }
+        if self.chunk_len == Some(0) {
+            return Err(Error::InvalidParameter {
+                name: "chunk_len",
+                reason: "chunks must cover at least one value".into(),
             });
         }
         Ok(())

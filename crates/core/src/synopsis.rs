@@ -6,6 +6,13 @@
 //! range-mass estimates, a cumulative distribution function, approximate
 //! quantiles, and error evaluation against the original signal — all in
 //! `O(log k)` or `O(piece)` time, never touching the raw data again.
+//!
+//! Synopses are also *mergeable*: [`Synopsis::merge`] concatenates two
+//! synopses fitted on adjacent chunks of a signal and re-merges the result
+//! down to a piece budget, which is what the `hist-stream` crate builds its
+//! chunked/streaming/sliding-window fitters on. For serving-style workloads,
+//! [`Synopsis::mass_batch`] and [`Synopsis::quantile_batch`] answer many
+//! queries in one amortized pass over the pieces.
 
 use crate::error::{Error, Result};
 use crate::function::DiscreteFunction;
@@ -75,6 +82,142 @@ fn poly_nonneg(coefficients: &[f64], len: usize) -> Option<bool> {
         }
         _ => None,
     }
+}
+
+/// One piecewise-constant piece tracked by the greedy re-merge of
+/// [`Synopsis::merge`]: its extent and its raw mass (the flattened value is
+/// `mass / len`, i.e. the `ℓ₂`-optimal constant on the extent).
+#[derive(Debug, Clone, Copy)]
+struct MergePiece {
+    start: usize,
+    end: usize,
+    mass: f64,
+}
+
+impl MergePiece {
+    #[inline]
+    fn len(&self) -> f64 {
+        (self.end - self.start + 1) as f64
+    }
+
+    #[inline]
+    fn value(&self) -> f64 {
+        self.mass / self.len()
+    }
+
+    /// Exact squared-`ℓ₂` cost of replacing two adjacent constant pieces by
+    /// their common flattening: `l_a·l_b/(l_a + l_b) · (v_a − v_b)²`.
+    fn merge_cost(&self, other: &MergePiece) -> f64 {
+        let (la, lb) = (self.len(), other.len());
+        let d = self.value() - other.value();
+        la * lb / (la + lb) * d * d
+    }
+}
+
+/// A candidate pair in the greedy re-merge heap: merging piece `left` with its
+/// right neighbour at the recorded `cost`. Entries are invalidated lazily via
+/// the per-piece version stamps.
+#[derive(Debug, Clone, Copy)]
+struct MergeCandidate {
+    cost: f64,
+    left: usize,
+    left_version: u32,
+    right_version: u32,
+}
+
+impl PartialEq for MergeCandidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+
+impl Eq for MergeCandidate {}
+
+impl PartialOrd for MergeCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeCandidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: `BinaryHeap` is a max-heap, we want the cheapest merge.
+        other.cost.partial_cmp(&self.cost).expect("merge costs are finite")
+    }
+}
+
+/// Greedily merges adjacent pieces (cheapest exact `ℓ₂` cost first) until at
+/// most `budget` remain. `O(k·log k)` with a lazy-deletion heap.
+fn greedy_remerge(pieces: &mut Vec<MergePiece>, budget: usize) {
+    use std::collections::BinaryHeap;
+    if pieces.len() <= budget {
+        return;
+    }
+    let k = pieces.len();
+    let mut next: Vec<usize> = (1..=k).collect();
+    let mut prev: Vec<usize> = vec![usize::MAX; k];
+    for (i, p) in prev.iter_mut().enumerate().skip(1) {
+        *p = i - 1;
+    }
+    let mut version = vec![0u32; k];
+    let mut alive = vec![true; k];
+    let mut heap = BinaryHeap::with_capacity(2 * k);
+    for i in 0..k - 1 {
+        heap.push(MergeCandidate {
+            cost: pieces[i].merge_cost(&pieces[i + 1]),
+            left: i,
+            left_version: 0,
+            right_version: 0,
+        });
+    }
+    let mut remaining = k;
+    while remaining > budget {
+        let candidate = heap.pop().expect("fewer pieces than budget implies candidates remain");
+        let left = candidate.left;
+        let right = next[left];
+        if !alive[left]
+            || right >= k
+            || version[left] != candidate.left_version
+            || version[right] != candidate.right_version
+        {
+            continue;
+        }
+        // Absorb `right` into `left`.
+        pieces[left].end = pieces[right].end;
+        pieces[left].mass += pieces[right].mass;
+        version[left] += 1;
+        alive[right] = false;
+        next[left] = next[right];
+        if next[right] < k {
+            prev[next[right]] = left;
+        }
+        remaining -= 1;
+        if prev[left] != usize::MAX {
+            let p = prev[left];
+            heap.push(MergeCandidate {
+                cost: pieces[p].merge_cost(&pieces[left]),
+                left: p,
+                left_version: version[p],
+                right_version: version[left],
+            });
+        }
+        if next[left] < k {
+            let n = next[left];
+            heap.push(MergeCandidate {
+                cost: pieces[left].merge_cost(&pieces[n]),
+                left,
+                left_version: version[left],
+                right_version: version[n],
+            });
+        }
+    }
+    let mut kept = Vec::with_capacity(remaining);
+    let mut i = 0usize;
+    while i < k {
+        kept.push(pieces[i]);
+        i = next[i];
+    }
+    *pieces = kept;
 }
 
 /// The model class a [`Synopsis`] wraps.
@@ -201,6 +344,23 @@ impl FittedModel {
             FittedModel::Histogram(h) => h.value(i),
             FittedModel::Polynomial(p) => p.value(i),
         }
+    }
+
+    /// The model flattened to piecewise-constant pieces, offset by `shift`:
+    /// histogram pieces pass through exactly; polynomial pieces are replaced
+    /// by their interval mean, which is the `ℓ₂` projection of the piece onto
+    /// constants over the same extent.
+    fn to_merge_pieces(&self, shift: usize) -> Vec<MergePiece> {
+        (0..self.num_pieces())
+            .map(|j| {
+                let interval = self.piece_interval(j);
+                MergePiece {
+                    start: interval.start() + shift,
+                    end: interval.end() + shift,
+                    mass: self.piece_mass(j),
+                }
+            })
+            .collect()
     }
 
     /// Index of the piece containing domain index `i`.
@@ -334,6 +494,11 @@ impl Synopsis {
 
     /// The smallest index `x` with `cdf(x) ≥ p`, for `p ∈ [0, 1]` — an
     /// approximate quantile served directly from the synopsis.
+    ///
+    /// Boundary semantics: `quantile(0.0)` is always `0` (every index already
+    /// has `cdf(x) ≥ 0`), and `quantile(1.0)` is the *end of the mass
+    /// support* — the smallest `x` with `cdf(x) = 1`, which excludes any
+    /// trailing zero-mass pieces rather than returning `n − 1` blindly.
     pub fn quantile(&self, p: f64) -> Result<usize> {
         if !(0.0..=1.0).contains(&p) {
             return Err(Error::InvalidParameter {
@@ -348,17 +513,24 @@ impl Synopsis {
         let j = self.boundary_cdf[1..]
             .partition_point(|&c| c < target - MASS_EPS)
             .min(self.num_pieces() - 1);
+        Ok(self.quantile_within(j, target))
+    }
+
+    /// The within-piece half of [`Synopsis::quantile`]: the smallest index of
+    /// piece `j` whose cumulative clamped mass reaches `target` (already known
+    /// to fall inside piece `j`).
+    fn quantile_within(&self, j: usize, target: f64) -> usize {
         let interval = self.model.piece_interval(j);
         let remaining = (target - self.boundary_cdf[j]).max(0.0);
         match &self.model {
             FittedModel::Histogram(h) => {
                 let v = h.values()[j].max(0.0);
                 if v <= 0.0 {
-                    return Ok(interval.start());
+                    return interval.start();
                 }
                 // Smallest offset c ≥ 1 with v·c ≥ remaining.
                 let count = (remaining / v - MASS_EPS).ceil().max(1.0) as usize;
-                Ok(interval.start() + (count - 1).min(interval.len() - 1))
+                interval.start() + (count - 1).min(interval.len() - 1)
             }
             FittedModel::Polynomial(_) => {
                 // The within-piece clamped prefix is monotone in every
@@ -372,9 +544,121 @@ impl Synopsis {
                         lo = mid + 1;
                     }
                 }
-                Ok(lo)
+                lo
             }
         }
+    }
+
+    /// Answers a batch of range-mass queries in one amortized pass.
+    ///
+    /// Returns exactly what [`Synopsis::mass`] would return for each range,
+    /// but sorts the queries by their left endpoint and sweeps the pieces with
+    /// a forward cursor, so a batch of `q` queries costs
+    /// `O(q·log q + k + Σ overlaps)` instead of `q` independent `O(log k)`
+    /// searches — the serving-friendly shape for bulk workloads.
+    pub fn mass_batch(&self, ranges: &[Interval]) -> Result<Vec<f64>> {
+        for range in ranges {
+            if range.end() >= self.domain() {
+                return Err(Error::IndexOutOfRange { index: range.end(), domain: self.domain() });
+            }
+        }
+        let mut order: Vec<usize> = (0..ranges.len()).collect();
+        order.sort_by_key(|&i| ranges[i].start());
+        let mut out = vec![0.0; ranges.len()];
+        let mut cursor = 0usize;
+        for &qi in &order {
+            let range = ranges[qi];
+            // First piece that can overlap the range; never moves backwards.
+            while self.model.piece_interval(cursor).end() < range.start() {
+                cursor += 1;
+            }
+            let mut total = 0.0;
+            for j in cursor..self.num_pieces() {
+                if self.model.piece_interval(j).start() > range.end() {
+                    break;
+                }
+                total += self.model.piece_overlap_mass(j, range);
+            }
+            out[qi] = total;
+        }
+        Ok(out)
+    }
+
+    /// Answers a batch of quantile queries in one amortized pass.
+    ///
+    /// Returns exactly what [`Synopsis::quantile`] would return for each
+    /// fraction, but sorts the fractions and advances a single piece cursor
+    /// over the cumulative boundary masses, so a batch of `q` queries costs
+    /// `O(q·log q + k)` piece-location work instead of `q` independent
+    /// `O(log k)` binary searches.
+    pub fn quantile_batch(&self, ps: &[f64]) -> Result<Vec<usize>> {
+        for &p in ps {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::InvalidParameter {
+                    name: "ps",
+                    reason: format!("quantile fractions must lie in [0, 1], got {p}"),
+                });
+            }
+        }
+        let total = self.clamped_total()?;
+        let mut order: Vec<usize> = (0..ps.len()).collect();
+        order.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).expect("fractions are finite"));
+        let mut out = vec![0usize; ps.len()];
+        let mut j = 0usize;
+        for &qi in &order {
+            let target = ps[qi] * total;
+            // Same piece as quantile()'s partition_point, reached by a
+            // monotone forward walk over the ascending targets.
+            while j < self.num_pieces() - 1 && self.boundary_cdf[j + 1] < target - MASS_EPS {
+                j += 1;
+            }
+            out[qi] = self.quantile_within(j, target);
+        }
+        Ok(out)
+    }
+
+    /// Merges two synopses fitted on *adjacent* chunks of a signal into one
+    /// synopsis over the concatenated domain `[0, n₁ + n₂)`, re-merged down to
+    /// at most `budget` pieces.
+    ///
+    /// `self` covers the left chunk (`[0, n₁)` of the combined domain) and
+    /// `other` the right chunk (`[n₁, n₁ + n₂)`). The pieces of both models
+    /// are concatenated and then greedily pair-merged — cheapest exact
+    /// squared-`ℓ₂` cost first, each merged pair replaced by its flattening —
+    /// until at most `budget` pieces remain. Polynomial pieces enter the merge
+    /// as their interval means (the `ℓ₂` projection onto constants), so the
+    /// result is always piecewise constant.
+    ///
+    /// Error growth is bounded: writing `h₁ ⊕ h₂` for the concatenation and
+    /// `m` for the merged output, the triangle inequality gives
+    /// `‖m − q‖₂ ≤ ‖m − h₁ ⊕ h₂‖₂ + ‖h₁ ⊕ h₂ − q‖₂`, and the greedy re-merge
+    /// controls the first term exactly (it is the square root of the summed
+    /// merge costs it accepted). Tree-merging per-chunk fits therefore stays
+    /// within a constant factor of a direct fit in practice — see the
+    /// `hist-stream` crate and the regression suite for the measured bounds.
+    ///
+    /// The merged synopsis reports estimator name `"merged"` and `target_k =
+    /// budget`. Merging is associative up to the tolerance the greedy
+    /// re-merge introduces (pair-merge order may differ), which is what the
+    /// property harness asserts.
+    pub fn merge(&self, other: &Synopsis, budget: usize) -> Result<Synopsis> {
+        if budget == 0 {
+            return Err(Error::InvalidParameter {
+                name: "budget",
+                reason: "the merge budget must be at least 1".into(),
+            });
+        }
+        let left_domain = self.domain();
+        let mut pieces = self.model.to_merge_pieces(0);
+        pieces.extend(other.model.to_merge_pieces(left_domain));
+        greedy_remerge(&mut pieces, budget);
+        let domain = left_domain + other.domain();
+        let intervals: Vec<Interval> =
+            pieces.iter().map(|p| Interval::new_unchecked(p.start, p.end)).collect();
+        let values: Vec<f64> = pieces.iter().map(MergePiece::value).collect();
+        let partition = crate::partition::Partition::new(domain, intervals)?;
+        let histogram = Histogram::new(partition, values)?;
+        Ok(Synopsis::new("merged", budget, FittedModel::Histogram(histogram)))
     }
 
     /// Exact `ℓ₂` error `‖h − q‖₂` of the synopsis against a signal over the
@@ -542,6 +826,121 @@ mod tests {
         assert!(synopsis.cdf(2).is_err());
         assert!(synopsis.quantile(0.5).is_err());
         assert_eq!(synopsis.mass(Interval::new(0, 4).unwrap()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quantile_boundary_semantics_are_fixed() {
+        // quantile(0.0) is always index 0; quantile(1.0) is the end of the
+        // mass support, excluding trailing zero-mass pieces.
+        let with_zero_tail =
+            Histogram::from_breakpoints(40, &[10, 30], vec![2.0, 1.0, 0.0]).unwrap();
+        let synopsis = Synopsis::new("test", 3, FittedModel::Histogram(with_zero_tail));
+        assert_eq!(synopsis.quantile(0.0).unwrap(), 0);
+        let top = synopsis.quantile(1.0).unwrap();
+        assert_eq!(top, 29, "quantile(1.0) must stop at the last positive-mass index");
+        assert!((synopsis.cdf(top).unwrap() - 1.0).abs() < 1e-12);
+        for synopsis in [histogram_synopsis(), polynomial_synopsis()] {
+            assert_eq!(synopsis.quantile(0.0).unwrap(), 0);
+            let top = synopsis.quantile(1.0).unwrap();
+            assert!((synopsis.cdf(top).unwrap() - 1.0).abs() < 1e-9);
+            assert!(top == 0 || synopsis.cdf(top - 1).unwrap() < 1.0);
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_pointwise_queries() {
+        for synopsis in [histogram_synopsis(), polynomial_synopsis()] {
+            let n = synopsis.domain();
+            // Deliberately unsorted, overlapping ranges.
+            let ranges: Vec<Interval> =
+                [(3, n - 1), (0, 0), (n / 2, n / 2 + 1), (0, n - 1), (1, 5)]
+                    .iter()
+                    .map(|&(a, b)| Interval::new(a, b).unwrap())
+                    .collect();
+            let batch = synopsis.mass_batch(&ranges).unwrap();
+            for (range, got) in ranges.iter().zip(&batch) {
+                assert_eq!(*got, synopsis.mass(*range).unwrap(), "range {range}");
+            }
+
+            let ps = [0.9, 0.0, 0.5, 1.0, 0.25, 0.5, 0.999];
+            let batch = synopsis.quantile_batch(&ps).unwrap();
+            for (p, got) in ps.iter().zip(&batch) {
+                assert_eq!(*got, synopsis.quantile(*p).unwrap(), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_queries_validate_inputs() {
+        let synopsis = histogram_synopsis();
+        let n = synopsis.domain();
+        assert!(synopsis.mass_batch(&[Interval::new(0, n).unwrap()]).is_err());
+        assert!(synopsis.quantile_batch(&[0.5, 1.2]).is_err());
+        assert!(synopsis.quantile_batch(&[f64::NAN]).is_err());
+        assert_eq!(synopsis.mass_batch(&[]).unwrap(), Vec::<f64>::new());
+        assert_eq!(synopsis.quantile_batch(&[]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn merge_concatenates_adjacent_domains() {
+        // Two 2-piece halves that fit back together into the original signal.
+        let left = Histogram::from_breakpoints(20, &[10], vec![1.0, 4.0]).unwrap();
+        let right = Histogram::from_breakpoints(15, &[5], vec![4.0, 2.0]).unwrap();
+        let a = Synopsis::new("left", 2, FittedModel::Histogram(left));
+        let b = Synopsis::new("right", 2, FittedModel::Histogram(right));
+        let merged = a.merge(&b, 3).unwrap();
+        assert_eq!(merged.domain(), 35);
+        assert_eq!(merged.estimator(), "merged");
+        assert_eq!(merged.target_k(), 3);
+        assert_eq!(merged.num_pieces(), 3);
+        // The two adjacent value-4 pieces are the cheapest (free) merge.
+        let h = merged.histogram().unwrap();
+        assert_eq!(h.partition().breakpoints(), vec![10, 25]);
+        assert_eq!(h.values(), &[1.0, 4.0, 2.0]);
+        assert!((merged.total_mass() - (a.total_mass() + b.total_mass())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_preserves_mass_under_tight_budgets() {
+        let a = histogram_synopsis();
+        let b = histogram_synopsis();
+        for budget in [1, 2, 4, 100] {
+            let merged = a.merge(&b, budget).unwrap();
+            assert_eq!(merged.domain(), 100);
+            assert!(merged.num_pieces() <= budget.min(8));
+            assert!((merged.total_mass() - 2.0 * a.total_mass()).abs() < 1e-9);
+        }
+        assert!(a.merge(&b, 0).is_err());
+    }
+
+    #[test]
+    fn merge_flattens_polynomial_pieces_to_their_means() {
+        let poly = polynomial_synopsis();
+        let hist = histogram_synopsis();
+        let merged = poly.merge(&hist, 50).unwrap();
+        assert_eq!(merged.domain(), poly.domain() + hist.domain());
+        assert!(merged.histogram().is_some(), "merged synopses are piecewise constant");
+        // Mean of the ramp 0..=9 is 4.5 on [0, 9].
+        let h = merged.histogram().unwrap();
+        assert!((h.values()[0] - 4.5).abs() < 1e-9);
+        assert!((merged.total_mass() - (poly.total_mass() + hist.total_mass())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_exactly_greedy_on_known_costs() {
+        // Pieces with values 0, 10, 11, 30 (each len 1): greedy merges 10|11
+        // first, then {10,11}|0? cost comparison: merging the pair with the
+        // flattened 10.5 piece costs 2/3·(10.5)² vs 0|10.5 at ... — assert the
+        // chosen 2-piece output splits between the low and high group.
+        let left = Histogram::from_breakpoints(2, &[1], vec![0.0, 10.0]).unwrap();
+        let right = Histogram::from_breakpoints(2, &[1], vec![11.0, 30.0]).unwrap();
+        let a = Synopsis::new("l", 2, FittedModel::Histogram(left));
+        let b = Synopsis::new("r", 2, FittedModel::Histogram(right));
+        let merged = a.merge(&b, 2).unwrap();
+        let h = merged.histogram().unwrap();
+        assert_eq!(h.partition().breakpoints(), vec![3], "low group {{0, 10, 11}} vs {{30}}");
+        assert!((h.values()[0] - 7.0).abs() < 1e-9);
+        assert_eq!(h.values()[1], 30.0);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Chunked (sharded) construction: fit per chunk, merge pairwise in a tree.
+//!
+//! [`ChunkedFitter`] is the batch-parallel shape of mergeable synopses: the
+//! signal is split into contiguous chunks, every chunk is fitted
+//! independently by an inner [`Estimator`] (in a sharded deployment each
+//! shard fits its own chunk), and the per-chunk synopses are combined
+//! bottom-up with [`Synopsis::merge`] — `⌈log₂ m⌉` merge levels for `m`
+//! chunks, each merge re-merging down to `2k + 1` pieces.
+
+use hist_core::{Error, Estimator, Result, Signal, Synopsis};
+
+use crate::merge_budget;
+
+/// Default number of chunks the heuristic splits a signal into when no
+/// explicit chunk length is configured.
+const DEFAULT_CHUNKS: usize = 8;
+
+/// The heuristic chunk length for a domain of `n` values when none is
+/// configured: `⌈n / 8⌉`, i.e. about eight chunks — enough to exercise the
+/// merge tree without making the per-chunk fits trivially small.
+#[inline]
+pub fn default_chunk_len(n: usize) -> usize {
+    n.div_ceil(DEFAULT_CHUNKS).max(1)
+}
+
+/// Combines per-chunk synopses (in domain order) into one synopsis over the
+/// concatenated domain, merging pairwise level by level.
+///
+/// Each merge uses `budget` output pieces, so the tree has `⌈log₂ m⌉` levels
+/// and the result has at most `budget` pieces (or the single input's pieces
+/// when `m = 1`). Errors if `synopses` is empty.
+pub fn tree_merge(synopses: Vec<Synopsis>, budget: usize) -> Result<Synopsis> {
+    if synopses.is_empty() {
+        return Err(Error::InvalidParameter {
+            name: "synopses",
+            reason: "tree_merge needs at least one synopsis".into(),
+        });
+    }
+    let mut level = synopses;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(left) = it.next() {
+            match it.next() {
+                Some(right) => next.push(left.merge(&right, budget)?),
+                None => next.push(left),
+            }
+        }
+        level = next;
+    }
+    Ok(level.pop().expect("non-empty by construction"))
+}
+
+/// Fit-per-chunk, merge-in-a-tree construction: the sharded / parallel shape
+/// of histogram fitting.
+///
+/// Wraps any inner [`Estimator`]; `fit` splits the signal's dense view into
+/// contiguous chunks, fits each chunk with the inner estimator, and
+/// tree-merges the per-chunk synopses down to `2k + 1` pieces for piece
+/// budget `k`. The output is always piecewise constant (polynomial per-chunk
+/// fits enter the merge as their per-piece means).
+pub struct ChunkedFitter {
+    inner: Box<dyn Estimator>,
+    budget: usize,
+    chunk_len: Option<usize>,
+}
+
+impl ChunkedFitter {
+    /// A chunked fitter with piece budget `budget`, fitting every chunk with
+    /// `inner` and using the heuristic chunk length ([`default_chunk_len`]).
+    pub fn new(inner: Box<dyn Estimator>, budget: usize) -> Self {
+        Self { inner, budget, chunk_len: None }
+    }
+
+    /// Overrides the chunk length (number of signal values per chunk).
+    pub fn with_chunk_len(mut self, chunk_len: usize) -> Self {
+        self.chunk_len = Some(chunk_len);
+        self
+    }
+
+    /// The piece budget `k` of the merged output.
+    #[inline]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Fits every chunk independently and returns the per-chunk synopses in
+    /// domain order — the intermediate state a sharded deployment would ship
+    /// between nodes before [`tree_merge`].
+    pub fn fit_chunks(&self, signal: &Signal) -> Result<Vec<Synopsis>> {
+        self.validate()?;
+        let values = signal.dense_values();
+        let chunk_len = self.chunk_len.unwrap_or_else(|| default_chunk_len(values.len()));
+        values.chunks(chunk_len).map(|chunk| self.inner.fit(&Signal::from_slice(chunk)?)).collect()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.budget == 0 {
+            return Err(Error::InvalidParameter {
+                name: "budget",
+                reason: "the chunked piece budget must be at least 1".into(),
+            });
+        }
+        if self.chunk_len == Some(0) {
+            return Err(Error::InvalidParameter {
+                name: "chunk_len",
+                reason: "chunks must cover at least one value".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Estimator for ChunkedFitter {
+    fn name(&self) -> &'static str {
+        "chunked"
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        let chunks = self.fit_chunks(signal)?;
+        let merged = tree_merge(chunks, merge_budget(self.budget))?;
+        Ok(Synopsis::new(self.name(), self.budget, merged.model().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hist_core::{EstimatorBuilder, GreedyMerging};
+
+    fn step_signal(n: usize) -> Signal {
+        let values: Vec<f64> = (0..n).map(|i| ((i / (n / 4).max(1)) % 4) as f64 + 1.0).collect();
+        Signal::from_dense(values).unwrap()
+    }
+
+    fn fitter(k: usize) -> ChunkedFitter {
+        ChunkedFitter::new(Box::new(GreedyMerging::new(EstimatorBuilder::new(k))), k)
+    }
+
+    #[test]
+    fn chunked_fit_covers_the_whole_domain() {
+        let signal = step_signal(400);
+        let synopsis = fitter(4).fit(&signal).unwrap();
+        assert_eq!(synopsis.domain(), 400);
+        assert_eq!(synopsis.estimator(), "chunked");
+        assert_eq!(synopsis.target_k(), 4);
+        assert!(synopsis.num_pieces() <= merge_budget(4));
+        assert!(synopsis.l2_error(&signal).unwrap() < 1e-9, "exact 4-step signal");
+    }
+
+    #[test]
+    fn chunk_len_one_and_single_chunk_both_work() {
+        let signal = step_signal(64);
+        for chunk_len in [1usize, 7, 64, 1000] {
+            let synopsis = fitter(4).with_chunk_len(chunk_len).fit(&signal).unwrap();
+            assert_eq!(synopsis.domain(), 64, "chunk_len {chunk_len}");
+            assert!(synopsis.l2_error(&signal).unwrap() < 1e-9, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn fit_chunks_exposes_the_shard_state() {
+        let signal = step_signal(400);
+        let chunks = fitter(4).with_chunk_len(100).fit_chunks(&signal).unwrap();
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.domain() == 100));
+        let merged = tree_merge(chunks, merge_budget(4)).unwrap();
+        assert_eq!(merged.domain(), 400);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let signal = step_signal(16);
+        assert!(fitter(0).fit(&signal).is_err());
+        assert!(fitter(3).with_chunk_len(0).fit(&signal).is_err());
+        assert!(tree_merge(Vec::new(), 3).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! # hist-stream
+//!
+//! Mergeable and streaming synopses on top of the unified
+//! `Estimator`/`Synopsis` API of `hist-core`.
+//!
+//! The merging framework of the source paper (Acharya, Diakonikolas, Hegde,
+//! Li, Schmidt — PODS 2015) is naturally *composable*: a histogram fitted on
+//! one chunk of a signal can be concatenated with a histogram fitted on the
+//! next chunk and re-merged down to a piece budget with bounded error growth
+//! ([`Synopsis::merge`](hist_core::Synopsis::merge)). This crate turns that
+//! observation into three serving-oriented fitters:
+//!
+//! * [`ChunkedFitter`] — split the signal into chunks, fit each chunk
+//!   independently (the sharded / embarrassingly parallel construction
+//!   shape), then combine the per-chunk synopses pairwise in a merge tree;
+//! * [`StreamingBuilder`] — one-pass construction over a value stream with
+//!   `O(k·log(n/chunk))` working memory, via a binary-counter hierarchy of
+//!   partial synopses (the classical mergeable-summaries stream pattern);
+//! * [`SlidingWindow`] — maintain a synopsis of (approximately) the last `W`
+//!   values of an unbounded stream by keeping per-bucket sub-synopses and
+//!   evicting + re-merging as the window advances.
+//!
+//! All three produce an ordinary [`Synopsis`](hist_core::Synopsis), so the
+//! serving side (`mass`, `cdf`, `quantile`, the batched variants) is exactly
+//! the same as for a directly fitted estimator.
+//!
+//! ## Example: chunked fitting vs. direct fitting
+//!
+//! ```
+//! use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
+//! use hist_stream::ChunkedFitter;
+//!
+//! // A step signal over [0, 600).
+//! let values: Vec<f64> = (0..600).map(|i| ((i / 150) % 3) as f64 + 1.0).collect();
+//! let signal = Signal::from_dense(values).unwrap();
+//!
+//! let builder = EstimatorBuilder::new(6);
+//! let direct = GreedyMerging::new(builder).fit(&signal).unwrap();
+//!
+//! // Fit the same signal in 4 chunks of 150 values and tree-merge the fits.
+//! let chunked = ChunkedFitter::new(Box::new(GreedyMerging::new(builder)), 6)
+//!     .with_chunk_len(150)
+//!     .fit(&signal)
+//!     .unwrap();
+//!
+//! assert_eq!(chunked.domain(), 600);
+//! assert!(chunked.num_pieces() <= 13); // ≤ 2k + 1 after the final re-merge
+//! // The step signal is exactly a 3-histogram, so both fits recover it.
+//! assert!(direct.l2_error(&signal).unwrap() < 1e-9);
+//! assert!(chunked.l2_error(&signal).unwrap() < 1e-9);
+//! ```
+//!
+//! ## Example: maintaining a sliding window
+//!
+//! ```
+//! use hist_core::{EstimatorBuilder, GreedyMerging};
+//! use hist_stream::SlidingWindow;
+//!
+//! let inner = Box::new(GreedyMerging::new(EstimatorBuilder::new(4)));
+//! // 8 buckets of 64 values: a window of the last ~512 values.
+//! let mut window = SlidingWindow::new(inner, 4, 64, 8).unwrap();
+//! for i in 0..2_000u32 {
+//!     window.push((i % 97) as f64).unwrap();
+//! }
+//! let synopsis = window.synopsis().unwrap();
+//! assert_eq!(synopsis.domain(), window.len());
+//! assert!(window.len() >= window.capacity());
+//! let median = synopsis.quantile(0.5).unwrap();
+//! assert!(median < synopsis.domain());
+//! ```
+
+pub mod chunked;
+pub mod sliding;
+pub mod streaming;
+
+pub use chunked::{default_chunk_len, tree_merge, ChunkedFitter};
+pub use sliding::SlidingWindow;
+pub use streaming::{StreamingBuilder, StreamingMerging};
+
+/// The piece budget used for intermediate and final merge steps: `2k + 1`,
+/// mirroring the `O(k)` piece inflation Algorithm 1 trades for speed and
+/// accuracy (a `(2 + 2/δ)k + γ ≈ 2k + 1`-piece output for budget `k`).
+#[inline]
+pub(crate) fn merge_budget(k: usize) -> usize {
+    2 * k + 1
+}

@@ -1,0 +1,206 @@
+//! Sliding-window maintenance: a synopsis of the most recent values of an
+//! unbounded stream, kept fresh by bucketed eviction and re-merging.
+//!
+//! [`SlidingWindow`] holds the window as `num_buckets` fitted sub-synopses of
+//! `bucket_len` values each plus one partially filled tail buffer. Every
+//! `bucket_len` pushes the tail is fitted into a new bucket and the oldest
+//! bucket is evicted, so the maintained window always covers the most recent
+//! `len()` values with `len() ∈ [W, W + bucket_len)` once warmed up (for
+//! capacity `W = bucket_len · num_buckets`) — the standard bucket-granular
+//! approximation of a sliding window. Queries go through
+//! [`SlidingWindow::synopsis`], which tree-merges the live buckets (and the
+//! tail) down to `2k + 1` pieces.
+
+use std::collections::VecDeque;
+
+use hist_core::{Error, Estimator, Result, Signal, Synopsis};
+
+use crate::chunked::tree_merge;
+use crate::merge_budget;
+
+/// A bucketed sliding-window synopsis maintainer over a value stream.
+pub struct SlidingWindow {
+    inner: Box<dyn Estimator>,
+    budget: usize,
+    bucket_len: usize,
+    num_buckets: usize,
+    /// Fitted full buckets, oldest first.
+    buckets: VecDeque<Synopsis>,
+    /// The partially filled newest bucket.
+    tail: Vec<f64>,
+}
+
+impl SlidingWindow {
+    /// A window of `num_buckets` buckets of `bucket_len` values each
+    /// (capacity `bucket_len · num_buckets`), fitting buckets with `inner`
+    /// and serving synopses re-merged to piece budget `budget`.
+    pub fn new(
+        inner: Box<dyn Estimator>,
+        budget: usize,
+        bucket_len: usize,
+        num_buckets: usize,
+    ) -> Result<Self> {
+        if budget == 0 {
+            return Err(Error::InvalidParameter {
+                name: "budget",
+                reason: "the window piece budget must be at least 1".into(),
+            });
+        }
+        if bucket_len == 0 || num_buckets == 0 {
+            return Err(Error::InvalidParameter {
+                name: "bucket_len",
+                reason: "the window needs at least one bucket of at least one value".into(),
+            });
+        }
+        Ok(Self {
+            inner,
+            budget,
+            bucket_len,
+            num_buckets,
+            buckets: VecDeque::with_capacity(num_buckets + 1),
+            tail: Vec::with_capacity(bucket_len),
+        })
+    }
+
+    /// Advances the window by one value: appends it and, when it completes a
+    /// bucket, fits the bucket and evicts the oldest one past capacity.
+    pub fn push(&mut self, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(Error::NonFiniteValue { context: "SlidingWindow::push" });
+        }
+        self.tail.push(value);
+        if self.tail.len() == self.bucket_len {
+            let bucket = self.inner.fit(&Signal::from_slice(&self.tail)?)?;
+            self.tail.clear();
+            self.buckets.push_back(bucket);
+            if self.buckets.len() > self.num_buckets {
+                self.buckets.pop_front();
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the window by a slice of values.
+    pub fn extend(&mut self, values: &[f64]) -> Result<()> {
+        for &v in values {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Number of values currently covered by the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buckets.len() * self.bucket_len + self.tail.len()
+    }
+
+    /// Whether the window currently covers no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nominal window capacity `bucket_len · num_buckets`; once that many
+    /// values have been pushed, `len()` stays in `[capacity, capacity +
+    /// bucket_len)`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.bucket_len * self.num_buckets
+    }
+
+    /// The synopsis of the current window contents (domain `[0, len())`,
+    /// oldest value first).
+    ///
+    /// Tree-merges the live bucket synopses plus a fit of the tail buffer
+    /// down to `2k + 1` pieces; errors while the window is still empty.
+    pub fn synopsis(&self) -> Result<Synopsis> {
+        let mut parts: Vec<Synopsis> = self.buckets.iter().cloned().collect();
+        if !self.tail.is_empty() {
+            parts.push(self.inner.fit(&Signal::from_slice(&self.tail)?)?);
+        }
+        if parts.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "window",
+                reason: "no values have been pushed yet".into(),
+            });
+        }
+        let merged = tree_merge(parts, merge_budget(self.budget))?;
+        Ok(Synopsis::new("sliding-window", self.budget, merged.model().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hist_core::{EstimatorBuilder, GreedyMerging};
+
+    fn window(k: usize, bucket_len: usize, num_buckets: usize) -> SlidingWindow {
+        SlidingWindow::new(
+            Box::new(GreedyMerging::new(EstimatorBuilder::new(k))),
+            k,
+            bucket_len,
+            num_buckets,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn window_len_tracks_pushes_and_evictions() {
+        let mut w = window(3, 10, 4);
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 40);
+        for i in 0..35 {
+            w.push(i as f64).unwrap();
+        }
+        assert_eq!(w.len(), 35, "still filling up");
+        for i in 35..40 {
+            w.push(i as f64).unwrap();
+        }
+        assert_eq!(w.len(), w.capacity(), "warmed up");
+        for i in 40..200 {
+            w.push(i as f64).unwrap();
+            assert!(w.len() >= w.capacity());
+            assert!(w.len() < w.capacity() + 10);
+        }
+    }
+
+    #[test]
+    fn synopsis_reflects_only_the_window() {
+        // Stream: a long prefix of 100s, then exactly one window of 5s — the
+        // merged synopsis must only see the 5s.
+        let mut w = window(3, 16, 4);
+        for _ in 0..640 {
+            w.push(100.0).unwrap();
+        }
+        for _ in 0..w.capacity() {
+            w.push(5.0).unwrap();
+        }
+        let synopsis = w.synopsis().unwrap();
+        assert_eq!(synopsis.domain(), w.len());
+        let window_signal = Signal::from_dense(vec![5.0; w.len()]).unwrap();
+        assert!(synopsis.l2_error(&window_signal).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn synopsis_includes_the_partial_tail() {
+        let mut w = window(2, 8, 2);
+        for i in 0..19 {
+            w.push(i as f64).unwrap();
+        }
+        let synopsis = w.synopsis().unwrap();
+        assert_eq!(synopsis.domain(), 19, "2 buckets + 3 tail values");
+        assert_eq!(synopsis.estimator(), "sliding-window");
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        let inner = || Box::new(GreedyMerging::new(EstimatorBuilder::new(3)));
+        assert!(SlidingWindow::new(inner(), 0, 4, 4).is_err());
+        assert!(SlidingWindow::new(inner(), 3, 0, 4).is_err());
+        assert!(SlidingWindow::new(inner(), 3, 4, 0).is_err());
+        let w = window(3, 4, 4);
+        assert!(w.synopsis().is_err());
+        let mut w = window(3, 4, 4);
+        assert!(w.push(f64::INFINITY).is_err());
+    }
+}

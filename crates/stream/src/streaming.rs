@@ -1,0 +1,239 @@
+//! One-pass streaming construction with logarithmic working memory.
+//!
+//! [`StreamingBuilder`] consumes a value stream left to right and maintains a
+//! binary-counter hierarchy of partial synopses: every full chunk is fitted
+//! by the inner [`Estimator`], and whenever two partial synopses of the same
+//! rank exist they are merged ([`Synopsis::merge`]) and carried one level up
+//! — the classical mergeable-summaries pattern (think LSM levels or
+//! merge-sort runs). After `n` values the builder holds at most
+//! `⌈log₂(n / chunk_len)⌉ + 1` partial synopses of `O(k)` pieces each.
+
+use hist_core::{Error, Estimator, EstimatorBuilder, GreedyMerging, Result, Signal, Synopsis};
+
+use crate::chunked::default_chunk_len;
+use crate::merge_budget;
+
+/// Incremental, single-pass synopsis construction over a value stream.
+///
+/// Values arrive through [`StreamingBuilder::push`]; a query-ready
+/// [`Synopsis`] of everything seen so far is available at any time through
+/// [`StreamingBuilder::synopsis`]. Working memory is logarithmic in the
+/// stream length (a hierarchy of `O(k)`-piece partial synopses plus one
+/// partially filled chunk buffer) — the stream itself is never stored.
+pub struct StreamingBuilder {
+    inner: Box<dyn Estimator>,
+    budget: usize,
+    chunk_len: usize,
+    /// Binary-counter hierarchy: `levels[i]`, when occupied, summarizes
+    /// `2^i` chunks, and deeper levels hold strictly older data.
+    levels: Vec<Option<Synopsis>>,
+    tail: Vec<f64>,
+    pushed: usize,
+}
+
+impl StreamingBuilder {
+    /// A streaming builder with piece budget `budget`, fitting every
+    /// `chunk_len`-value chunk with `inner`.
+    pub fn new(inner: Box<dyn Estimator>, budget: usize, chunk_len: usize) -> Result<Self> {
+        if budget == 0 {
+            return Err(Error::InvalidParameter {
+                name: "budget",
+                reason: "the streaming piece budget must be at least 1".into(),
+            });
+        }
+        if chunk_len == 0 {
+            return Err(Error::InvalidParameter {
+                name: "chunk_len",
+                reason: "chunks must cover at least one value".into(),
+            });
+        }
+        Ok(Self {
+            inner,
+            budget,
+            chunk_len,
+            levels: Vec::new(),
+            tail: Vec::with_capacity(chunk_len),
+            pushed: 0,
+        })
+    }
+
+    /// Appends one value to the stream.
+    pub fn push(&mut self, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(Error::NonFiniteValue { context: "StreamingBuilder::push" });
+        }
+        self.tail.push(value);
+        self.pushed += 1;
+        if self.tail.len() == self.chunk_len {
+            let chunk = self.inner.fit(&Signal::from_slice(&self.tail)?)?;
+            self.tail.clear();
+            self.carry(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a slice of values to the stream.
+    pub fn extend(&mut self, values: &[f64]) -> Result<()> {
+        for &v in values {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Number of values consumed so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pushed
+    }
+
+    /// Whether no value has been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Number of partial synopses currently held (the builder's working set).
+    pub fn num_partials(&self) -> usize {
+        self.levels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// The synopsis of everything pushed so far (domain `[0, len())`).
+    ///
+    /// Merges the level hierarchy oldest-first plus a fit of the partial tail
+    /// chunk; errors when the stream is still empty. `O(k·log(n/chunk_len))`
+    /// plus one inner fit of at most `chunk_len` values.
+    pub fn synopsis(&self) -> Result<Synopsis> {
+        let budget = merge_budget(self.budget);
+        let mut acc: Option<Synopsis> = None;
+        // Deeper levels are older; the stream order is oldest → newest.
+        for level in self.levels.iter().rev().flatten() {
+            acc = Some(match acc {
+                None => level.clone(),
+                Some(older) => older.merge(level, budget)?,
+            });
+        }
+        if !self.tail.is_empty() {
+            let tail = self.inner.fit(&Signal::from_slice(&self.tail)?)?;
+            acc = Some(match acc {
+                None => tail,
+                Some(older) => older.merge(&tail, budget)?,
+            });
+        }
+        match acc {
+            Some(synopsis) => Ok(Synopsis::new("streaming", self.budget, synopsis.model().clone())),
+            None => Err(Error::InvalidParameter {
+                name: "stream",
+                reason: "no values have been pushed yet".into(),
+            }),
+        }
+    }
+
+    /// Carries a freshly fitted chunk synopsis into the binary-counter
+    /// hierarchy, merging with same-rank occupants on the way up.
+    fn carry(&mut self, mut synopsis: Synopsis) -> Result<()> {
+        let budget = merge_budget(self.budget);
+        for level in &mut self.levels {
+            match level.take() {
+                None => {
+                    *level = Some(synopsis);
+                    return Ok(());
+                }
+                // The occupant is older, so it forms the left chunk.
+                Some(older) => synopsis = older.merge(&synopsis, budget)?,
+            }
+        }
+        self.levels.push(Some(synopsis));
+        Ok(())
+    }
+}
+
+/// The streaming construction as a registry [`Estimator`]: feeds the
+/// signal's dense view through a [`StreamingBuilder`] whose chunks are
+/// fitted by Algorithm 1 ([`GreedyMerging`]) with the builder's parameters.
+///
+/// Chunk length comes from [`EstimatorBuilder::chunk_len`], defaulting to
+/// the [`default_chunk_len`] heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingMerging {
+    builder: EstimatorBuilder,
+}
+
+impl StreamingMerging {
+    /// A streaming estimator configured from the shared builder.
+    pub fn new(builder: EstimatorBuilder) -> Self {
+        Self { builder }
+    }
+}
+
+impl Estimator for StreamingMerging {
+    fn name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+        self.builder.validate()?;
+        let values = signal.dense_values();
+        let chunk_len =
+            self.builder.chunk_len_value().unwrap_or_else(|| default_chunk_len(values.len()));
+        let mut stream = StreamingBuilder::new(
+            Box::new(GreedyMerging::new(self.builder)),
+            self.builder.k(),
+            chunk_len,
+        )?;
+        stream.extend(&values)?;
+        stream.synopsis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inner(k: usize) -> Box<dyn Estimator> {
+        Box::new(GreedyMerging::new(EstimatorBuilder::new(k)))
+    }
+
+    #[test]
+    fn streaming_matches_the_signal_it_consumed() {
+        let values: Vec<f64> = (0..500).map(|i| ((i / 125) % 4) as f64 * 2.0 + 1.0).collect();
+        let mut stream = StreamingBuilder::new(inner(4), 4, 32).unwrap();
+        stream.extend(&values).unwrap();
+        assert_eq!(stream.len(), 500);
+        let synopsis = stream.synopsis().unwrap();
+        assert_eq!(synopsis.domain(), 500);
+        assert_eq!(synopsis.estimator(), "streaming");
+        assert!(synopsis.num_pieces() <= merge_budget(4));
+        let signal = Signal::from_dense(values).unwrap();
+        assert!(synopsis.l2_error(&signal).unwrap() < 1e-9, "exact 4-step stream");
+    }
+
+    #[test]
+    fn working_memory_stays_logarithmic() {
+        let mut stream = StreamingBuilder::new(inner(3), 3, 8).unwrap();
+        for i in 0..4_096 {
+            stream.push((i % 13) as f64).unwrap();
+        }
+        // 512 chunks → at most ⌈log₂ 512⌉ + 1 = 10 occupied levels.
+        assert!(stream.num_partials() <= 10, "{} partials", stream.num_partials());
+    }
+
+    #[test]
+    fn synopsis_is_queryable_mid_chunk() {
+        let mut stream = StreamingBuilder::new(inner(2), 2, 100).unwrap();
+        for i in 0..37 {
+            stream.push(i as f64).unwrap();
+        }
+        let synopsis = stream.synopsis().unwrap();
+        assert_eq!(synopsis.domain(), 37, "partial tail chunk is included");
+    }
+
+    #[test]
+    fn invalid_streams_are_rejected() {
+        assert!(StreamingBuilder::new(inner(3), 0, 8).is_err());
+        assert!(StreamingBuilder::new(inner(3), 3, 0).is_err());
+        let mut stream = StreamingBuilder::new(inner(3), 3, 8).unwrap();
+        assert!(stream.is_empty());
+        assert!(stream.synopsis().is_err());
+        assert!(stream.push(f64::NAN).is_err());
+    }
+}

@@ -66,7 +66,12 @@
 //! * [`sampling`] (`hist-sampling`) — samplers, empirical distributions and
 //!   the agnostic learners of Theorems 2.1–2.3;
 //! * [`datasets`] (`hist-datasets`) — the evaluation workloads (Figure 1) and
-//!   additional synthetic families.
+//!   additional synthetic families;
+//! * [`stream`] (`hist-stream`) — mergeable & streaming synopses:
+//!   [`ChunkedFitter`] (sharded fit-per-chunk + tree merge),
+//!   [`StreamingBuilder`] (one-pass construction) and [`SlidingWindow`]
+//!   (bucketed window maintenance), built on
+//!   [`Synopsis::merge`](hist_core::Synopsis::merge).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every table and figure of the paper.
@@ -76,6 +81,7 @@ pub use hist_core as core;
 pub use hist_datasets as datasets;
 pub use hist_poly as poly;
 pub use hist_sampling as sampling;
+pub use hist_stream as stream;
 
 // The unified estimation API.
 pub use hist_baselines::{DualGreedy, EqualMass, EqualWidth, ExactDp, GksQuantile, GreedySplit};
@@ -85,6 +91,7 @@ pub use hist_core::{
 };
 pub use hist_poly::PiecewisePoly;
 pub use hist_sampling::SampleLearner;
+pub use hist_stream::{ChunkedFitter, SlidingWindow, StreamingBuilder, StreamingMerging};
 
 // The shared data model.
 pub use hist_core::{
@@ -124,6 +131,10 @@ pub enum EstimatorKind {
     GreedySplit,
     /// Two-stage agnostic sample learner (Theorem 2.1).
     SampleLearner,
+    /// Fit-per-chunk + tree-merge (sharded construction, `hist-stream`).
+    Chunked,
+    /// One-pass streaming construction via a merge hierarchy (`hist-stream`).
+    Streaming,
 }
 
 impl EstimatorKind {
@@ -148,6 +159,14 @@ impl EstimatorKind {
             EstimatorKind::EqualMass => Box::new(EqualMass::new(builder)),
             EstimatorKind::GreedySplit => Box::new(GreedySplit::new(builder)),
             EstimatorKind::SampleLearner => Box::new(SampleLearner::new(builder)),
+            EstimatorKind::Chunked => {
+                let fitter = ChunkedFitter::new(Box::new(GreedyMerging::new(builder)), builder.k());
+                Box::new(match builder.chunk_len_value() {
+                    Some(len) => fitter.with_chunk_len(len),
+                    None => fitter,
+                })
+            }
+            EstimatorKind::Streaming => Box::new(StreamingMerging::new(builder)),
         }
     }
 
@@ -168,6 +187,8 @@ impl EstimatorKind {
             EstimatorKind::EqualMass,
             EstimatorKind::GreedySplit,
             EstimatorKind::SampleLearner,
+            EstimatorKind::Chunked,
+            EstimatorKind::Streaming,
         ]
     }
 }

@@ -1,12 +1,12 @@
-//! Integration tests of the unified `Estimator`/`Synopsis` API: every
-//! estimator implementation runs over the same `Signal` and its synopsis must
-//! answer queries consistently —
+//! Integration tests of the unified `Estimator`/`Synopsis` API that are
+//! specific to this signal/parameterization: the achieved `l2_error` of every
+//! estimator respects its algorithm's bound relative to the exact DP optimum,
+//! sparse and dense inputs agree, and synopses serve without the signal.
 //!
-//! * `cdf` is monotone with `cdf(n − 1) = 1`,
-//! * `quantile` inverts `cdf` (smallest index reaching the target fraction),
-//! * `mass` over the full domain equals `total_mass`,
-//! * the achieved `l2_error` respects each algorithm's bound relative to the
-//!   exact DP optimum.
+//! The generic query-consistency properties (cdf monotonicity, quantile∘cdf
+//! inversion, mass additivity, batch/pointwise agreement, merge
+//! associativity) run over every estimator and every fixture in
+//! `tests/prop_harness.rs` — add new assertions there, not here.
 
 use approx_hist::{
     all_estimators, DiscreteFunction, Estimator, EstimatorBuilder, EstimatorKind, Signal,
@@ -61,79 +61,6 @@ fn every_estimator_produces_a_synopsis_on_the_same_signal() {
 }
 
 #[test]
-fn cdf_is_monotone_and_reaches_one() {
-    let signal = common_signal();
-    let n = signal.domain();
-    for estimator in fleet() {
-        let synopsis = estimator.fit(&signal).unwrap();
-        let mut previous = 0.0;
-        for x in 0..n {
-            let c = synopsis.cdf(x).unwrap();
-            assert!(
-                c + 1e-12 >= previous,
-                "{}: cdf not monotone at {x} ({c} < {previous})",
-                estimator.name()
-            );
-            assert!((0.0..=1.0).contains(&c), "{}: cdf({x}) = {c}", estimator.name());
-            previous = c;
-        }
-        assert!(
-            (synopsis.cdf(n - 1).unwrap() - 1.0).abs() < 1e-9,
-            "{}: cdf must reach 1",
-            estimator.name()
-        );
-    }
-}
-
-#[test]
-fn quantile_inverts_the_cdf() {
-    let signal = common_signal();
-    for estimator in fleet() {
-        let synopsis = estimator.fit(&signal).unwrap();
-        for p in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
-            let x = synopsis.quantile(p).unwrap();
-            assert!(
-                synopsis.cdf(x).unwrap() + 1e-9 >= p,
-                "{}: cdf(quantile({p})) < {p}",
-                estimator.name()
-            );
-            if x > 0 {
-                assert!(
-                    synopsis.cdf(x - 1).unwrap() < p + 1e-9,
-                    "{}: quantile({p}) = {x} is not minimal",
-                    estimator.name()
-                );
-            }
-        }
-    }
-}
-
-#[test]
-fn mass_sums_to_the_total_and_decomposes_over_ranges() {
-    let signal = common_signal();
-    let n = signal.domain();
-    for estimator in fleet() {
-        let synopsis = estimator.fit(&signal).unwrap();
-        let full = approx_hist::Interval::new(0, n - 1).unwrap();
-        assert!(
-            (synopsis.mass(full).unwrap() - synopsis.total_mass()).abs() < 1e-9,
-            "{}: mass(full) must equal total_mass",
-            estimator.name()
-        );
-        // Mass is additive over a split of the domain.
-        let mid = n / 2;
-        let left = approx_hist::Interval::new(0, mid).unwrap();
-        let right = approx_hist::Interval::new(mid + 1, n - 1).unwrap();
-        let sum = synopsis.mass(left).unwrap() + synopsis.mass(right).unwrap();
-        assert!(
-            (sum - synopsis.total_mass()).abs() < 1e-9,
-            "{}: range masses must be additive",
-            estimator.name()
-        );
-    }
-}
-
-#[test]
 fn error_bounds_hold_relative_to_the_exact_dp() {
     let signal = common_signal();
     let opt =
@@ -172,6 +99,9 @@ fn error_bounds_hold_relative_to_the_exact_dp() {
             "exactdp" => 1.0 + 1e-9,
             // √(1+δ)·opt with δ = 1000, but ≈2k+1 pieces in practice beat opt.
             "merging" | "merging2" | "fastmerging" | "fastmerging2" => 2.0,
+            // Tree-merged per-chunk merging fits: bounded-error composition of
+            // the merging guarantee (see hist-stream).
+            "chunked" | "streaming" => 3.0,
             // Theorem 3.5: ≤ 2·opt at ≤ 8k pieces.
             "hierarchical" => 2.0 + 1e-9,
             // (1 + δ)-approximate DP with δ = 0.1.

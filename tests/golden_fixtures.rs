@@ -1,0 +1,130 @@
+//! Golden regression tests: committed expected piece boundaries and `ℓ₂`
+//! errors for the three flagship estimators on the shared fixture suite, so
+//! refactors of the construction algorithms cannot silently shift outputs.
+//!
+//! If one of these fails after an *intentional* algorithm change, re-derive
+//! the constants with the `print_golden_outputs` helper below
+//! (`cargo test --test golden_fixtures -- --ignored --nocapture`) and update
+//! them in the same commit as the change.
+
+mod common;
+
+use approx_hist::{Estimator, EstimatorKind, Signal, Synopsis};
+use common::{fixture_builder, fixture_signals};
+
+/// The estimators pinned by goldens, with their registry kinds.
+fn golden_estimators() -> Vec<Box<dyn Estimator>> {
+    [EstimatorKind::Merging, EstimatorKind::ExactDp, EstimatorKind::PiecewisePoly]
+        .into_iter()
+        .map(|kind| kind.build(fixture_builder()))
+        .collect()
+}
+
+fn fit(name: &str, signal: &Signal) -> (Synopsis, Vec<usize>, f64) {
+    let estimator = golden_estimators()
+        .into_iter()
+        .find(|e| e.name() == name)
+        .unwrap_or_else(|| panic!("unknown golden estimator {name}"));
+    let synopsis = estimator.fit(signal).unwrap();
+    let breaks = match synopsis.histogram() {
+        Some(h) => h.partition().breakpoints(),
+        None => {
+            let p = synopsis.polynomial().unwrap();
+            p.pieces().iter().skip(1).map(|piece| piece.interval().start()).collect()
+        }
+    };
+    let err = synopsis.l2_error(signal).unwrap();
+    (synopsis, breaks, err)
+}
+
+#[test]
+#[ignore = "golden-regeneration helper, not a regression test"]
+fn print_golden_outputs() {
+    for (fixture, signal) in fixture_signals() {
+        for estimator in golden_estimators() {
+            let (_, breaks, err) = fit(estimator.name(), &signal);
+            println!("(\"{fixture}\", \"{}\") => breaks {breaks:?}, err {err:.12}", {
+                estimator.name()
+            });
+        }
+    }
+}
+
+/// Asserts boundaries and error match the committed goldens (error to 1e-9
+/// absolute — the algorithms are deterministic, the slack only absorbs
+/// cross-platform float-summation differences).
+fn assert_golden(fixture: &str, name: &str, expected_breaks: &[usize], expected_err: f64) {
+    let signal = fixture_signals()
+        .into_iter()
+        .find(|(f, _)| *f == fixture)
+        .unwrap_or_else(|| panic!("unknown fixture {fixture}"))
+        .1;
+    let (_, breaks, err) = fit(name, &signal);
+    assert_eq!(breaks, expected_breaks, "{fixture}/{name}: piece boundaries shifted");
+    assert!(
+        (err - expected_err).abs() < 1e-9,
+        "{fixture}/{name}: l2 error {err:.12} != golden {expected_err:.12}"
+    );
+}
+
+#[test]
+fn greedy_merging_outputs_are_pinned() {
+    assert_golden("steps", "merging", &[10, 14, 16, 18, 22, 26, 30, 34, 50, 64, 128, 192], 0.0);
+    assert_golden(
+        "ramp",
+        "merging",
+        &[16, 28, 48, 56, 72, 84, 98, 114, 138, 158, 168, 182],
+        6.964194138592,
+    );
+    assert_golden("spike", "merging", &[7, 10, 12, 13, 14, 16, 18, 20, 24, 28, 40, 41], 0.0);
+}
+
+#[test]
+fn exact_dp_outputs_are_pinned() {
+    assert_golden("steps", "exactdp", &[64, 128, 192], 0.0);
+    assert_golden("ramp", "exactdp", &[40, 80, 120, 160], 16.324827717315);
+    assert_golden("spike", "exactdp", &[40, 41], 0.0);
+}
+
+#[test]
+fn piecewise_poly_outputs_are_pinned() {
+    assert_golden(
+        "steps",
+        "piecewise-poly",
+        &[64, 75, 86, 100, 104, 108, 112, 116, 124, 128, 134, 192],
+        0.0,
+    );
+    // Degree-2 pieces represent the linear ramp exactly.
+    assert_golden(
+        "ramp",
+        "piecewise-poly",
+        &[32, 64, 76, 88, 112, 120, 136, 148, 152, 162, 172, 183],
+        0.0,
+    );
+    assert_golden(
+        "spike",
+        "piecewise-poly",
+        &[13, 24, 28, 32, 36, 40, 41, 46, 62, 70, 100, 116],
+        0.0,
+    );
+}
+
+#[test]
+fn noisy_fixture_errors_are_pinned() {
+    // The jittered fixture exercises non-trivial boundary placement; only the
+    // errors are pinned here (boundary lists are long), which still catches
+    // any silent change in fit quality.
+    let signal =
+        fixture_signals().into_iter().find(|(f, _)| *f == "noisy-steps").expect("fixture").1;
+    for (name, expected_err) in [
+        ("merging", 0.573661285357),
+        ("exactdp", 0.576405044465),
+        ("piecewise-poly", 0.553957146401),
+    ] {
+        let (_, _, err) = fit(name, &signal);
+        assert!(
+            (err - expected_err).abs() < 1e-9,
+            "noisy-steps/{name}: l2 error {err:.12} != golden {expected_err:.12}"
+        );
+    }
+}

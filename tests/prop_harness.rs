@@ -1,0 +1,208 @@
+//! Seeded property sweeps over *every* estimator in the registry.
+//!
+//! One harness instead of per-file copy-pasted assertions: each property runs
+//! over the shared fixture suite (`tests/common`) and the whole
+//! `all_estimators` fleet, so a new algorithm gets the full battery —
+//! cdf monotonicity, quantile∘cdf inversion, mass additivity, batch/pointwise
+//! agreement and merge associativity-within-tolerance — just by being
+//! registered in `EstimatorKind`.
+
+mod common;
+
+use approx_hist::{Interval, Synopsis};
+use common::{fixture_fleet, fixture_signals, FIXTURE_K};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Budget every merge in this file re-merges down to (`2k + 1`, matching the
+/// `hist-stream` fitters).
+const MERGE_BUDGET: usize = 2 * FIXTURE_K + 1;
+
+#[test]
+fn cdf_is_monotone_and_reaches_one_on_every_fixture() {
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            let synopsis = estimator.fit(&signal).unwrap();
+            let mut previous = 0.0;
+            for x in 0..n {
+                let c = synopsis.cdf(x).unwrap();
+                assert!(
+                    c + 1e-12 >= previous,
+                    "{fixture}/{}: cdf not monotone at {x} ({c} < {previous})",
+                    estimator.name()
+                );
+                assert!((0.0..=1.0).contains(&c), "{fixture}/{}: cdf({x}) = {c}", estimator.name());
+                previous = c;
+            }
+            assert!(
+                (synopsis.cdf(n - 1).unwrap() - 1.0).abs() < 1e-9,
+                "{fixture}/{}: cdf must reach 1",
+                estimator.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_inverts_the_cdf_on_seeded_fraction_sweeps() {
+    let mut rng = StdRng::seed_from_u64(0xABCD_2015);
+    for (fixture, signal) in fixture_signals() {
+        let mut fractions = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        fractions.extend((0..20).map(|_| rng.gen_range(0.0..=1.0)));
+        for estimator in fixture_fleet() {
+            let synopsis = estimator.fit(&signal).unwrap();
+            for &p in &fractions {
+                let x = synopsis.quantile(p).unwrap();
+                assert!(
+                    synopsis.cdf(x).unwrap() + 1e-9 >= p,
+                    "{fixture}/{}: cdf(quantile({p})) < {p}",
+                    estimator.name()
+                );
+                if x > 0 {
+                    assert!(
+                        synopsis.cdf(x - 1).unwrap() < p + 1e-9,
+                        "{fixture}/{}: quantile({p}) = {x} is not minimal",
+                        estimator.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mass_is_additive_over_seeded_random_splits() {
+    let mut rng = StdRng::seed_from_u64(0xFEED_2015);
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            let synopsis = estimator.fit(&signal).unwrap();
+            let scale = synopsis.total_mass().abs().max(1.0);
+            for _ in 0..10 {
+                // A random three-way split of the domain must sum exactly.
+                let mut cuts = [rng.gen_range(0..n), rng.gen_range(0..n)];
+                cuts.sort_unstable();
+                let (a, b) = (cuts[0], cuts[1]);
+                let mut parts = vec![Interval::new(0, a).unwrap()];
+                if a < b {
+                    parts.push(Interval::new(a + 1, b).unwrap());
+                }
+                if b < n - 1 {
+                    parts.push(Interval::new(b + 1, n - 1).unwrap());
+                }
+                let sum: f64 = parts.iter().map(|r| synopsis.mass(*r).unwrap()).sum();
+                assert!(
+                    (sum - synopsis.total_mass()).abs() < 1e-9 * scale,
+                    "{fixture}/{}: split masses {sum} != total {}",
+                    estimator.name(),
+                    synopsis.total_mass()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_queries_agree_with_pointwise_queries_everywhere() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C_2015);
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            let synopsis = estimator.fit(&signal).unwrap();
+            let ranges: Vec<Interval> = (0..25)
+                .map(|_| {
+                    let mut ends = [rng.gen_range(0..n), rng.gen_range(0..n)];
+                    ends.sort_unstable();
+                    Interval::new(ends[0], ends[1]).unwrap()
+                })
+                .collect();
+            let batch = synopsis.mass_batch(&ranges).unwrap();
+            for (range, got) in ranges.iter().zip(&batch) {
+                assert_eq!(
+                    *got,
+                    synopsis.mass(*range).unwrap(),
+                    "{fixture}/{}: mass_batch({range}) diverges",
+                    estimator.name()
+                );
+            }
+            let ps: Vec<f64> = (0..25).map(|_| rng.gen_range(0.0..=1.0)).collect();
+            let batch = synopsis.quantile_batch(&ps).unwrap();
+            for (p, got) in ps.iter().zip(&batch) {
+                assert_eq!(
+                    *got,
+                    synopsis.quantile(*p).unwrap(),
+                    "{fixture}/{}: quantile_batch({p}) diverges",
+                    estimator.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_within_tolerance() {
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            // Fit three contiguous chunks independently, then merge both ways.
+            let chunks = common::split_chunks(&signal, 3);
+            let fits: Vec<Synopsis> = chunks.iter().map(|c| estimator.fit(c).unwrap()).collect();
+            let [a, b, c] = &fits[..] else {
+                panic!("{fixture}: expected 3 chunks, got {}", fits.len())
+            };
+            let left = a.merge(b, MERGE_BUDGET).unwrap().merge(c, MERGE_BUDGET).unwrap();
+            let right = a.merge(&b.merge(c, MERGE_BUDGET).unwrap(), MERGE_BUDGET).unwrap();
+
+            assert_eq!(left.domain(), n, "{fixture}/{}", estimator.name());
+            assert_eq!(right.domain(), n, "{fixture}/{}", estimator.name());
+
+            // Merging preserves the chunk masses exactly, in either order.
+            let chunk_mass: f64 = fits.iter().map(Synopsis::total_mass).sum();
+            let scale = chunk_mass.abs().max(1.0);
+            assert!(
+                (left.total_mass() - chunk_mass).abs() < 1e-9 * scale,
+                "{fixture}/{}: left-assoc mass drifted",
+                estimator.name()
+            );
+            assert!(
+                (right.total_mass() - chunk_mass).abs() < 1e-9 * scale,
+                "{fixture}/{}: right-assoc mass drifted",
+                estimator.name()
+            );
+
+            // Both bracketings must approximate the signal comparably well:
+            // within a constant of a direct full-signal fit (plus a flattening
+            // allowance, since merged synopses are piecewise constant even
+            // when the chunk fits were polynomial), and within a small band of
+            // each other. The sample learner fits the *normalized* signal, so
+            // its errors live on a different axis — its bookkeeping is still
+            // checked above.
+            if estimator.name() == "sample-learner" {
+                continue;
+            }
+            let signal_norm = signal.l2_norm_squared().sqrt();
+            let direct_err = estimator.fit(&signal).unwrap().l2_error(&signal).unwrap();
+            let (left_err, right_err) =
+                (left.l2_error(&signal).unwrap(), right.l2_error(&signal).unwrap());
+            let bound = 4.0 * direct_err + 0.1 * signal_norm;
+            assert!(
+                left_err <= bound && right_err <= bound,
+                "{fixture}/{}: merged errors {left_err}/{right_err} exceed {bound}",
+                estimator.name()
+            );
+            let chunk_err: f64 = fits
+                .iter()
+                .zip(&chunks)
+                .map(|(s, q)| s.l2_error(q).unwrap().powi(2))
+                .sum::<f64>()
+                .sqrt();
+            let band = 2.0 * chunk_err + 0.05 * signal_norm;
+            assert!(
+                (left_err - right_err).abs() <= band,
+                "{fixture}/{}: bracketings diverge: {left_err} vs {right_err} (band {band})",
+                estimator.name()
+            );
+        }
+    }
+}
