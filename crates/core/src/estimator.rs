@@ -25,8 +25,12 @@ use crate::synopsis::{FittedModel, Synopsis};
 /// [`Synopsis`].
 ///
 /// Implementations must be deterministic given their configuration (estimators
-/// with internal randomness derive it from [`EstimatorBuilder::seed`]).
-pub trait Estimator {
+/// with internal randomness derive it from [`EstimatorBuilder::seed`]), and
+/// thread-safe: `Send + Sync` is a supertrait, so a `Box<dyn Estimator>` can
+/// be shared by parallel construction workers and shipped to background
+/// refitter threads. Estimators are configuration plus pure fitting logic —
+/// no interior mutability — so this costs implementations nothing.
+pub trait Estimator: Send + Sync {
     /// Short algorithm name, as used in the paper's tables (`merging`,
     /// `exactdp`, `dual`, …).
     fn name(&self) -> &'static str;
@@ -74,6 +78,7 @@ pub struct EstimatorBuilder {
     seed: u64,
     approx_delta: f64,
     chunk_len: Option<usize>,
+    threads: Option<usize>,
 }
 
 impl EstimatorBuilder {
@@ -91,6 +96,7 @@ impl EstimatorBuilder {
             seed: 2015,
             approx_delta: 0.1,
             chunk_len: None,
+            threads: None,
         }
     }
 
@@ -205,10 +211,25 @@ impl EstimatorBuilder {
         self.approx_delta
     }
 
+    /// Sets the worker-thread count of the parallel estimators (`hist-stream`'s
+    /// `ParallelChunkedFitter`). Unset means one worker per available CPU.
+    /// Thread count never changes the fitted output — parallel fits are
+    /// bit-identical to sequential ones — only how construction is scheduled.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Explicit chunk length for the chunked/streaming estimators, when set.
     #[inline]
     pub fn chunk_len_value(&self) -> Option<usize> {
         self.chunk_len
+    }
+
+    /// Explicit worker-thread count for the parallel estimators, when set.
+    #[inline]
+    pub fn threads_value(&self) -> Option<usize> {
+        self.threads
     }
 
     /// The validated [`MergingParams`] this builder describes.
@@ -236,6 +257,12 @@ impl EstimatorBuilder {
             return Err(Error::InvalidParameter {
                 name: "chunk_len",
                 reason: "chunks must cover at least one value".into(),
+            });
+        }
+        if self.threads == Some(0) {
+            return Err(Error::InvalidParameter {
+                name: "threads",
+                reason: "parallel construction needs at least one worker thread".into(),
             });
         }
         Ok(())
@@ -406,6 +433,8 @@ mod tests {
         assert!(EstimatorBuilder::new(3).merge_delta(0.0).validate().is_err());
         assert!(EstimatorBuilder::new(3).epsilon(-1.0).validate().is_err());
         assert!(EstimatorBuilder::new(3).fail_prob(1.0).validate().is_err());
+        assert!(EstimatorBuilder::new(3).threads(0).validate().is_err());
+        assert!(EstimatorBuilder::new(3).threads(8).validate().is_ok());
         assert!(EstimatorBuilder::new(3).validate().is_ok());
         let b = EstimatorBuilder::linear_time(5);
         assert_eq!(b.merging_params().unwrap().gamma(), 20.0);

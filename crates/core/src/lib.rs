@@ -105,3 +105,25 @@ pub use signal::Signal;
 pub use sparse::SparseFunction;
 pub use stats::{flatten, flatten_dense, flattening_sse, interval_mean, interval_sse};
 pub use synopsis::{FittedModel, Synopsis};
+
+// Thread-safety audit: the whole data model is plain owned data (no `Rc`, no
+// interior mutability, `Cow` views only borrow immutably), so every type a
+// concurrent serving layer shares across threads must be `Send + Sync`. These
+// assertions are checked at compile time; adding a non-thread-safe field to
+// any of the types below breaks the build here rather than in a downstream
+// crate's `thread::scope`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Signal>();
+    assert_send_sync::<Synopsis>();
+    assert_send_sync::<FittedModel>();
+    assert_send_sync::<Histogram>();
+    assert_send_sync::<PiecewisePolynomial>();
+    assert_send_sync::<Partition>();
+    assert_send_sync::<Interval>();
+    assert_send_sync::<SparseFunction>();
+    assert_send_sync::<DenseFunction>();
+    assert_send_sync::<Distribution>();
+    assert_send_sync::<EstimatorBuilder>();
+    assert_send_sync::<Error>();
+};

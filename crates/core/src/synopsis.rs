@@ -14,6 +14,8 @@
 //! [`Synopsis::mass_batch`] and [`Synopsis::quantile_batch`] answer many
 //! queries in one amortized pass over the pieces.
 
+use std::sync::Arc;
+
 use crate::error::{Error, Result};
 use crate::function::DiscreteFunction;
 use crate::histogram::Histogram;
@@ -428,6 +430,34 @@ impl Synopsis {
     #[inline]
     pub fn model(&self) -> &FittedModel {
         &self.model
+    }
+
+    /// Moves the synopsis behind an [`Arc`], the shape concurrent serving
+    /// layers share between threads: readers clone the `Arc` (a reference
+    /// count bump, no data copy) and query their snapshot lock-free while a
+    /// writer builds the next synopsis.
+    ///
+    /// `Synopsis` is `Send + Sync` (fitted models are plain owned data with no
+    /// interior mutability), so the shared synopsis can be queried from any
+    /// thread.
+    #[inline]
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// The extent of piece `j` of the fitted model. Panics if `j` is not a
+    /// valid piece index.
+    #[inline]
+    pub fn piece_interval(&self, j: usize) -> Interval {
+        self.model.piece_interval(j)
+    }
+
+    /// The cumulative *clamped* (non-negative) mass at the `k + 1` piece
+    /// boundaries: entry `j` is the clamped mass of the first `j` pieces.
+    /// Borrowed zero-copy — the precomputed state `cdf`/`quantile` serve from.
+    #[inline]
+    pub fn boundary_masses(&self) -> &[f64] {
+        &self.boundary_cdf
     }
 
     /// The wrapped histogram, when the model is piecewise constant.

@@ -1,0 +1,177 @@
+//! Sharded batch-query execution over a fixed thread pool.
+//!
+//! [`QueryExecutor`] splits a `mass_batch`/`quantile_batch` workload into
+//! contiguous shards, runs every shard on the pool against a shared
+//! `Arc<Synopsis>` snapshot and concatenates the shard results back in input
+//! order. Sharding is pure scheduling: each query is answered by exactly the
+//! same `Synopsis` method the direct call would use, so the combined output
+//! is identical to the unsharded batch (and the batches are themselves
+//! pointwise-identical to `mass`/`quantile` — see the property harness).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use hist_core::{Interval, Result, Synopsis};
+
+use crate::pool::ThreadPool;
+
+/// A fixed-size worker pool answering batched synopsis queries in parallel.
+///
+/// ```
+/// use std::sync::Arc;
+/// use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Interval, Signal};
+/// use hist_serve::QueryExecutor;
+///
+/// let values: Vec<f64> = (0..512).map(|i| ((i / 128) % 4) as f64 + 1.0).collect();
+/// let signal = Signal::from_dense(values).unwrap();
+/// let synopsis =
+///     GreedyMerging::new(EstimatorBuilder::new(4)).fit(&signal).unwrap().into_shared();
+///
+/// let executor = QueryExecutor::new(4);
+/// let ranges: Vec<Interval> =
+///     (0..100).map(|i| Interval::new(i, i + 400).unwrap()).collect();
+/// let sharded = executor.mass_batch(&synopsis, &ranges).unwrap();
+///
+/// // Identical to the direct batch, in input order.
+/// assert_eq!(sharded, synopsis.mass_batch(&ranges).unwrap());
+///
+/// let quantiles = executor.quantile_batch(&synopsis, &[0.25, 0.5, 0.75]).unwrap();
+/// assert_eq!(quantiles, synopsis.quantile_batch(&[0.25, 0.5, 0.75]).unwrap());
+/// ```
+pub struct QueryExecutor {
+    pool: ThreadPool,
+}
+
+impl QueryExecutor {
+    /// An executor with `threads` pool workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        Self { pool: ThreadPool::new(threads) }
+    }
+
+    /// Number of pool workers.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// [`Synopsis::mass_batch`] sharded across the pool: same results, same
+    /// input order, same error on the first invalid range.
+    pub fn mass_batch(&self, synopsis: &Arc<Synopsis>, ranges: &[Interval]) -> Result<Vec<f64>> {
+        self.run_sharded(synopsis, ranges, |synopsis, shard| synopsis.mass_batch(shard))
+    }
+
+    /// [`Synopsis::quantile_batch`] sharded across the pool: same results,
+    /// same input order, same error on the first invalid fraction.
+    pub fn quantile_batch(&self, synopsis: &Arc<Synopsis>, ps: &[f64]) -> Result<Vec<usize>> {
+        self.run_sharded(synopsis, ps, |synopsis, shard| synopsis.quantile_batch(shard))
+    }
+
+    /// Splits `queries` into one contiguous shard per worker, runs `run` on
+    /// each shard concurrently and concatenates the results in shard (=
+    /// input) order. Contiguous sharding keeps error reporting deterministic:
+    /// the first shard that fails contains the globally first invalid query.
+    fn run_sharded<Q, R>(
+        &self,
+        synopsis: &Arc<Synopsis>,
+        queries: &[Q],
+        run: fn(&Synopsis, &[Q]) -> Result<Vec<R>>,
+    ) -> Result<Vec<R>>
+    where
+        Q: Copy + Send + 'static,
+        R: Send + 'static,
+    {
+        let shards = self.pool.threads().min(queries.len());
+        if shards <= 1 {
+            return run(synopsis, queries);
+        }
+        let shard_len = queries.len().div_ceil(shards);
+        let shard_count = queries.len().div_ceil(shard_len);
+        let (sender, receiver) = mpsc::channel();
+        for (index, shard) in queries.chunks(shard_len).enumerate() {
+            let sender = sender.clone();
+            let synopsis = Arc::clone(synopsis);
+            let shard: Vec<Q> = shard.to_vec();
+            self.pool.execute(move || {
+                let result = run(&synopsis, &shard);
+                let _ = sender.send((index, result));
+            });
+        }
+        drop(sender);
+        let mut slots: Vec<Option<Result<Vec<R>>>> = (0..shard_count).map(|_| None).collect();
+        for (index, result) in receiver {
+            slots[index] = Some(result);
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        for slot in slots {
+            out.extend(slot.expect("a pool worker died before reporting its shard")?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
+
+    fn shared_synopsis(n: usize) -> Arc<Synopsis> {
+        let values: Vec<f64> = (0..n).map(|i| ((i / 64) % 5) as f64 + 0.5).collect();
+        GreedyMerging::new(EstimatorBuilder::new(5))
+            .fit(&Signal::from_dense(values).unwrap())
+            .unwrap()
+            .into_shared()
+    }
+
+    #[test]
+    fn sharded_batches_match_direct_batches() {
+        let synopsis = shared_synopsis(1024);
+        // Unsorted, overlapping, duplicated ranges across every pool size.
+        let ranges: Vec<Interval> = (0..257)
+            .map(|i| {
+                let a = (i * 37) % 900;
+                Interval::new(a, a + (i * 13) % 100).unwrap()
+            })
+            .collect();
+        let ps: Vec<f64> = (0..193).map(|i| (i % 101) as f64 / 100.0).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let executor = QueryExecutor::new(threads);
+            assert_eq!(executor.threads(), threads);
+            assert_eq!(
+                executor.mass_batch(&synopsis, &ranges).unwrap(),
+                synopsis.mass_batch(&ranges).unwrap(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                executor.quantile_batch(&synopsis, &ps).unwrap(),
+                synopsis.quantile_batch(&ps).unwrap(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_batches_and_empty_batches_work() {
+        let synopsis = shared_synopsis(256);
+        let executor = QueryExecutor::new(8);
+        assert_eq!(executor.mass_batch(&synopsis, &[]).unwrap(), Vec::<f64>::new());
+        assert_eq!(executor.quantile_batch(&synopsis, &[]).unwrap(), Vec::<usize>::new());
+        // Fewer queries than workers: one shard per query.
+        let ranges = [Interval::new(0, 10).unwrap(), Interval::new(5, 200).unwrap()];
+        assert_eq!(
+            executor.mass_batch(&synopsis, &ranges).unwrap(),
+            synopsis.mass_batch(&ranges).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_queries_error_like_the_direct_batch() {
+        let synopsis = shared_synopsis(256);
+        let executor = QueryExecutor::new(4);
+        let mut ranges: Vec<Interval> = (0..64).map(|i| Interval::new(i, i + 1).unwrap()).collect();
+        ranges.push(Interval::new(0, 9_999).unwrap()); // out of domain
+        assert!(executor.mass_batch(&synopsis, &ranges).is_err());
+        let mut ps = vec![0.5; 64];
+        ps.push(7.0);
+        assert!(executor.quantile_batch(&synopsis, &ps).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! A minimal fixed-size thread pool on `std::sync::mpsc` (the build
+//! environment is offline, so no external pool crates).
+//!
+//! Workers share one job receiver behind a mutex — the classical shape: a
+//! worker holds the lock only while blocked in `recv`, runs the job with the
+//! lock released, and exits when the sender side is dropped. [`ThreadPool`]
+//! joins all workers on drop, so no detached threads outlive the pool.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads executing submitted jobs in FIFO order.
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                thread::Builder::new()
+                    .name(format!("hist-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = receiver.lock().expect("job queue lock poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped: drain and exit
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some idle worker will pick it up.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(job))
+            .expect("pool workers live until drop");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers see `Err` after the queue drains…
+        drop(self.sender.take());
+        // …then wait for them; a worker that panicked in a job is reported.
+        for worker in self.workers.drain(..) {
+            if worker.join().is_err() && !thread::panicking() {
+                panic!("a pool worker panicked while running a job");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_on_every_worker_count() {
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let counter = Arc::new(AtomicUsize::new(0));
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            drop(pool); // joins workers, so all jobs have run
+            assert_eq!(counter.load(Ordering::SeqCst), 100);
+        }
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

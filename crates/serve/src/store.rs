@@ -1,0 +1,226 @@
+//! The epoch/snapshot synopsis store: one writer path, wait-free-in-practice
+//! readers.
+//!
+//! [`SynopsisStore`] holds the *currently served* synopsis behind an
+//! [`Arc`]. Readers take a [`Snapshot`] — an epoch-stamped `Arc` clone — and
+//! query it for as long as they like; the snapshot is immutable, so a reader
+//! can never observe a torn or partially updated synopsis. Writers build the
+//! next synopsis *outside* every lock (merging can be `O(k log k)` work) and
+//! install it with a pointer swap, so the read-side lock is only ever held
+//! for an `Arc` clone or a pointer store — never across merge work.
+
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, RwLock};
+
+use hist_core::{Result, Synopsis};
+
+/// An epoch-stamped, immutable view of the synopsis a [`SynopsisStore`]
+/// served at some instant.
+///
+/// Cloning a snapshot is a reference-count bump. Snapshots implement
+/// [`Deref`] to [`Synopsis`], so they answer `mass`/`cdf`/`quantile` (and the
+/// batched variants) directly.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    synopsis: Arc<Synopsis>,
+}
+
+impl Snapshot {
+    /// The publication epoch: strictly increasing across publishes, starting
+    /// at 1 for the first synopsis a store serves.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared synopsis itself, for callers that want to hold or ship the
+    /// `Arc` without the epoch stamp.
+    #[inline]
+    pub fn synopsis(&self) -> &Arc<Synopsis> {
+        &self.synopsis
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = Synopsis;
+
+    fn deref(&self) -> &Synopsis {
+        &self.synopsis
+    }
+}
+
+/// A read-mostly store for the synopsis a query layer is currently serving,
+/// supporting atomic replacement under live traffic.
+///
+/// * **Readers** call [`SynopsisStore::snapshot`] and get an epoch-stamped
+///   `Arc<Synopsis>` clone. The read lock is held only for that clone —
+///   reads are wait-free in practice, because no writer ever holds the write
+///   lock across real work.
+/// * **Writers** serialize on an internal mutex. [`SynopsisStore::publish`]
+///   swaps in a fully built synopsis; [`SynopsisStore::update_merge`] is the
+///   read-modify-publish cycle of a background refitter: merge an
+///   adjacent-chunk synopsis into the current one
+///   ([`Synopsis::merge`]), re-merged to `budget` pieces, and publish the
+///   result — all merge work happening outside the read-side lock.
+///
+/// ```
+/// use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
+/// use hist_serve::SynopsisStore;
+///
+/// let estimator = GreedyMerging::new(EstimatorBuilder::new(4));
+/// let fit = |lo: usize| {
+///     let values: Vec<f64> = (lo..lo + 100).map(|i| ((i / 50) % 4) as f64 + 1.0).collect();
+///     estimator.fit(&Signal::from_dense(values).unwrap()).unwrap()
+/// };
+///
+/// let store = SynopsisStore::new();
+/// assert!(store.snapshot().is_none());
+///
+/// // A writer publishes the first chunk, then merges the next one in.
+/// let first = store.publish(fit(0));
+/// let second = store.update_merge(&fit(100), 9).unwrap();
+/// assert!(second > first);
+///
+/// // Readers hold an immutable snapshot; later publishes don't disturb it.
+/// let snapshot = store.snapshot().unwrap();
+/// assert_eq!(snapshot.epoch(), second);
+/// assert_eq!(snapshot.domain(), 200);
+/// let median = snapshot.quantile(0.5).unwrap();
+/// assert!(median < 200);
+/// ```
+#[derive(Debug, Default)]
+pub struct SynopsisStore {
+    current: RwLock<Option<Snapshot>>,
+    /// Last published epoch; holding this lock serializes the whole
+    /// read-modify-publish cycle of a writer, so concurrent `update_merge`
+    /// calls never lose each other's chunks.
+    writer: Mutex<u64>,
+}
+
+impl SynopsisStore {
+    /// An empty store: readers see `None` until the first publish.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store already serving `synopsis` at epoch 1.
+    pub fn with_initial(synopsis: Synopsis) -> Self {
+        let store = Self::new();
+        store.publish(synopsis);
+        store
+    }
+
+    /// The snapshot currently served: an `Arc` clone plus its epoch, or
+    /// `None` before the first publish. Never blocks on writer merge work.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.current.read().expect("store lock poisoned").clone()
+    }
+
+    /// The epoch of the currently served snapshot (0 before the first
+    /// publish). Epochs increase strictly with every publish.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().map_or(0, |s| s.epoch())
+    }
+
+    /// Atomically replaces the served synopsis with a fully built one and
+    /// returns the new epoch. Use this when a refitter rebuilt the synopsis
+    /// from scratch (e.g. a better fit over the full signal).
+    pub fn publish(&self, synopsis: Synopsis) -> u64 {
+        self.install(synopsis.into_shared())
+    }
+
+    /// The read-modify-publish cycle of a background refitter: merges
+    /// `chunk` — a synopsis fitted on the signal chunk *adjacent to the
+    /// right* of the currently served domain — into the current synopsis
+    /// with [`Synopsis::merge`] (re-merged down to `budget` pieces) and
+    /// publishes the result. An empty store just publishes `chunk` as is.
+    ///
+    /// Returns the new epoch. Concurrent callers serialize; readers keep
+    /// serving the previous snapshot until the merged one is installed.
+    pub fn update_merge(&self, chunk: &Synopsis, budget: usize) -> Result<u64> {
+        let mut last_epoch = self.writer.lock().expect("writer lock poisoned");
+        let next = match self.snapshot() {
+            Some(current) => current.merge(chunk, budget)?,
+            None => chunk.clone(),
+        };
+        *last_epoch += 1;
+        let epoch = *last_epoch;
+        *self.current.write().expect("store lock poisoned") =
+            Some(Snapshot { epoch, synopsis: next.into_shared() });
+        Ok(epoch)
+    }
+
+    fn install(&self, synopsis: Arc<Synopsis>) -> u64 {
+        let mut last_epoch = self.writer.lock().expect("writer lock poisoned");
+        *last_epoch += 1;
+        let epoch = *last_epoch;
+        *self.current.write().expect("store lock poisoned") = Some(Snapshot { epoch, synopsis });
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
+
+    fn fit_values(values: Vec<f64>) -> Synopsis {
+        GreedyMerging::new(EstimatorBuilder::new(3))
+            .fit(&Signal::from_dense(values).unwrap())
+            .unwrap()
+    }
+
+    fn step_chunk(level: f64) -> Synopsis {
+        fit_values((0..64).map(|i| level + ((i / 32) % 2) as f64).collect())
+    }
+
+    #[test]
+    fn empty_store_serves_nothing() {
+        let store = SynopsisStore::new();
+        assert!(store.snapshot().is_none());
+        assert_eq!(store.epoch(), 0);
+    }
+
+    #[test]
+    fn publish_bumps_the_epoch_and_swaps_the_synopsis() {
+        let store = SynopsisStore::with_initial(step_chunk(1.0));
+        assert_eq!(store.epoch(), 1);
+        let before = store.snapshot().unwrap();
+        let epoch = store.publish(step_chunk(5.0));
+        assert_eq!(epoch, 2);
+        // The old snapshot is unchanged; the store serves the new one.
+        assert_eq!(before.epoch(), 1);
+        let after = store.snapshot().unwrap();
+        assert_eq!(after.epoch(), 2);
+        assert!(after.total_mass() > before.total_mass());
+    }
+
+    #[test]
+    fn update_merge_extends_the_served_domain() {
+        let store = SynopsisStore::new();
+        let first = store.update_merge(&step_chunk(1.0), 7).unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(store.snapshot().unwrap().domain(), 64);
+        let second = store.update_merge(&step_chunk(2.0), 7).unwrap();
+        assert_eq!(second, 2);
+        let snapshot = store.snapshot().unwrap();
+        assert_eq!(snapshot.domain(), 128);
+        assert!(snapshot.num_pieces() <= 7);
+        assert!(store.update_merge(&step_chunk(2.0), 0).is_err(), "zero budgets are rejected");
+        assert_eq!(store.epoch(), 2, "a failed merge must not bump the epoch");
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_later_merges() {
+        let store = SynopsisStore::with_initial(step_chunk(1.0));
+        let snapshot = store.snapshot().unwrap();
+        let mass_before = snapshot.total_mass();
+        for _ in 0..5 {
+            store.update_merge(&step_chunk(3.0), 7).unwrap();
+        }
+        assert_eq!(snapshot.total_mass(), mass_before);
+        assert_eq!(snapshot.domain(), 64);
+        assert_eq!(store.snapshot().unwrap().domain(), 6 * 64);
+    }
+}

@@ -11,6 +11,19 @@ use hist_core::{Error, Estimator, Result, Signal, Synopsis};
 
 use crate::merge_budget;
 
+/// Tree-merges fitted per-chunk synopses down to `merge_budget(budget)`
+/// pieces and rebrands the result — the shared tail of the sequential and
+/// parallel chunked fitters, so both produce identical outputs from
+/// identical chunk fits.
+pub(crate) fn merge_fitted_chunks(
+    name: &'static str,
+    budget: usize,
+    chunks: Vec<Synopsis>,
+) -> Result<Synopsis> {
+    let merged = tree_merge(chunks, merge_budget(budget))?;
+    Ok(Synopsis::new(name, budget, merged.model().clone()))
+}
+
 /// Default number of chunks the heuristic splits a signal into when no
 /// explicit chunk length is configured.
 const DEFAULT_CHUNKS: usize = 8;
@@ -28,12 +41,21 @@ pub fn default_chunk_len(n: usize) -> usize {
 ///
 /// Each merge uses `budget` output pieces, so the tree has `⌈log₂ m⌉` levels
 /// and the result has at most `budget` pieces (or the single input's pieces
-/// when `m = 1`). Errors if `synopses` is empty.
+/// when `m = 1`). Errors if `synopses` is empty or `budget` is zero — a zero
+/// budget would slip through the single-synopsis path unchecked (pairwise
+/// merges reject it, but `m = 1` performs none) and let callers build an
+/// empty synopsis.
 pub fn tree_merge(synopses: Vec<Synopsis>, budget: usize) -> Result<Synopsis> {
     if synopses.is_empty() {
         return Err(Error::InvalidParameter {
             name: "synopses",
             reason: "tree_merge needs at least one synopsis".into(),
+        });
+    }
+    if budget == 0 {
+        return Err(Error::InvalidParameter {
+            name: "budget",
+            reason: "the tree-merge budget must be at least 1".into(),
         });
     }
     let mut level = synopses;
@@ -90,11 +112,21 @@ impl ChunkedFitter {
     pub fn fit_chunks(&self, signal: &Signal) -> Result<Vec<Synopsis>> {
         self.validate()?;
         let values = signal.dense_values();
-        let chunk_len = self.chunk_len.unwrap_or_else(|| default_chunk_len(values.len()));
-        values.chunks(chunk_len).map(|chunk| self.inner.fit(&Signal::from_slice(chunk)?)).collect()
+        values.chunks(self.chunk_len_for(values.len())).map(|chunk| self.fit_one(chunk)).collect()
     }
 
-    fn validate(&self) -> Result<()> {
+    /// The chunk length used for a domain of `n` values: the configured
+    /// override or the heuristic [`default_chunk_len`].
+    pub(crate) fn chunk_len_for(&self, n: usize) -> usize {
+        self.chunk_len.unwrap_or_else(|| default_chunk_len(n))
+    }
+
+    /// Fits one chunk with the inner estimator.
+    pub(crate) fn fit_one(&self, chunk: &[f64]) -> Result<Synopsis> {
+        self.inner.fit(&Signal::from_slice(chunk)?)
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.budget == 0 {
             return Err(Error::InvalidParameter {
                 name: "budget",
@@ -118,8 +150,7 @@ impl Estimator for ChunkedFitter {
 
     fn fit(&self, signal: &Signal) -> Result<Synopsis> {
         let chunks = self.fit_chunks(signal)?;
-        let merged = tree_merge(chunks, merge_budget(self.budget))?;
-        Ok(Synopsis::new(self.name(), self.budget, merged.model().clone()))
+        merge_fitted_chunks(self.name(), self.budget, chunks)
     }
 }
 
@@ -174,5 +205,12 @@ mod tests {
         assert!(fitter(0).fit(&signal).is_err());
         assert!(fitter(3).with_chunk_len(0).fit(&signal).is_err());
         assert!(tree_merge(Vec::new(), 3).is_err());
+        // Regression: a zero budget used to slip through the single-synopsis
+        // path (no pairwise merge ever checked it).
+        for parts in [1usize, 4] {
+            let chunks = fitter(3).with_chunk_len(16 / parts).fit_chunks(&signal).unwrap();
+            assert_eq!(chunks.len(), parts);
+            assert!(tree_merge(chunks, 0).is_err(), "budget 0 with {parts} chunk(s)");
+        }
     }
 }

@@ -69,9 +69,14 @@
 //!   additional synthetic families;
 //! * [`stream`] (`hist-stream`) — mergeable & streaming synopses:
 //!   [`ChunkedFitter`] (sharded fit-per-chunk + tree merge),
-//!   [`StreamingBuilder`] (one-pass construction) and [`SlidingWindow`]
-//!   (bucketed window maintenance), built on
-//!   [`Synopsis::merge`](hist_core::Synopsis::merge).
+//!   [`ParallelChunkedFitter`] (the same construction on scoped worker
+//!   threads, bit-identical output), [`StreamingBuilder`] (one-pass
+//!   construction) and [`SlidingWindow`] (bucketed window maintenance),
+//!   built on [`Synopsis::merge`](hist_core::Synopsis::merge);
+//! * [`serve`] (`hist-serve`) — the concurrent serving layer:
+//!   [`SynopsisStore`] (epoch/snapshot store with wait-free reads under a
+//!   background refitter) and [`QueryExecutor`] (batched queries sharded
+//!   over a fixed thread pool).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every table and figure of the paper.
@@ -81,6 +86,7 @@ pub use hist_core as core;
 pub use hist_datasets as datasets;
 pub use hist_poly as poly;
 pub use hist_sampling as sampling;
+pub use hist_serve as serve;
 pub use hist_stream as stream;
 
 // The unified estimation API.
@@ -91,7 +97,10 @@ pub use hist_core::{
 };
 pub use hist_poly::PiecewisePoly;
 pub use hist_sampling::SampleLearner;
-pub use hist_stream::{ChunkedFitter, SlidingWindow, StreamingBuilder, StreamingMerging};
+pub use hist_serve::{QueryExecutor, Snapshot, SynopsisStore};
+pub use hist_stream::{
+    ChunkedFitter, ParallelChunkedFitter, SlidingWindow, StreamingBuilder, StreamingMerging,
+};
 
 // The shared data model.
 pub use hist_core::{
@@ -133,6 +142,10 @@ pub enum EstimatorKind {
     SampleLearner,
     /// Fit-per-chunk + tree-merge (sharded construction, `hist-stream`).
     Chunked,
+    /// Fit-per-chunk + tree-merge with the chunk fits running on scoped
+    /// worker threads — bit-identical to [`EstimatorKind::Chunked`] for the
+    /// same chunking (`hist-stream`).
+    ParallelChunked,
     /// One-pass streaming construction via a merge hierarchy (`hist-stream`).
     Streaming,
 }
@@ -166,6 +179,17 @@ impl EstimatorKind {
                     None => fitter,
                 })
             }
+            EstimatorKind::ParallelChunked => {
+                let mut fitter =
+                    ParallelChunkedFitter::new(Box::new(GreedyMerging::new(builder)), builder.k());
+                if let Some(len) = builder.chunk_len_value() {
+                    fitter = fitter.with_chunk_len(len);
+                }
+                if let Some(threads) = builder.threads_value() {
+                    fitter = fitter.with_threads(threads);
+                }
+                Box::new(fitter)
+            }
             EstimatorKind::Streaming => Box::new(StreamingMerging::new(builder)),
         }
     }
@@ -188,6 +212,7 @@ impl EstimatorKind {
             EstimatorKind::GreedySplit,
             EstimatorKind::SampleLearner,
             EstimatorKind::Chunked,
+            EstimatorKind::ParallelChunked,
             EstimatorKind::Streaming,
         ]
     }

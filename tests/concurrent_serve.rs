@@ -1,0 +1,213 @@
+//! Multi-thread stress test for the serving layer: writer threads
+//! `update_merge`-ing fresh chunks into a [`SynopsisStore`] while reader
+//! threads hammer snapshots with seeded cdf/quantile/mass batches.
+//!
+//! Every snapshot a reader observes must be a *complete* synopsis satisfying
+//! the harness invariants (cdf monotone, quantile∘cdf inversion, mass
+//! additivity, structural consistency) — a torn or partially merged synopsis
+//! would violate at least one of them. Epochs must be monotone per reader,
+//! and sharded executor batches must agree with direct snapshot queries even
+//! under concurrent submission from every reader at once.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use approx_hist::{
+    Estimator, EstimatorBuilder, GreedyMerging, Interval, QueryExecutor, Signal, Synopsis,
+    SynopsisStore,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WRITERS: usize = 4;
+const READERS: usize = 8;
+/// Piece budget every merge re-merges down to (`2k + 1` for the fixture `k`).
+const BUDGET: usize = 2 * common::FIXTURE_K + 1;
+/// How long the stress runs once all threads are up.
+const RUN_FOR: Duration = Duration::from_millis(900);
+/// Minimum merges per writer, so the test asserts real write traffic even on
+/// a heavily loaded machine.
+const MIN_MERGES_PER_WRITER: usize = 25;
+const CHUNK_DOMAIN: usize = 96;
+
+/// A pool of pre-fitted chunk synopses for one writer, so the write loop
+/// measures store contention rather than fit time.
+fn chunk_pool(writer: usize) -> Vec<Synopsis> {
+    let estimator = GreedyMerging::new(EstimatorBuilder::new(common::FIXTURE_K));
+    let mut rng = StdRng::seed_from_u64(0x5EED_0000 + writer as u64);
+    (0..8)
+        .map(|_| {
+            let values: Vec<f64> = (0..CHUNK_DOMAIN)
+                .map(|i| ((i / 24) % 3) as f64 * 2.0 + 1.0 + rng.gen_range(0.0..0.5))
+                .collect();
+            estimator.fit(&Signal::from_dense(values).unwrap()).unwrap()
+        })
+        .collect()
+}
+
+/// The invariants every observed snapshot must satisfy. `rng` drives the
+/// seeded query workload; any violation panics with the reader's context.
+fn assert_snapshot_invariants(reader: usize, snapshot: &approx_hist::Snapshot, rng: &mut StdRng) {
+    let n = snapshot.domain();
+    let epoch = snapshot.epoch();
+    let context = || format!("reader {reader}, epoch {epoch}, domain {n}");
+
+    // Structural consistency: pieces tile exactly [0, n), boundary masses are
+    // monotone and complete. A torn synopsis (pieces from one version, masses
+    // from another) cannot pass these.
+    let pieces = snapshot.num_pieces();
+    assert!((1..=BUDGET).contains(&pieces), "{}: {pieces} pieces", context());
+    let mut expected_start = 0usize;
+    for j in 0..pieces {
+        let interval = snapshot.piece_interval(j);
+        assert_eq!(interval.start(), expected_start, "{}: piece {j} misaligned", context());
+        expected_start = interval.end() + 1;
+    }
+    assert_eq!(expected_start, n, "{}: pieces do not tile the domain", context());
+    let boundaries = snapshot.boundary_masses();
+    assert_eq!(boundaries.len(), pieces + 1, "{}: boundary count", context());
+    assert!(
+        boundaries.windows(2).all(|w| w[1] >= w[0]),
+        "{}: boundary masses not monotone",
+        context()
+    );
+
+    // cdf monotone over a seeded index sweep, reaching 1 at the domain end.
+    let mut previous = 0.0;
+    let mut xs: Vec<usize> = (0..24).map(|_| rng.gen_range(0..n)).collect();
+    xs.sort_unstable();
+    xs.push(n - 1);
+    for &x in &xs {
+        let c = snapshot.cdf(x).unwrap();
+        assert!((0.0..=1.0).contains(&c), "{}: cdf({x}) = {c}", context());
+        assert!(c + 1e-12 >= previous, "{}: cdf not monotone at {x}", context());
+        previous = c;
+    }
+    assert!((snapshot.cdf(n - 1).unwrap() - 1.0).abs() < 1e-9, "{}: cdf(n-1) != 1", context());
+
+    // quantile∘cdf inversion on a seeded fraction batch; the batch must match
+    // the pointwise answers exactly.
+    let mut ps: Vec<f64> = (0..16).map(|_| rng.gen_range(0.0..=1.0)).collect();
+    ps.extend([0.0, 0.5, 1.0]);
+    let batch = snapshot.quantile_batch(&ps).unwrap();
+    for (&p, &x) in ps.iter().zip(&batch) {
+        assert_eq!(x, snapshot.quantile(p).unwrap(), "{}: batch/pointwise at {p}", context());
+        assert!(snapshot.cdf(x).unwrap() + 1e-9 >= p, "{}: cdf(quantile({p})) < {p}", context());
+        if x > 0 {
+            assert!(
+                snapshot.cdf(x - 1).unwrap() < p + 1e-9,
+                "{}: quantile({p}) = {x} not minimal",
+                context()
+            );
+        }
+    }
+
+    // Mass additivity over a seeded three-way split of the domain.
+    let mut cuts = [rng.gen_range(0..n), rng.gen_range(0..n)];
+    cuts.sort_unstable();
+    let (a, b) = (cuts[0], cuts[1]);
+    let mut parts = vec![Interval::new(0, a).unwrap()];
+    if a < b {
+        parts.push(Interval::new(a + 1, b).unwrap());
+    }
+    if b < n - 1 {
+        parts.push(Interval::new(b + 1, n - 1).unwrap());
+    }
+    let sum: f64 = parts.iter().map(|r| snapshot.mass(*r).unwrap()).sum();
+    let total = snapshot.total_mass();
+    assert!(
+        (sum - total).abs() < 1e-9 * total.abs().max(1.0),
+        "{}: split mass {sum} != total {total}",
+        context()
+    );
+}
+
+#[test]
+fn concurrent_writers_and_readers_never_observe_a_torn_snapshot() {
+    let store = Arc::new(SynopsisStore::with_initial(chunk_pool(99).pop().unwrap()));
+    let executor = Arc::new(QueryExecutor::new(4));
+    let done = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + RUN_FOR;
+
+    std::thread::scope(|scope| {
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let store = Arc::clone(&store);
+            writers.push(scope.spawn(move || {
+                let pool = chunk_pool(w);
+                let mut merges = 0usize;
+                let mut last_epoch = 0u64;
+                while Instant::now() < deadline || merges < MIN_MERGES_PER_WRITER {
+                    let chunk = &pool[merges % pool.len()];
+                    let epoch = store.update_merge(chunk, BUDGET).unwrap();
+                    assert!(epoch > last_epoch, "writer {w}: epoch went backwards");
+                    last_epoch = epoch;
+                    merges += 1;
+                }
+                merges
+            }));
+        }
+
+        let mut readers = Vec::new();
+        for r in 0..READERS {
+            let store = Arc::clone(&store);
+            let executor = Arc::clone(&executor);
+            let done = Arc::clone(&done);
+            readers.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x0EAD_0000 + r as u64);
+                let mut last_epoch = 0u64;
+                let mut observed = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    let snapshot = store.snapshot().expect("store was seeded");
+                    assert!(
+                        snapshot.epoch() >= last_epoch,
+                        "reader {r}: epoch went backwards ({} < {last_epoch})",
+                        snapshot.epoch()
+                    );
+                    last_epoch = snapshot.epoch();
+                    assert_snapshot_invariants(r, &snapshot, &mut rng);
+
+                    // Sharded executor batches agree with direct snapshot
+                    // queries, even with every reader submitting at once.
+                    let n = snapshot.domain();
+                    let ranges: Vec<Interval> = (0..12)
+                        .map(|_| {
+                            let mut ends = [rng.gen_range(0..n), rng.gen_range(0..n)];
+                            ends.sort_unstable();
+                            Interval::new(ends[0], ends[1]).unwrap()
+                        })
+                        .collect();
+                    let sharded = executor.mass_batch(snapshot.synopsis(), &ranges).unwrap();
+                    assert_eq!(
+                        sharded,
+                        snapshot.mass_batch(&ranges).unwrap(),
+                        "reader {r}: executor diverged from the direct batch"
+                    );
+                    observed += 1;
+                }
+                observed
+            }));
+        }
+
+        let total_merges: usize = writers.into_iter().map(|w| w.join().expect("writer")).sum();
+        done.store(true, Ordering::Release);
+        let total_reads: usize = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+
+        assert!(
+            total_merges >= WRITERS * MIN_MERGES_PER_WRITER,
+            "writers made too little progress: {total_merges} merges"
+        );
+        assert!(total_reads >= READERS, "readers made too little progress: {total_reads} reads");
+        // Every writer merge bumped the epoch exactly once (plus the seed).
+        assert_eq!(store.epoch(), 1 + total_merges as u64, "lost updates under writer contention");
+        let final_domain = store.snapshot().unwrap().domain();
+        assert_eq!(
+            final_domain,
+            CHUNK_DOMAIN * (1 + total_merges),
+            "merged domains must concatenate exactly"
+        );
+    });
+}

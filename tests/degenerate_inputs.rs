@@ -129,13 +129,43 @@ fn zero_signals_fit_and_report_no_mass() {
 }
 
 #[test]
+fn tree_merge_rejects_zero_budgets() {
+    // Regression: `tree_merge` used to accept `budget == 0` whenever only one
+    // synopsis was passed (no pairwise merge ever validated the budget),
+    // letting callers build a degenerate empty synopsis downstream.
+    use approx_hist::stream::{tree_merge, ChunkedFitter};
+    use approx_hist::{EstimatorKind, GreedyMerging};
+
+    let signal = Signal::from_dense((0..32).map(|i| (i % 4) as f64 + 1.0).collect()).unwrap();
+    let inner = || Box::new(GreedyMerging::new(fixture_builder().with_k(3)));
+    for chunk_len in [32usize, 8] {
+        let chunks =
+            ChunkedFitter::new(inner(), 3).with_chunk_len(chunk_len).fit_chunks(&signal).unwrap();
+        let parts = chunks.len();
+        assert!(tree_merge(chunks, 0).is_err(), "budget 0 must be rejected with {parts} chunk(s)");
+    }
+    // A positive budget still works, and the empty input stays rejected.
+    let chunks = ChunkedFitter::new(inner(), 3).with_chunk_len(8).fit_chunks(&signal).unwrap();
+    assert_eq!(tree_merge(chunks, 1).unwrap().num_pieces(), 1);
+    assert!(tree_merge(Vec::new(), 1).is_err());
+    // The chunked estimators surface the same rejection through `fit`.
+    for kind in [EstimatorKind::Chunked, EstimatorKind::ParallelChunked] {
+        assert!(kind.build(fixture_builder().with_k(0)).fit(&signal).is_err(), "{kind:?}");
+    }
+}
+
+#[test]
 fn tiny_domains_fit_with_every_chunking() {
     // Streaming/chunked estimators must cope with chunk lengths larger than,
     // equal to and far smaller than the domain.
     let signal = Signal::from_dense(vec![1.0, 5.0, 5.0]).unwrap();
     for chunk_len in [1usize, 2, 3, 64] {
         let builder = EstimatorBuilder::new(2).chunk_len(chunk_len);
-        for kind in [approx_hist::EstimatorKind::Chunked, approx_hist::EstimatorKind::Streaming] {
+        for kind in [
+            approx_hist::EstimatorKind::Chunked,
+            approx_hist::EstimatorKind::ParallelChunked,
+            approx_hist::EstimatorKind::Streaming,
+        ] {
             let estimator = kind.build(builder);
             let synopsis = estimator.fit(&signal).unwrap();
             assert_eq!(synopsis.domain(), 3, "{}/chunk {chunk_len}", estimator.name());

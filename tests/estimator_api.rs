@@ -100,8 +100,9 @@ fn error_bounds_hold_relative_to_the_exact_dp() {
             // √(1+δ)·opt with δ = 1000, but ≈2k+1 pieces in practice beat opt.
             "merging" | "merging2" | "fastmerging" | "fastmerging2" => 2.0,
             // Tree-merged per-chunk merging fits: bounded-error composition of
-            // the merging guarantee (see hist-stream).
-            "chunked" | "streaming" => 3.0,
+            // the merging guarantee (see hist-stream). The parallel fitter is
+            // bit-identical to the sequential chunked one.
+            "chunked" | "parallel-chunked" | "streaming" => 3.0,
             // Theorem 3.5: ≤ 2·opt at ≤ 8k pieces.
             "hierarchical" => 2.0 + 1e-9,
             // (1 + δ)-approximate DP with δ = 0.1.

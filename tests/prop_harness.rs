@@ -9,14 +9,19 @@
 
 mod common;
 
-use approx_hist::{Interval, Synopsis};
-use common::{fixture_fleet, fixture_signals, FIXTURE_K};
+use approx_hist::{EstimatorKind, Interval, Synopsis};
+use common::{fixture_builder, fixture_fleet, fixture_signals, FIXTURE_K};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Budget every merge in this file re-merges down to (`2k + 1`, matching the
 /// `hist-stream` fitters).
 const MERGE_BUDGET: usize = 2 * FIXTURE_K + 1;
+
+/// Every registry kind with a parallel construction path, paired with the
+/// sequential kind it must reproduce bit for bit.
+const PARALLEL_KINDS: [(EstimatorKind, EstimatorKind); 1] =
+    [(EstimatorKind::ParallelChunked, EstimatorKind::Chunked)];
 
 #[test]
 fn cdf_is_monotone_and_reaches_one_on_every_fixture() {
@@ -135,6 +140,114 @@ fn batched_queries_agree_with_pointwise_queries_everywhere() {
                     "{fixture}/{}: quantile_batch({p}) diverges",
                     estimator.name()
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_fits_are_bit_identical_across_thread_counts() {
+    for (fixture, signal) in fixture_signals() {
+        for chunk_len in [None, Some(17), Some(signal.domain())] {
+            let mut builder = fixture_builder();
+            if let Some(len) = chunk_len {
+                builder = builder.chunk_len(len);
+            }
+            for (parallel_kind, sequential_kind) in PARALLEL_KINDS {
+                let sequential = sequential_kind.build(builder).fit(&signal).unwrap();
+                for threads in [1usize, 2, 8] {
+                    let parallel =
+                        parallel_kind.build(builder.threads(threads)).fit(&signal).unwrap();
+                    let context = || {
+                        format!(
+                            "{fixture}/{parallel_kind:?}, chunk_len {chunk_len:?}, {threads} threads"
+                        )
+                    };
+                    // Identical models: same piece boundaries, same values.
+                    assert_eq!(parallel.model(), sequential.model(), "{}", context());
+                    assert_eq!(parallel.num_pieces(), sequential.num_pieces(), "{}", context());
+                    for j in 0..parallel.num_pieces() {
+                        assert_eq!(
+                            parallel.piece_interval(j),
+                            sequential.piece_interval(j),
+                            "{}: piece {j} boundary",
+                            context()
+                        );
+                    }
+                    // Byte-identical serving state: the precomputed boundary
+                    // masses must agree to the last bit, not just within a
+                    // tolerance — parallelism may not reorder any arithmetic.
+                    let parallel_bits: Vec<u64> =
+                        parallel.boundary_masses().iter().map(|m| m.to_bits()).collect();
+                    let sequential_bits: Vec<u64> =
+                        sequential.boundary_masses().iter().map(|m| m.to_bits()).collect();
+                    assert_eq!(parallel_bits, sequential_bits, "{}: boundary bits", context());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_edge_cases_match_pointwise_queries() {
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            let synopsis = estimator.fit(&signal).unwrap();
+            let name = estimator.name();
+
+            // Empty query slices are answered, not rejected.
+            assert_eq!(synopsis.mass_batch(&[]).unwrap(), Vec::<f64>::new(), "{fixture}/{name}");
+            assert_eq!(
+                synopsis.quantile_batch(&[]).unwrap(),
+                Vec::<usize>::new(),
+                "{fixture}/{name}"
+            );
+
+            // Duplicate and deliberately unsorted queries: the batch sweep
+            // sorts internally but must report in input order.
+            let ranges: Vec<Interval> = [
+                (n - 1, n - 1),
+                (0, n - 1),
+                (0, 0),
+                (0, n - 1), // duplicate of an earlier range
+                (n / 2, n - 1),
+                (0, 0), // duplicate again
+                (n / 3, n / 2),
+            ]
+            .iter()
+            .map(|&(a, b)| Interval::new(a, b).unwrap())
+            .collect();
+            let batch = synopsis.mass_batch(&ranges).unwrap();
+            for (range, got) in ranges.iter().zip(&batch) {
+                assert_eq!(*got, synopsis.mass(*range).unwrap(), "{fixture}/{name}: {range}");
+            }
+
+            let ps = [1.0, 0.5, 0.5, 0.0, 0.75, 0.0, 1.0, 0.25];
+            let batch = synopsis.quantile_batch(&ps).unwrap();
+            for (p, got) in ps.iter().zip(&batch) {
+                assert_eq!(*got, synopsis.quantile(*p).unwrap(), "{fixture}/{name}: p = {p}");
+            }
+
+            // Quantiles exactly at piece boundaries: the cumulative mass
+            // fractions where the within-piece walk hands over to the next
+            // piece — the case a sweep of random fractions almost never hits.
+            let boundaries = synopsis.boundary_masses();
+            let total = *boundaries.last().unwrap();
+            if total > 0.0 {
+                let ps: Vec<f64> = boundaries.iter().map(|m| (m / total).min(1.0)).collect();
+                let batch = synopsis.quantile_batch(&ps).unwrap();
+                for (p, got) in ps.iter().zip(&batch) {
+                    assert_eq!(
+                        *got,
+                        synopsis.quantile(*p).unwrap(),
+                        "{fixture}/{name}: boundary p = {p}"
+                    );
+                    assert!(
+                        synopsis.cdf(*got).unwrap() + 1e-9 >= *p,
+                        "{fixture}/{name}: cdf(quantile({p})) < {p}"
+                    );
+                }
             }
         }
     }
