@@ -413,6 +413,35 @@ impl Synopsis {
         Self { estimator, target_k, model, boundary_cdf, raw_mass }
     }
 
+    /// Reconstructs a synopsis from validated raw parts — the decode path of
+    /// the persistence codec (`hist-persist`).
+    ///
+    /// Unlike [`Synopsis::new`] (whose inputs come from a fitter and are
+    /// trusted), this constructor treats the parts as *untrusted*: it rejects
+    /// a zero piece budget and any model whose cumulative masses overflow to
+    /// a non-finite value, so a synopsis rebuilt from decoded bytes satisfies
+    /// exactly the invariants a fitted one does. The precomputed serving
+    /// state ([`Synopsis::boundary_masses`], the raw total mass) is
+    /// recomputed from the model with the same arithmetic as `new`, which is
+    /// what makes a decode → query path bit-identical to the original.
+    pub fn from_parts(
+        estimator: &'static str,
+        target_k: usize,
+        model: FittedModel,
+    ) -> Result<Self> {
+        if target_k == 0 {
+            return Err(Error::InvalidParameter {
+                name: "target_k",
+                reason: "the piece budget of a synopsis must be at least 1".into(),
+            });
+        }
+        let synopsis = Synopsis::new(estimator, target_k, model);
+        if !synopsis.raw_mass.is_finite() || synopsis.boundary_cdf.iter().any(|m| !m.is_finite()) {
+            return Err(Error::NonFiniteValue { context: "Synopsis::from_parts" });
+        }
+        Ok(synopsis)
+    }
+
     /// Name of the estimator that produced this synopsis.
     #[inline]
     pub fn estimator(&self) -> &'static str {
@@ -445,8 +474,20 @@ impl Synopsis {
         Arc::new(self)
     }
 
-    /// The extent of piece `j` of the fitted model. Panics if `j` is not a
-    /// valid piece index.
+    /// The extent of piece `j` of the fitted model.
+    ///
+    /// Edge cases (the codec in `hist-persist` iterates pieces through this
+    /// accessor, so the semantics are pinned by regression tests):
+    ///
+    /// * a single-piece synopsis returns the full domain `[0, n − 1]` for
+    ///   `j = 0` — models are never empty, so `j = 0` is always valid;
+    /// * pieces tile the domain: `piece_interval(j + 1).start()` is always
+    ///   `piece_interval(j).end() + 1`.
+    ///
+    /// # Panics
+    /// Panics if `j ≥ num_pieces()`; there is no piece to describe, and
+    /// returning a sentinel interval would let callers silently iterate past
+    /// the model.
     #[inline]
     pub fn piece_interval(&self, j: usize) -> Interval {
         self.model.piece_interval(j)
@@ -455,6 +496,18 @@ impl Synopsis {
     /// The cumulative *clamped* (non-negative) mass at the `k + 1` piece
     /// boundaries: entry `j` is the clamped mass of the first `j` pieces.
     /// Borrowed zero-copy — the precomputed state `cdf`/`quantile` serve from.
+    ///
+    /// Edge cases (pinned by regression tests, relied on by the persistence
+    /// codec and the serving layer):
+    ///
+    /// * the slice always has exactly `num_pieces() + 1` entries and starts
+    ///   with `0.0` — even a single-piece synopsis yields two entries
+    ///   `[0.0, total]`;
+    /// * entries are non-decreasing (clamping makes every per-piece
+    ///   contribution non-negative);
+    /// * a synopsis with no positive mass (e.g. an all-zero histogram) yields
+    ///   all-zero entries — the slice never shrinks to mark emptiness, and
+    ///   `cdf`/`quantile` report [`Error::InvalidDistribution`] instead.
     #[inline]
     pub fn boundary_masses(&self) -> &[f64] {
         &self.boundary_cdf
@@ -971,6 +1024,75 @@ mod tests {
         assert_eq!(h.partition().breakpoints(), vec![3], "low group {{0, 10, 11}} vs {{30}}");
         assert!((h.values()[0] - 7.0).abs() < 1e-9);
         assert_eq!(h.values()[1], 30.0);
+    }
+
+    #[test]
+    fn boundary_masses_edge_cases_are_pinned() {
+        // Single piece: exactly two entries, [0, total].
+        let single =
+            Synopsis::new("one", 1, FittedModel::Histogram(Histogram::constant(8, 2.0).unwrap()));
+        assert_eq!(single.boundary_masses(), &[0.0, 16.0]);
+        assert_eq!(single.piece_interval(0), Interval::new(0, 7).unwrap());
+
+        // Zero mass: the slice keeps its num_pieces() + 1 shape, all zeros.
+        let zero =
+            Synopsis::new("zero", 1, FittedModel::Histogram(Histogram::constant(5, 0.0).unwrap()));
+        assert_eq!(zero.boundary_masses(), &[0.0, 0.0]);
+
+        // Negative values clamp to zero in the boundary masses but not in the
+        // raw total mass.
+        let negative = Synopsis::new(
+            "neg",
+            2,
+            FittedModel::Histogram(Histogram::from_breakpoints(10, &[5], vec![-1.0, 3.0]).unwrap()),
+        );
+        assert_eq!(negative.boundary_masses(), &[0.0, 0.0, 15.0]);
+        assert!((negative.total_mass() - 10.0).abs() < 1e-12);
+
+        // General shape: num_pieces() + 1 entries, non-decreasing, starting
+        // at zero, and adjacent pieces tile the domain.
+        for synopsis in [histogram_synopsis(), polynomial_synopsis()] {
+            let boundaries = synopsis.boundary_masses();
+            assert_eq!(boundaries.len(), synopsis.num_pieces() + 1);
+            assert_eq!(boundaries[0], 0.0);
+            assert!(boundaries.windows(2).all(|w| w[1] >= w[0]));
+            for j in 0..synopsis.num_pieces() - 1 {
+                assert_eq!(
+                    synopsis.piece_interval(j).end() + 1,
+                    synopsis.piece_interval(j + 1).start()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn piece_interval_out_of_range_panics() {
+        let synopsis = histogram_synopsis();
+        let _ = synopsis.piece_interval(synopsis.num_pieces());
+    }
+
+    #[test]
+    fn from_parts_validates_untrusted_parts() {
+        // A well-formed model round-trips through from_parts with identical
+        // serving state.
+        let fitted = histogram_synopsis();
+        let rebuilt = Synopsis::from_parts("test", 4, fitted.model().clone()).unwrap();
+        assert_eq!(rebuilt, fitted);
+
+        // Zero piece budgets are rejected (every fitter enforces k >= 1, so a
+        // decoded synopsis must too).
+        let h = Histogram::constant(4, 1.0).unwrap();
+        assert!(Synopsis::from_parts("test", 0, FittedModel::Histogram(h)).is_err());
+
+        // Finite per-piece values whose cumulative mass overflows to infinity
+        // must be rejected: the model passes Histogram::new, only the
+        // synopsis-level invariant catches it.
+        let overflow = Histogram::constant(usize::MAX >> 16, f64::MAX).unwrap();
+        assert!(matches!(
+            Synopsis::from_parts("test", 1, FittedModel::Histogram(overflow)),
+            Err(Error::NonFiniteValue { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,656 @@
+//! The versioned binary codec: envelope, primitives and the per-container
+//! payload layouts.
+//!
+//! Every container is framed the same way:
+//!
+//! ```text
+//! ┌──────────┬─────────────┬───────────────────┬───────────────┐
+//! │ magic ×8 │ version u16 │ payload (LE)      │ crc32 u32     │
+//! └──────────┴─────────────┴───────────────────┴───────────────┘
+//!              little-endian  length-prefixed     over all bytes
+//!                             sections            before trailer
+//! ```
+//!
+//! Three container kinds share the frame, distinguished by their magic:
+//!
+//! * `AHISTSYN` — one [`Synopsis`] ([`encode_synopsis`]/[`decode_synopsis`]);
+//! * `AHISTSTO` — a [`StoreSnapshot`]: serving epoch plus optional synopsis;
+//! * `AHISTCKP` — a [`StreamCheckpoint`]: the resumable state of a one-pass
+//!   streaming build.
+//!
+//! Decoding is panic-free and allocation-bounded on arbitrary input: the CRC
+//! trailer is verified before the payload is parsed, every length/count
+//! prefix is checked against the bytes actually remaining before any `Vec`
+//! is reserved, and all model-level invariants are re-validated through the
+//! `hist-core` constructors, so a decoded synopsis is indistinguishable from
+//! a freshly fitted one (bit-identical query results included).
+
+use hist_core::{
+    DiscreteFunction as _, FittedModel, Histogram, Interval, Partition, PiecewisePolynomial,
+    PolynomialPiece, Synopsis,
+};
+
+use crate::crc32::crc32;
+use crate::error::{CodecError, CodecResult};
+
+/// Magic bytes opening a single-synopsis container.
+pub const SYNOPSIS_MAGIC: [u8; 8] = *b"AHISTSYN";
+/// Magic bytes opening a store-snapshot container (epoch + synopsis).
+pub const STORE_MAGIC: [u8; 8] = *b"AHISTSTO";
+/// Magic bytes opening a streaming-checkpoint container.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"AHISTCKP";
+
+/// Newest format version this build reads and the only one it writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Frame overhead: magic (8) + version (2) + CRC-32 trailer (4).
+const ENVELOPE_BYTES: usize = 14;
+
+/// Model tag byte: piecewise-constant ([`Histogram`]).
+const TAG_HISTOGRAM: u8 = 0;
+/// Model tag byte: piecewise-polynomial.
+const TAG_POLYNOMIAL: u8 = 1;
+
+/// Estimator names the decoder can restore exactly. [`Synopsis::estimator`]
+/// returns `&'static str`, so decoding interns the encoded name against the
+/// workspace's known estimators; names outside this table (or longer than
+/// [`MAX_NAME_BYTES`]) decode as [`FALLBACK_NAME`]. Query behaviour never
+/// depends on the name — it is a provenance label.
+const KNOWN_NAMES: [&str; 23] = [
+    "merging",
+    "merging2",
+    "fastmerging",
+    "fastmerging2",
+    "hierarchical",
+    "piecewise-poly",
+    "fitpoly",
+    "exactdp",
+    "exactdp-naive",
+    "dual",
+    "gks",
+    "equalwidth",
+    "equalmass",
+    "greedysplit",
+    "sample-learner",
+    "sample-learner-fast",
+    "chunked",
+    "parallel-chunked",
+    "streaming",
+    "sliding-window",
+    "merged",
+    "oracle",
+    "constant",
+];
+
+/// Name label a decoded synopsis carries when the encoded name is not in the
+/// known-estimator table.
+pub const FALLBACK_NAME: &str = "decoded";
+
+/// Longest estimator name the encoder writes verbatim; longer names are
+/// replaced by [`FALLBACK_NAME`] at encode time (no workspace estimator comes
+/// close — this only bounds hostile `from_parts` inputs).
+const MAX_NAME_BYTES: usize = 255;
+
+fn intern_name(name: &str) -> &'static str {
+    KNOWN_NAMES.iter().find(|known| **known == name).copied().unwrap_or(FALLBACK_NAME)
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian write primitives.
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    // Stored as raw IEEE-754 bits: round-trips every finite value exactly,
+    // which is what makes decoded query results bit-identical.
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Opens a frame: magic + version. Closed by [`seal`].
+fn open_frame(magic: [u8; 8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&magic);
+    put_u16(&mut out, FORMAT_VERSION);
+    out
+}
+
+/// Appends the CRC-32 trailer over everything written so far.
+fn seal(mut out: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Bounded read primitives.
+// ---------------------------------------------------------------------------
+
+/// A cursor over the (CRC-verified) payload bytes. Every read is
+/// bounds-checked; `take` is the single point all reads funnel through.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(CodecError::Truncated { needed: n, available: self.remaining() });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> CodecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> CodecResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> CodecResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` field that must fit the platform's `usize`.
+    fn usize64(&mut self, what: &'static str) -> CodecResult<usize> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::ValueOutOfRange { what })
+    }
+
+    /// An element count whose elements occupy at least `min_element_bytes`
+    /// each: bounded by the bytes actually remaining, so a hostile count can
+    /// never drive an over-allocation.
+    fn count(&mut self, what: &'static str, min_element_bytes: usize) -> CodecResult<usize> {
+        let count = self.u64()?;
+        let limit = (self.remaining() / min_element_bytes.max(1)) as u64;
+        if count > limit {
+            return Err(CodecError::CountOutOfBounds { what, count, limit });
+        }
+        Ok(count as usize)
+    }
+
+    /// A length-prefixed byte section.
+    fn section(&mut self, what: &'static str) -> CodecResult<&'a [u8]> {
+        let len = self.count(what, 1)?;
+        self.take(len)
+    }
+
+    fn finish(&self) -> CodecResult<()> {
+        if self.remaining() > 0 {
+            return Err(CodecError::TrailingBytes { remaining: self.remaining() });
+        }
+        Ok(())
+    }
+}
+
+/// Verifies the frame (magic, version, CRC trailer) and returns the payload.
+fn check_envelope<'a>(bytes: &'a [u8], magic: &[u8; 8]) -> CodecResult<&'a [u8]> {
+    if bytes.len() < magic.len() {
+        // A strict prefix of the magic is a truncated container; anything
+        // else never was one.
+        if *bytes == magic[..bytes.len()] {
+            return Err(CodecError::Truncated { needed: ENVELOPE_BYTES, available: bytes.len() });
+        }
+        return Err(CodecError::BadMagic);
+    }
+    if bytes[..8] != magic[..] {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes.len() < 10 {
+        return Err(CodecError::Truncated { needed: ENVELOPE_BYTES, available: bytes.len() });
+    }
+    let found = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if found != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion { found, supported: FORMAT_VERSION });
+    }
+    if bytes.len() < ENVELOPE_BYTES {
+        return Err(CodecError::Truncated { needed: ENVELOPE_BYTES, available: bytes.len() });
+    }
+    let content = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 trailer bytes"));
+    let computed = crc32(content);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed });
+    }
+    Ok(&content[10..])
+}
+
+// ---------------------------------------------------------------------------
+// Synopsis container.
+// ---------------------------------------------------------------------------
+
+/// Encodes a synopsis into a self-contained `AHISTSYN` container.
+///
+/// The encoding stores the fitted *model* (piece extents and raw values as
+/// IEEE-754 bits); the precomputed serving state is deterministically
+/// recomputed at decode time, so [`decode_synopsis`] returns a synopsis with
+/// bit-identical query results.
+pub fn encode_synopsis(synopsis: &Synopsis) -> Vec<u8> {
+    let mut out = open_frame(SYNOPSIS_MAGIC);
+    write_synopsis_payload(&mut out, synopsis);
+    seal(out)
+}
+
+fn write_synopsis_payload(out: &mut Vec<u8>, synopsis: &Synopsis) {
+    let name = synopsis.estimator();
+    let name = if name.len() > MAX_NAME_BYTES { FALLBACK_NAME } else { name };
+    put_u64(out, name.len() as u64);
+    out.extend_from_slice(name.as_bytes());
+    put_u64(out, synopsis.target_k() as u64);
+    match synopsis.model() {
+        FittedModel::Histogram(h) => {
+            out.push(TAG_HISTOGRAM);
+            put_u64(out, h.domain() as u64);
+            put_u64(out, h.num_pieces() as u64);
+            for (interval, value) in h.partition().iter().zip(h.values()) {
+                put_u64(out, interval.end() as u64);
+                put_f64(out, *value);
+            }
+        }
+        FittedModel::Polynomial(p) => {
+            out.push(TAG_POLYNOMIAL);
+            put_u64(out, p.domain() as u64);
+            put_u64(out, p.num_pieces() as u64);
+            for piece in p.pieces() {
+                put_u64(out, piece.interval().end() as u64);
+                put_u32(out, piece.coefficients().len() as u32);
+                for &c in piece.coefficients() {
+                    put_f64(out, c);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes an `AHISTSYN` container produced by [`encode_synopsis`].
+///
+/// Total on arbitrary bytes: every failure is a typed [`CodecError`], never a
+/// panic, and no allocation exceeds the input length.
+pub fn decode_synopsis(bytes: &[u8]) -> CodecResult<Synopsis> {
+    let payload = check_envelope(bytes, &SYNOPSIS_MAGIC)?;
+    let mut reader = Reader::new(payload);
+    let synopsis = read_synopsis_payload(&mut reader)?;
+    reader.finish()?;
+    Ok(synopsis)
+}
+
+fn read_synopsis_payload(reader: &mut Reader<'_>) -> CodecResult<Synopsis> {
+    let name_bytes = reader.section("estimator name")?;
+    let name = std::str::from_utf8(name_bytes).map_err(|_| CodecError::NonUtf8Name)?;
+    let name = intern_name(name);
+    let target_k = reader.usize64("target_k")?;
+    // The tag is validated before the domain is read, so an unknown model
+    // kind is reported as such rather than as a truncation further in.
+    let tag = reader.u8()?;
+    if tag != TAG_HISTOGRAM && tag != TAG_POLYNOMIAL {
+        return Err(CodecError::InvalidTag { what: "model", found: tag });
+    }
+    let domain = reader.usize64("domain")?;
+    let model = if tag == TAG_HISTOGRAM {
+        // Each piece is end (8) + value (8).
+        let pieces = reader.count("histogram pieces", 16)?;
+        let mut intervals = Vec::with_capacity(pieces);
+        let mut values = Vec::with_capacity(pieces);
+        let mut start = 0usize;
+        for _ in 0..pieces {
+            let end = reader.usize64("piece end")?;
+            if end >= domain {
+                return Err(CodecError::Invalid(hist_core::Error::IndexOutOfRange {
+                    index: end,
+                    domain,
+                }));
+            }
+            intervals.push(Interval::new(start, end)?);
+            start = end + 1;
+            values.push(reader.f64()?);
+        }
+        let partition = Partition::new(domain, intervals)?;
+        FittedModel::Histogram(Histogram::new(partition, values)?)
+    } else {
+        // Each piece is at least end (8) + coefficient count (4).
+        let pieces = reader.count("polynomial pieces", 12)?;
+        let mut decoded = Vec::with_capacity(pieces);
+        let mut start = 0usize;
+        for _ in 0..pieces {
+            let end = reader.usize64("piece end")?;
+            if end >= domain {
+                return Err(CodecError::Invalid(hist_core::Error::IndexOutOfRange {
+                    index: end,
+                    domain,
+                }));
+            }
+            let interval = Interval::new(start, end)?;
+            start = end + 1;
+            let coeff_count = reader.u32()? as usize;
+            let limit = reader.remaining() / 8;
+            if coeff_count > limit {
+                return Err(CodecError::CountOutOfBounds {
+                    what: "polynomial coefficients",
+                    count: coeff_count as u64,
+                    limit: limit as u64,
+                });
+            }
+            let mut coefficients = Vec::with_capacity(coeff_count);
+            for _ in 0..coeff_count {
+                coefficients.push(reader.f64()?);
+            }
+            decoded.push(PolynomialPiece::new(interval, coefficients)?);
+        }
+        FittedModel::Polynomial(PiecewisePolynomial::new(domain, decoded)?)
+    };
+    Ok(Synopsis::from_parts(name, target_k, model)?)
+}
+
+// ---------------------------------------------------------------------------
+// Store-snapshot container.
+// ---------------------------------------------------------------------------
+
+/// The persisted state of a serving store: the last published epoch and, if
+/// the store was non-empty, the synopsis it served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSnapshot {
+    /// Last published epoch at save time (0 for a never-published store).
+    pub epoch: u64,
+    /// The served synopsis, or `None` for an empty store.
+    pub synopsis: Option<Synopsis>,
+}
+
+/// Encodes a store snapshot into a self-contained `AHISTSTO` container.
+pub fn encode_store_snapshot(epoch: u64, synopsis: Option<&Synopsis>) -> Vec<u8> {
+    let mut out = open_frame(STORE_MAGIC);
+    put_u64(&mut out, epoch);
+    match synopsis {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            let blob = encode_synopsis(s);
+            put_u64(&mut out, blob.len() as u64);
+            out.extend_from_slice(&blob);
+        }
+    }
+    seal(out)
+}
+
+/// Decodes an `AHISTSTO` container produced by [`encode_store_snapshot`].
+pub fn decode_store_snapshot(bytes: &[u8]) -> CodecResult<StoreSnapshot> {
+    let payload = check_envelope(bytes, &STORE_MAGIC)?;
+    let mut reader = Reader::new(payload);
+    let epoch = reader.u64()?;
+    let synopsis = match reader.u8()? {
+        0 => None,
+        1 => Some(decode_synopsis(reader.section("store synopsis")?)?),
+        found => return Err(CodecError::InvalidTag { what: "store synopsis presence", found }),
+    };
+    reader.finish()?;
+    Ok(StoreSnapshot { epoch, synopsis })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming-checkpoint container.
+// ---------------------------------------------------------------------------
+
+/// The resumable state of a one-pass streaming build
+/// (`hist_stream::StreamingBuilder`): configuration, progress counter, the
+/// partially filled tail chunk and the binary-counter hierarchy of partial
+/// synopses. The inner estimator is *not* part of the checkpoint — resuming
+/// supplies it again, exactly as construction did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Piece budget of the streaming build.
+    pub budget: usize,
+    /// Values per fitted chunk.
+    pub chunk_len: usize,
+    /// Total values consumed before the checkpoint.
+    pub pushed: usize,
+    /// The partially filled tail chunk (always shorter than `chunk_len`).
+    pub tail: Vec<f64>,
+    /// Binary-counter levels: `levels[i]`, when occupied, summarizes
+    /// `2^i` chunks, deeper levels holding strictly older data.
+    pub levels: Vec<Option<Synopsis>>,
+}
+
+/// Encodes a streaming checkpoint into a self-contained `AHISTCKP` container.
+pub fn encode_stream_checkpoint(checkpoint: &StreamCheckpoint) -> Vec<u8> {
+    let mut out = open_frame(CHECKPOINT_MAGIC);
+    put_u64(&mut out, checkpoint.budget as u64);
+    put_u64(&mut out, checkpoint.chunk_len as u64);
+    put_u64(&mut out, checkpoint.pushed as u64);
+    put_u64(&mut out, checkpoint.tail.len() as u64);
+    for &v in &checkpoint.tail {
+        put_f64(&mut out, v);
+    }
+    put_u64(&mut out, checkpoint.levels.len() as u64);
+    for level in &checkpoint.levels {
+        match level {
+            None => out.push(0),
+            Some(synopsis) => {
+                out.push(1);
+                let blob = encode_synopsis(synopsis);
+                put_u64(&mut out, blob.len() as u64);
+                out.extend_from_slice(&blob);
+            }
+        }
+    }
+    seal(out)
+}
+
+/// Decodes an `AHISTCKP` container produced by [`encode_stream_checkpoint`].
+///
+/// Structural validation only (finite tail values, bounded counts, valid
+/// nested synopses); the cross-field consistency checks — level domains
+/// matching `2^i · chunk_len`, totals matching `pushed` — live in
+/// `StreamingBuilder::resume`, which knows the builder's invariants.
+pub fn decode_stream_checkpoint(bytes: &[u8]) -> CodecResult<StreamCheckpoint> {
+    let payload = check_envelope(bytes, &CHECKPOINT_MAGIC)?;
+    let mut reader = Reader::new(payload);
+    let budget = reader.usize64("budget")?;
+    let chunk_len = reader.usize64("chunk_len")?;
+    let pushed = reader.usize64("pushed")?;
+    let tail_len = reader.count("tail values", 8)?;
+    let mut tail = Vec::with_capacity(tail_len);
+    for _ in 0..tail_len {
+        let v = reader.f64()?;
+        if !v.is_finite() {
+            return Err(CodecError::NonFiniteValue { what: "tail value" });
+        }
+        tail.push(v);
+    }
+    let level_count = reader.count("hierarchy levels", 1)?;
+    let mut levels = Vec::with_capacity(level_count);
+    for _ in 0..level_count {
+        levels.push(match reader.u8()? {
+            0 => None,
+            1 => Some(decode_synopsis(reader.section("level synopsis")?)?),
+            found => return Err(CodecError::InvalidTag { what: "level presence", found }),
+        });
+    }
+    reader.finish()?;
+    Ok(StreamCheckpoint { budget, chunk_len, pushed, tail, levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
+
+    fn histogram_synopsis() -> Synopsis {
+        let h = Histogram::from_breakpoints(50, &[10, 30, 40], vec![1.0, 3.0, 0.0, 6.0]).unwrap();
+        Synopsis::from_parts("merging", 4, FittedModel::Histogram(h)).unwrap()
+    }
+
+    fn polynomial_synopsis() -> Synopsis {
+        let pieces = vec![
+            PolynomialPiece::new(Interval::new(0, 9).unwrap(), vec![0.0, 1.0]).unwrap(),
+            PolynomialPiece::new(Interval::new(10, 19).unwrap(), vec![5.0, -0.25, 0.125]).unwrap(),
+        ];
+        let p = PiecewisePolynomial::new(20, pieces).unwrap();
+        Synopsis::from_parts("piecewise-poly", 2, FittedModel::Polynomial(p)).unwrap()
+    }
+
+    fn assert_bit_identical(a: &Synopsis, b: &Synopsis) {
+        assert_eq!(a.model(), b.model());
+        assert_eq!(a.num_pieces(), b.num_pieces());
+        assert_eq!(a.domain(), b.domain());
+        assert_eq!(a.target_k(), b.target_k());
+        assert_eq!(a.total_mass().to_bits(), b.total_mass().to_bits());
+        let a_bits: Vec<u64> = a.boundary_masses().iter().map(|m| m.to_bits()).collect();
+        let b_bits: Vec<u64> = b.boundary_masses().iter().map(|m| m.to_bits()).collect();
+        assert_eq!(a_bits, b_bits);
+    }
+
+    #[test]
+    fn histogram_round_trip_is_bit_identical() {
+        let original = histogram_synopsis();
+        let decoded = decode_synopsis(&encode_synopsis(&original)).unwrap();
+        assert_bit_identical(&original, &decoded);
+        assert_eq!(decoded.estimator(), "merging");
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn polynomial_round_trip_is_bit_identical() {
+        let original = polynomial_synopsis();
+        let decoded = decode_synopsis(&encode_synopsis(&original)).unwrap();
+        assert_bit_identical(&original, &decoded);
+        assert_eq!(decoded.estimator(), "piecewise-poly");
+        for x in 0..original.domain() {
+            assert_eq!(
+                original.cdf(x).unwrap().to_bits(),
+                decoded.cdf(x).unwrap().to_bits(),
+                "cdf({x})"
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_synopsis_round_trips_through_the_codec() {
+        let values: Vec<f64> = (0..300).map(|i| ((i / 60) % 3) as f64 * 2.0 + 0.5).collect();
+        let signal = Signal::from_dense(values).unwrap();
+        let original = GreedyMerging::new(EstimatorBuilder::new(4)).fit(&signal).unwrap();
+        let decoded = decode_synopsis(&encode_synopsis(&original)).unwrap();
+        assert_bit_identical(&original, &decoded);
+        assert_eq!(decoded.l2_error(&signal).unwrap(), original.l2_error(&signal).unwrap());
+    }
+
+    #[test]
+    fn every_workspace_estimator_name_round_trips() {
+        // One entry per `fn name()` in the workspace (including the named
+        // variants and the names synthesized by merge/streaming); if an
+        // estimator is added without extending KNOWN_NAMES, its synopses
+        // decode with the fallback label and this list is where to fix it.
+        for name in KNOWN_NAMES {
+            let h = Histogram::constant(4, 1.0).unwrap();
+            let original = Synopsis::new(name, 1, FittedModel::Histogram(h));
+            let decoded = decode_synopsis(&encode_synopsis(&original)).unwrap();
+            assert_eq!(decoded.estimator(), name, "name {name} did not round-trip");
+            assert_eq!(decoded, original);
+        }
+        // The specific regression: the fast sample learner's name is in the
+        // table even though the default registry fleet never instantiates it.
+        assert_eq!(intern_name("sample-learner-fast"), "sample-learner-fast");
+    }
+
+    #[test]
+    fn unknown_names_fall_back_to_the_decoded_label() {
+        let h = Histogram::constant(6, 1.0).unwrap();
+        let original = Synopsis::new("some-future-estimator", 1, FittedModel::Histogram(h));
+        let decoded = decode_synopsis(&encode_synopsis(&original)).unwrap();
+        assert_eq!(decoded.estimator(), FALLBACK_NAME);
+        assert_eq!(decoded.model(), original.model());
+    }
+
+    #[test]
+    fn store_snapshot_round_trips() {
+        let snapshot = decode_store_snapshot(&encode_store_snapshot(0, None)).unwrap();
+        assert_eq!(snapshot, StoreSnapshot { epoch: 0, synopsis: None });
+
+        let synopsis = histogram_synopsis();
+        let bytes = encode_store_snapshot(42, Some(&synopsis));
+        let snapshot = decode_store_snapshot(&bytes).unwrap();
+        assert_eq!(snapshot.epoch, 42);
+        assert_bit_identical(snapshot.synopsis.as_ref().unwrap(), &synopsis);
+    }
+
+    #[test]
+    fn stream_checkpoint_round_trips() {
+        let checkpoint = StreamCheckpoint {
+            budget: 5,
+            chunk_len: 32,
+            pushed: 96 + 7,
+            tail: (0..7).map(|i| i as f64 * 0.5).collect(),
+            levels: vec![Some(histogram_synopsis()), None, Some(polynomial_synopsis())],
+        };
+        let decoded = decode_stream_checkpoint(&encode_stream_checkpoint(&checkpoint)).unwrap();
+        assert_eq!(decoded.budget, checkpoint.budget);
+        assert_eq!(decoded.chunk_len, checkpoint.chunk_len);
+        assert_eq!(decoded.pushed, checkpoint.pushed);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&decoded.tail), bits(&checkpoint.tail));
+        assert_eq!(decoded.levels.len(), 3);
+        assert!(decoded.levels[1].is_none());
+        assert_bit_identical(
+            decoded.levels[0].as_ref().unwrap(),
+            checkpoint.levels[0].as_ref().unwrap(),
+        );
+    }
+
+    #[test]
+    fn container_kinds_reject_each_other() {
+        let synopsis_bytes = encode_synopsis(&histogram_synopsis());
+        assert!(matches!(decode_store_snapshot(&synopsis_bytes), Err(CodecError::BadMagic)));
+        assert!(matches!(decode_stream_checkpoint(&synopsis_bytes), Err(CodecError::BadMagic)));
+        let store_bytes = encode_store_snapshot(1, None);
+        assert!(matches!(decode_synopsis(&store_bytes), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn empty_and_wrong_magic_errors_are_distinct() {
+        assert!(matches!(decode_synopsis(&[]), Err(CodecError::Truncated { available: 0, .. })));
+        let wrong = b"NOTASYNOPSIS....".to_vec();
+        assert!(matches!(decode_synopsis(&wrong), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn version_bumps_are_rejected() {
+        let mut bytes = encode_synopsis(&histogram_synopsis());
+        bytes[8] = 2; // version low byte
+        assert!(matches!(
+            decode_synopsis(&bytes),
+            Err(CodecError::UnsupportedVersion { found: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_checksum() {
+        let bytes = encode_synopsis(&histogram_synopsis());
+        let mut corrupted = bytes.clone();
+        let mid = bytes.len() / 2;
+        corrupted[mid] ^= 0xFF;
+        assert!(matches!(decode_synopsis(&corrupted), Err(CodecError::ChecksumMismatch { .. })));
+    }
+}

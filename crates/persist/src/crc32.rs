@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) implemented
+//! in-crate: the build environment is offline, and the trailer only needs to
+//! detect accidental corruption (truncated writes, bit rot, bad transfers),
+//! for which CRC-32 detects all single-byte errors and all burst errors up to
+//! 32 bits. It is *not* an integrity guarantee against an adversary — which
+//! is why the decoder also validates every field it parses.
+
+/// The byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 checksum of `bytes` (initial value `0xFFFF_FFFF`, final XOR
+/// `0xFFFF_FFFF` — the conventional "zip" parameterization).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of the IEEE parameterization.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_byte_flips() {
+        let data = b"a small synopsis payload".to_vec();
+        let reference = crc32(&data);
+        for offset in 0..data.len() {
+            let mut corrupted = data.clone();
+            corrupted[offset] ^= 0xFF;
+            assert_ne!(crc32(&corrupted), reference, "flip at {offset} undetected");
+        }
+    }
+}

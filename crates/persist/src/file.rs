@@ -1,0 +1,184 @@
+//! File-level helpers: save/load each container kind with an atomic
+//! write-then-rename, so a crash mid-save leaves the previous snapshot
+//! intact instead of a torn file (a torn file would be *detected* by the
+//! CRC trailer, but detection is worse than never corrupting the file).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hist_core::Synopsis;
+
+use crate::codec::{
+    decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_store_snapshot,
+    encode_stream_checkpoint, encode_synopsis, StoreSnapshot, StreamCheckpoint,
+};
+use crate::error::PersistResult;
+
+/// The sibling temp path used by the atomic save: a uniquely named
+/// `<file>.<pid>.<seq>.tmp` next to the destination, so the final rename
+/// never crosses a filesystem boundary and concurrent savers (threads or
+/// processes) never interleave on a shared temp file — each writes its own
+/// complete file and the last rename wins whole.
+fn temp_sibling(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".{}.{}.tmp", std::process::id(), SEQ.fetch_add(1, Ordering::Relaxed)));
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: write a uniquely named temp sibling,
+/// then rename over the destination.
+fn write_atomic(path: &Path, bytes: &[u8]) -> PersistResult<()> {
+    let tmp = temp_sibling(path);
+    if let Err(e) = fs::write(&tmp, bytes) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// Saves a synopsis to `path` as an `AHISTSYN` container (atomic replace).
+pub fn save_synopsis(path: impl AsRef<Path>, synopsis: &Synopsis) -> PersistResult<()> {
+    write_atomic(path.as_ref(), &encode_synopsis(synopsis))
+}
+
+/// Loads the synopsis previously saved to `path` with [`save_synopsis`].
+pub fn load_synopsis(path: impl AsRef<Path>) -> PersistResult<Synopsis> {
+    Ok(decode_synopsis(&fs::read(path)?)?)
+}
+
+/// Saves a store snapshot (epoch + optional synopsis) to `path` as an
+/// `AHISTSTO` container (atomic replace).
+pub fn save_store_snapshot(
+    path: impl AsRef<Path>,
+    epoch: u64,
+    synopsis: Option<&Synopsis>,
+) -> PersistResult<()> {
+    write_atomic(path.as_ref(), &encode_store_snapshot(epoch, synopsis))
+}
+
+/// Loads the store snapshot previously saved with [`save_store_snapshot`].
+pub fn load_store_snapshot(path: impl AsRef<Path>) -> PersistResult<StoreSnapshot> {
+    Ok(decode_store_snapshot(&fs::read(path)?)?)
+}
+
+/// Saves a streaming checkpoint to `path` as an `AHISTCKP` container
+/// (atomic replace).
+pub fn save_stream_checkpoint(
+    path: impl AsRef<Path>,
+    checkpoint: &StreamCheckpoint,
+) -> PersistResult<()> {
+    write_atomic(path.as_ref(), &encode_stream_checkpoint(checkpoint))
+}
+
+/// Loads the streaming checkpoint previously saved with
+/// [`save_stream_checkpoint`].
+pub fn load_stream_checkpoint(path: impl AsRef<Path>) -> PersistResult<StreamCheckpoint> {
+    Ok(decode_stream_checkpoint(&fs::read(path)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PersistError;
+    use hist_core::{FittedModel, Histogram};
+
+    fn scratch_dir(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hist-persist-tests").join(test);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn synopsis() -> Synopsis {
+        let h = Histogram::from_breakpoints(30, &[10, 20], vec![1.0, 4.0, 2.0]).unwrap();
+        Synopsis::new("merging", 3, FittedModel::Histogram(h))
+    }
+
+    #[test]
+    fn synopsis_file_round_trip() {
+        let dir = scratch_dir("synopsis");
+        let path = dir.join("fit.synopsis");
+        save_synopsis(&path, &synopsis()).unwrap();
+        let loaded = load_synopsis(&path).unwrap();
+        assert_eq!(loaded, synopsis());
+        let leftover_tmp = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.path().extension().is_some_and(|ext| ext == "tmp"));
+        assert!(!leftover_tmp, "temp siblings must be renamed away");
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_always_leave_a_whole_file() {
+        let dir = scratch_dir("concurrent");
+        let path = dir.join("contended.synopsis");
+        let target = synopsis();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        save_synopsis(&path, &target).unwrap();
+                    }
+                });
+            }
+        });
+        // Whichever save renamed last, the file is a complete container —
+        // unique temp siblings mean writers can never interleave on it.
+        assert_eq!(load_synopsis(&path).unwrap(), target);
+    }
+
+    #[test]
+    fn save_replaces_previous_contents_atomically() {
+        let path = scratch_dir("replace").join("fit.synopsis");
+        save_synopsis(&path, &synopsis()).unwrap();
+        let h = Histogram::constant(5, 9.0).unwrap();
+        let next = Synopsis::new("merged", 1, FittedModel::Histogram(h));
+        save_synopsis(&path, &next).unwrap();
+        assert_eq!(load_synopsis(&path).unwrap(), next);
+    }
+
+    #[test]
+    fn missing_files_surface_io_errors() {
+        let path = scratch_dir("missing").join("nope.synopsis");
+        assert!(matches!(load_synopsis(&path), Err(PersistError::Io(_))));
+        assert!(matches!(load_store_snapshot(&path), Err(PersistError::Io(_))));
+        assert!(matches!(load_stream_checkpoint(&path), Err(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn corrupted_files_surface_codec_errors() {
+        let path = scratch_dir("corrupt").join("fit.synopsis");
+        save_synopsis(&path, &synopsis()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x80;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_synopsis(&path), Err(PersistError::Codec(_))));
+    }
+
+    #[test]
+    fn store_and_checkpoint_files_round_trip() {
+        let dir = scratch_dir("containers");
+        let store_path = dir.join("store.snapshot");
+        save_store_snapshot(&store_path, 7, Some(&synopsis())).unwrap();
+        let loaded = load_store_snapshot(&store_path).unwrap();
+        assert_eq!(loaded.epoch, 7);
+        assert_eq!(loaded.synopsis.unwrap(), synopsis());
+
+        let ckpt_path = dir.join("stream.checkpoint");
+        let checkpoint = StreamCheckpoint {
+            budget: 3,
+            chunk_len: 16,
+            pushed: 20,
+            tail: vec![1.0, 2.0, 3.0, 4.0],
+            levels: vec![Some(synopsis())],
+        };
+        save_stream_checkpoint(&ckpt_path, &checkpoint).unwrap();
+        assert_eq!(load_stream_checkpoint(&ckpt_path).unwrap(), checkpoint);
+    }
+}

@@ -12,7 +12,11 @@
 //!   swap. [`SynopsisStore::update_merge`] is the background-refitter cycle:
 //!   merge a new adjacent-chunk synopsis into the served one
 //!   ([`Synopsis::merge`](hist_core::Synopsis::merge)) and publish the
-//!   result under live query traffic.
+//!   result under live query traffic. The store is durable:
+//!   [`SynopsisStore::save`] persists the served synopsis plus its epoch
+//!   (via the `hist-persist` binary format) and [`SynopsisStore::open`]
+//!   warm-starts a store across a process restart with the epoch sequence
+//!   continuing monotonically.
 //! * [`QueryExecutor`] — a fixed [`ThreadPool`] sharding
 //!   `mass_batch`/`quantile_batch` workloads into contiguous per-worker
 //!   shards and recombining the answers in input order, identical to the

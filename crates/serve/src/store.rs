@@ -10,9 +10,11 @@
 //! for an `Arc` clone or a pointer store — never across merge work.
 
 use std::ops::Deref;
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
 use hist_core::{Result, Synopsis};
+use hist_persist::{load_store_snapshot, save_store_snapshot, PersistResult};
 
 /// An epoch-stamped, immutable view of the synopsis a [`SynopsisStore`]
 /// served at some instant.
@@ -151,6 +153,59 @@ impl SynopsisStore {
         Ok(epoch)
     }
 
+    /// Persists the store to `path` as an `AHISTSTO` container (atomic
+    /// write-then-rename; see `hist-persist`): the last published epoch plus
+    /// the currently served synopsis, if any.
+    ///
+    /// The saved epoch and synopsis always belong together even under
+    /// concurrent publishes: the writer mutex is held just long enough to
+    /// capture the `(epoch, Arc<Synopsis>)` pair, and the encode plus disk
+    /// I/O happen after it is released, so writers stall for a pointer copy
+    /// — not for the filesystem. Readers are never blocked at all. Each save
+    /// writes its own uniquely named temp sibling before renaming, so
+    /// concurrent saves to the same path each land whole.
+    pub fn save(&self, path: impl AsRef<Path>) -> PersistResult<()> {
+        // Holding the writer mutex pins (epoch, synopsis) as a consistent
+        // pair: install/update_merge write both fields under this lock.
+        let (epoch, snapshot) = {
+            let last_epoch = self.writer.lock().expect("writer lock poisoned");
+            (*last_epoch, self.snapshot())
+        };
+        save_store_snapshot(path, epoch, snapshot.as_ref().map(|s| s.synopsis().as_ref()))
+    }
+
+    /// Reopens a store previously [`SynopsisStore::save`]d: the returned
+    /// store serves the persisted synopsis at the persisted epoch, and every
+    /// later publish continues the epoch sequence — epochs are monotone
+    /// *across* restarts, so readers comparing epochs never mistake a
+    /// pre-restart snapshot for a newer one.
+    ///
+    /// A saved-empty store reopens empty (readers see `None`) but still
+    /// resumes its epoch counter. Persisted epochs in the upper half of the
+    /// `u64` range are rejected as forged: no real store ever publishes
+    /// 2⁶³ times, and accepting one would let the counter overflow (and
+    /// epochs jump backwards) after enough later publishes.
+    pub fn open(path: impl AsRef<Path>) -> PersistResult<Self> {
+        let persisted = load_store_snapshot(path)?;
+        if persisted.epoch > u64::MAX / 2 {
+            return Err(hist_persist::CodecError::Invalid(hist_core::Error::InvalidParameter {
+                name: "epoch",
+                reason: format!(
+                    "persisted epoch {} is beyond any reachable publish count",
+                    persisted.epoch
+                ),
+            })
+            .into());
+        }
+        let store = Self::new();
+        *store.writer.lock().expect("writer lock poisoned") = persisted.epoch;
+        if let Some(synopsis) = persisted.synopsis {
+            *store.current.write().expect("store lock poisoned") =
+                Some(Snapshot { epoch: persisted.epoch, synopsis: synopsis.into_shared() });
+        }
+        Ok(store)
+    }
+
     fn install(&self, synopsis: Arc<Synopsis>) -> u64 {
         let mut last_epoch = self.writer.lock().expect("writer lock poisoned");
         *last_epoch += 1;
@@ -209,6 +264,68 @@ mod tests {
         assert!(snapshot.num_pieces() <= 7);
         assert!(store.update_merge(&step_chunk(2.0), 0).is_err(), "zero budgets are rejected");
         assert_eq!(store.epoch(), 2, "a failed merge must not bump the epoch");
+    }
+
+    #[test]
+    fn save_and_open_preserve_epoch_and_synopsis() {
+        let dir = std::env::temp_dir().join("hist-serve-tests").join("save-open");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("store.snapshot");
+
+        let store = SynopsisStore::with_initial(step_chunk(1.0));
+        store.update_merge(&step_chunk(2.0), 7).unwrap();
+        store.update_merge(&step_chunk(3.0), 7).unwrap();
+        let saved_epoch = store.epoch();
+        let saved_mass = store.snapshot().unwrap().total_mass();
+        store.save(&path).unwrap();
+
+        // Reopen: same epoch, same synopsis, and the epoch sequence resumes
+        // monotonically rather than restarting at 1.
+        let reopened = SynopsisStore::open(&path).unwrap();
+        let snapshot = reopened.snapshot().expect("persisted synopsis");
+        assert_eq!(snapshot.epoch(), saved_epoch);
+        assert_eq!(reopened.epoch(), saved_epoch);
+        assert_eq!(snapshot.total_mass(), saved_mass);
+        assert_eq!(snapshot.domain(), 3 * 64);
+        let next = reopened.update_merge(&step_chunk(4.0), 7).unwrap();
+        assert_eq!(next, saved_epoch + 1, "epochs must continue across restarts");
+    }
+
+    #[test]
+    fn empty_stores_round_trip_their_epoch_counter() {
+        let dir = std::env::temp_dir().join("hist-serve-tests").join("empty");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("store.snapshot");
+
+        // Never-published store: epoch 0, no synopsis.
+        SynopsisStore::new().save(&path).unwrap();
+        let reopened = SynopsisStore::open(&path).unwrap();
+        assert!(reopened.snapshot().is_none());
+        assert_eq!(reopened.epoch(), 0);
+        assert_eq!(reopened.publish(step_chunk(1.0)), 1);
+
+        // Opening garbage or a missing file is a typed error, not a panic.
+        assert!(SynopsisStore::open(dir.join("missing.snapshot")).is_err());
+        std::fs::write(&path, b"AHISTSTO but corrupted").unwrap();
+        assert!(SynopsisStore::open(&path).is_err());
+    }
+
+    #[test]
+    fn forged_epochs_near_the_counter_limit_are_rejected() {
+        // A hand-forged snapshot with an absurd epoch must not open: the next
+        // publish would overflow the counter and epochs would go backwards.
+        let dir = std::env::temp_dir().join("hist-serve-tests").join("forged-epoch");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("forged.snapshot");
+        let bytes = hist_persist::encode_store_snapshot(u64::MAX, Some(&step_chunk(1.0)));
+        std::fs::write(&path, bytes).unwrap();
+        assert!(SynopsisStore::open(&path).is_err());
+
+        // The largest accepted epoch still opens and publishes fine.
+        let bytes = hist_persist::encode_store_snapshot(u64::MAX / 2, Some(&step_chunk(1.0)));
+        std::fs::write(&path, bytes).unwrap();
+        let store = SynopsisStore::open(&path).unwrap();
+        assert_eq!(store.publish(step_chunk(2.0)), u64::MAX / 2 + 1);
     }
 
     #[test]

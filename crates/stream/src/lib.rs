@@ -18,7 +18,11 @@
 //!   to the sequential fitter for the same chunking;
 //! * [`StreamingBuilder`] — one-pass construction over a value stream with
 //!   `O(k·log(n/chunk))` working memory, via a binary-counter hierarchy of
-//!   partial synopses (the classical mergeable-summaries stream pattern);
+//!   partial synopses (the classical mergeable-summaries stream pattern),
+//!   checkpointable mid-stream: [`StreamingBuilder::checkpoint`] serializes
+//!   the resumable state (via the `hist-persist` binary format) and
+//!   [`StreamingBuilder::resume`] continues the build in another process
+//!   with bit-identical final output;
 //! * [`SlidingWindow`] — maintain a synopsis of (approximately) the last `W`
 //!   values of an unbounded stream by keeping per-bucket sub-synopses and
 //!   evicting + re-merging as the window advances.

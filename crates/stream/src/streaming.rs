@@ -9,6 +9,9 @@
 //! `⌈log₂(n / chunk_len)⌉ + 1` partial synopses of `O(k)` pieces each.
 
 use hist_core::{Error, Estimator, EstimatorBuilder, GreedyMerging, Result, Signal, Synopsis};
+use hist_persist::{
+    decode_stream_checkpoint, encode_stream_checkpoint, CodecError, CodecResult, StreamCheckpoint,
+};
 
 use crate::chunked::default_chunk_len;
 use crate::merge_budget;
@@ -128,6 +131,90 @@ impl StreamingBuilder {
         }
     }
 
+    /// Serializes the builder's resumable state — configuration, progress
+    /// counter, the partially filled tail chunk and every partial synopsis of
+    /// the binary-counter hierarchy — into a self-contained `AHISTCKP`
+    /// container (see `hist-persist`).
+    ///
+    /// The inner [`Estimator`] is configuration, not state, and is *not*
+    /// serialized; [`StreamingBuilder::resume`] takes it again. A build
+    /// checkpointed at any split point and resumed with the same inner
+    /// estimator consumes the rest of the stream into **bit-identical**
+    /// output: all state is round-tripped exactly (floats as raw bits), and
+    /// fitting/merging are deterministic.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        encode_stream_checkpoint(&StreamCheckpoint {
+            budget: self.budget,
+            chunk_len: self.chunk_len,
+            pushed: self.pushed,
+            tail: self.tail.clone(),
+            levels: self.levels.clone(),
+        })
+    }
+
+    /// Reconstructs a builder from a [`StreamingBuilder::checkpoint`] byte
+    /// container, resuming the one-pass build where it stopped.
+    ///
+    /// `inner` must be the same estimator configuration the original build
+    /// used — it is what fits future chunks, so a different estimator yields
+    /// a different (still valid) synopsis. On top of the codec's structural
+    /// validation this re-checks the builder's cross-field invariants: a
+    /// positive budget and chunk length, a tail strictly shorter than one
+    /// chunk, and level domains consistent with `pushed` (level `i` summarizes
+    /// exactly `2^i` chunks). Corrupt or hand-forged checkpoints fail with a
+    /// typed error, never a panic.
+    pub fn resume(inner: Box<dyn Estimator>, bytes: &[u8]) -> CodecResult<Self> {
+        let checkpoint = decode_stream_checkpoint(bytes)?;
+        let StreamCheckpoint { budget, chunk_len, pushed, tail, levels } = checkpoint;
+        let mut builder = Self::new(inner, budget, chunk_len).map_err(CodecError::Invalid)?;
+        if tail.len() >= chunk_len {
+            return Err(CodecError::Invalid(Error::InvalidParameter {
+                name: "tail",
+                reason: format!(
+                    "checkpoint tail holds {} values but chunks are {} long",
+                    tail.len(),
+                    chunk_len
+                ),
+            }));
+        }
+        let level_error = |rank: usize, domain: usize| {
+            CodecError::Invalid(Error::InvalidParameter {
+                name: "levels",
+                reason: format!(
+                    "level {rank} covers {domain} values but must cover chunk_len · 2^{rank}"
+                ),
+            })
+        };
+        let mut accounted = tail.len();
+        for (rank, level) in levels.iter().enumerate() {
+            let Some(synopsis) = level else { continue };
+            // Overflow-checked chunk_len · 2^rank; a forged rank that
+            // overflows usize can never match a real domain.
+            let expected = 1usize
+                .checked_shl(rank.min(u32::MAX as usize) as u32)
+                .and_then(|chunks| chunk_len.checked_mul(chunks))
+                .ok_or_else(|| level_error(rank, synopsis.domain()))?;
+            if synopsis.domain() != expected {
+                return Err(level_error(rank, synopsis.domain()));
+            }
+            accounted = accounted
+                .checked_add(expected)
+                .ok_or_else(|| level_error(rank, synopsis.domain()))?;
+        }
+        if accounted != pushed {
+            return Err(CodecError::Invalid(Error::InvalidParameter {
+                name: "pushed",
+                reason: format!(
+                    "checkpoint claims {pushed} consumed values but levels + tail cover {accounted}"
+                ),
+            }));
+        }
+        builder.levels = levels;
+        builder.tail = tail;
+        builder.pushed = pushed;
+        Ok(builder)
+    }
+
     /// Carries a freshly fitted chunk synopsis into the binary-counter
     /// hierarchy, merging with same-rank occupants on the way up.
     fn carry(&mut self, mut synopsis: Synopsis) -> Result<()> {
@@ -225,6 +312,64 @@ mod tests {
         }
         let synopsis = stream.synopsis().unwrap();
         assert_eq!(synopsis.domain(), 37, "partial tail chunk is included");
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_an_uninterrupted_build() {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 7) % 23) as f64 * 0.5 + 1.0).collect();
+        // Split points cover: mid-tail, exact chunk boundary, several full
+        // levels, and the very start.
+        for split in [0usize, 13, 64, 200, 333, 499] {
+            let mut uninterrupted = StreamingBuilder::new(inner(4), 4, 32).unwrap();
+            uninterrupted.extend(&values).unwrap();
+
+            let mut first_half = StreamingBuilder::new(inner(4), 4, 32).unwrap();
+            first_half.extend(&values[..split]).unwrap();
+            let bytes = first_half.checkpoint();
+            drop(first_half);
+            let mut resumed = StreamingBuilder::resume(inner(4), &bytes).unwrap();
+            assert_eq!(resumed.len(), split);
+            resumed.extend(&values[split..]).unwrap();
+
+            let expected = uninterrupted.synopsis().unwrap();
+            let actual = resumed.synopsis().unwrap();
+            assert_eq!(actual.model(), expected.model(), "split {split}");
+            let bits =
+                |s: &Synopsis| s.boundary_masses().iter().map(|m| m.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&actual), bits(&expected), "split {split}: boundary bits");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_checkpoints() {
+        let mut stream = StreamingBuilder::new(inner(3), 3, 16).unwrap();
+        for i in 0..50 {
+            stream.push(i as f64).unwrap();
+        }
+        let good = stream.checkpoint();
+        assert!(StreamingBuilder::resume(inner(3), &good).is_ok());
+
+        // Arbitrary corruption is caught (typed error, no panic).
+        let mut corrupt = good.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert!(StreamingBuilder::resume(inner(3), &corrupt).is_err());
+        assert!(StreamingBuilder::resume(inner(3), &[]).is_err());
+
+        // A forged checkpoint whose books don't balance is rejected even
+        // though it decodes structurally: claim one extra consumed value.
+        let mut checkpoint = hist_persist::decode_stream_checkpoint(&good).unwrap();
+        checkpoint.pushed += 1;
+        let forged = hist_persist::encode_stream_checkpoint(&checkpoint);
+        assert!(StreamingBuilder::resume(inner(3), &forged).is_err());
+
+        // A tail as long as a whole chunk can never occur (full chunks are
+        // fitted and carried immediately).
+        let mut checkpoint = hist_persist::decode_stream_checkpoint(&good).unwrap();
+        checkpoint.pushed += 16 - checkpoint.tail.len();
+        checkpoint.tail = vec![1.0; 16];
+        let forged = hist_persist::encode_stream_checkpoint(&checkpoint);
+        assert!(StreamingBuilder::resume(inner(3), &forged).is_err());
     }
 
     #[test]

@@ -75,8 +75,13 @@
 //!   built on [`Synopsis::merge`](hist_core::Synopsis::merge);
 //! * [`serve`] (`hist-serve`) — the concurrent serving layer:
 //!   [`SynopsisStore`] (epoch/snapshot store with wait-free reads under a
-//!   background refitter) and [`QueryExecutor`] (batched queries sharded
-//!   over a fixed thread pool).
+//!   background refitter, durable via `save`/`open`) and [`QueryExecutor`]
+//!   (batched queries sharded over a fixed thread pool);
+//! * [`persist`] (`hist-persist`) — the persistent synopsis format: a
+//!   versioned, CRC-checked binary codec ([`encode_synopsis`] /
+//!   [`decode_synopsis`], panic-free on arbitrary bytes) with file helpers
+//!   ([`save_synopsis`] / [`load_synopsis`]), powering store snapshots on
+//!   disk and streaming checkpoint/resume.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every table and figure of the paper.
@@ -84,6 +89,7 @@
 pub use hist_baselines as baselines;
 pub use hist_core as core;
 pub use hist_datasets as datasets;
+pub use hist_persist as persist;
 pub use hist_poly as poly;
 pub use hist_sampling as sampling;
 pub use hist_serve as serve;
@@ -94,6 +100,11 @@ pub use hist_baselines::{DualGreedy, EqualMass, EqualWidth, ExactDp, GksQuantile
 pub use hist_core::{
     Estimator, EstimatorBuilder, FastMerging, FittedModel, GreedyMerging, Hierarchical, Signal,
     Synopsis,
+};
+pub use hist_persist::{
+    decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_store_snapshot,
+    encode_stream_checkpoint, encode_synopsis, load_synopsis, save_synopsis, CodecError,
+    PersistError, StoreSnapshot, StreamCheckpoint,
 };
 pub use hist_poly::PiecewisePoly;
 pub use hist_sampling::SampleLearner;

@@ -12,12 +12,12 @@
 mod common;
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use approx_hist::{
-    Estimator, EstimatorBuilder, GreedyMerging, Interval, QueryExecutor, Signal, Synopsis,
-    SynopsisStore,
+    Estimator, EstimatorBuilder, GreedyMerging, Interval, QueryExecutor, Signal, StreamingBuilder,
+    Synopsis, SynopsisStore,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +32,11 @@ const RUN_FOR: Duration = Duration::from_millis(900);
 /// a heavily loaded machine.
 const MIN_MERGES_PER_WRITER: usize = 25;
 const CHUNK_DOMAIN: usize = 96;
+
+/// Serializes the two saturating stress harnesses in this binary: each spawns
+/// a dozen busy threads, and running both at once on a small machine starves
+/// the writers of their deadline-bound merge quotas.
+static STRESS_GATE: Mutex<()> = Mutex::new(());
 
 /// A pool of pre-fitted chunk synopses for one writer, so the write loop
 /// measures store contention rather than fit time.
@@ -126,7 +131,161 @@ fn assert_snapshot_invariants(reader: usize, snapshot: &approx_hist::Snapshot, r
 }
 
 #[test]
+fn streaming_checkpoints_resume_to_bit_identical_output() {
+    // A one-pass build interrupted at several split points — mid-tail, chunk
+    // boundaries, right before the end — must finish bit-identically to an
+    // uninterrupted build over every shared fixture signal.
+    let chunk_len = 48;
+    let inner = || {
+        Box::new(GreedyMerging::new(EstimatorBuilder::new(common::FIXTURE_K))) as Box<dyn Estimator>
+    };
+    for (fixture, signal) in common::fixture_signals() {
+        let values = signal.dense_values();
+        let n = values.len();
+        let mut uninterrupted =
+            StreamingBuilder::new(inner(), common::FIXTURE_K, chunk_len).unwrap();
+        uninterrupted.extend(&values).unwrap();
+        let expected = uninterrupted.synopsis().unwrap();
+        let expected_bits: Vec<u64> =
+            expected.boundary_masses().iter().map(|m| m.to_bits()).collect();
+
+        for split in [0, 1, chunk_len, 2 * chunk_len + 5, n / 2, n - 1] {
+            let split = split.min(n - 1);
+            let mut first = StreamingBuilder::new(inner(), common::FIXTURE_K, chunk_len).unwrap();
+            first.extend(&values[..split]).unwrap();
+            let checkpoint = first.checkpoint();
+            drop(first);
+
+            let mut resumed = StreamingBuilder::resume(inner(), &checkpoint).unwrap();
+            assert_eq!(resumed.len(), split, "{fixture}: resumed progress");
+            resumed.extend(&values[split..]).unwrap();
+            let actual = resumed.synopsis().unwrap();
+            assert_eq!(actual.model(), expected.model(), "{fixture}: split {split}");
+            let actual_bits: Vec<u64> =
+                actual.boundary_masses().iter().map(|m| m.to_bits()).collect();
+            assert_eq!(actual_bits, expected_bits, "{fixture}: split {split} boundary bits");
+        }
+    }
+}
+
+#[test]
+fn saved_store_reopens_consistently_under_concurrent_stress() {
+    let _gate = STRESS_GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let dir = std::env::temp_dir().join("approx-hist-tests").join("stress-reopen");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let warm_path = dir.join("warm.snapshot");
+    let live_path = dir.join("live.snapshot");
+
+    // Build up a store with some merge history and persist it.
+    let store = SynopsisStore::with_initial(chunk_pool(7).pop().unwrap());
+    for chunk in chunk_pool(8) {
+        store.update_merge(&chunk, BUDGET).unwrap();
+    }
+    let saved_epoch = store.epoch();
+    let saved_domain = store.snapshot().unwrap().domain();
+    store.save(&warm_path).unwrap();
+    drop(store); // the serving process "restarts" here
+
+    // Reopen warm and put the revived store under the full stress harness:
+    // writers keep merging, readers assert snapshot invariants and epoch
+    // monotonicity *continuing from the persisted epoch*, and a saver thread
+    // keeps persisting the live store the whole time.
+    let store = Arc::new(SynopsisStore::open(&warm_path).unwrap());
+    assert_eq!(store.epoch(), saved_epoch, "warm start serves the persisted epoch");
+    assert_eq!(store.snapshot().unwrap().domain(), saved_domain);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let min_merges = 10usize;
+
+    std::thread::scope(|scope| {
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let store = Arc::clone(&store);
+            writers.push(scope.spawn(move || {
+                let pool = chunk_pool(100 + w);
+                let mut merges = 0usize;
+                while Instant::now() < deadline || merges < min_merges {
+                    let epoch = store.update_merge(&pool[merges % pool.len()], BUDGET).unwrap();
+                    assert!(epoch > saved_epoch, "writer {w}: epoch fell below the warm start");
+                    merges += 1;
+                }
+                merges
+            }));
+        }
+
+        let saver = {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            let live_path = live_path.clone();
+            scope.spawn(move || {
+                let mut saves = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    store.save(&live_path).unwrap();
+                    saves += 1;
+                }
+                saves
+            })
+        };
+
+        let mut readers = Vec::new();
+        for r in 0..READERS {
+            let store = Arc::clone(&store);
+            let done = Arc::clone(&done);
+            readers.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xA11C_E000 + r as u64);
+                let mut last_epoch = saved_epoch;
+                while !done.load(Ordering::Acquire) {
+                    let snapshot = store.snapshot().expect("warm-started store");
+                    assert!(
+                        snapshot.epoch() >= last_epoch,
+                        "reader {r}: epoch went backwards across the reopen \
+                         ({} < {last_epoch})",
+                        snapshot.epoch()
+                    );
+                    last_epoch = snapshot.epoch();
+                    assert_snapshot_invariants(r, &snapshot, &mut rng);
+                }
+                last_epoch
+            }));
+        }
+
+        let total_merges: usize = writers.into_iter().map(|w| w.join().expect("writer")).sum();
+        done.store(true, Ordering::Release);
+        let saves = saver.join().expect("saver");
+        for reader in readers {
+            reader.join().expect("reader");
+        }
+
+        // Exact accounting across the restart: every merge bumped the epoch
+        // once, starting from the persisted value; domains concatenated.
+        assert_eq!(store.epoch(), saved_epoch + total_merges as u64, "lost updates after reopen");
+        assert_eq!(
+            store.snapshot().unwrap().domain(),
+            saved_domain + CHUNK_DOMAIN * total_merges,
+            "merged domains must concatenate across the restart"
+        );
+        assert!(saves >= 1, "the saver thread never persisted the live store");
+    });
+
+    // The last mid-stress save is itself a consistent, reopenable snapshot.
+    let reopened = SynopsisStore::open(&live_path).unwrap();
+    let snapshot = reopened.snapshot().expect("mid-stress save holds a synopsis");
+    assert!(snapshot.epoch() >= saved_epoch);
+    assert!(snapshot.epoch() <= store.epoch());
+    assert_eq!(snapshot.epoch(), reopened.epoch());
+    let mut rng = StdRng::seed_from_u64(0x00FF_10AD);
+    assert_snapshot_invariants(999, &snapshot, &mut rng);
+    assert_eq!(
+        snapshot.domain() % CHUNK_DOMAIN,
+        0,
+        "a torn save could not hold a whole number of merged chunks"
+    );
+}
+
+#[test]
 fn concurrent_writers_and_readers_never_observe_a_torn_snapshot() {
+    let _gate = STRESS_GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
     let store = Arc::new(SynopsisStore::with_initial(chunk_pool(99).pop().unwrap()));
     let executor = Arc::new(QueryExecutor::new(4));
     let done = Arc::new(AtomicBool::new(false));

@@ -1,0 +1,153 @@
+//! Golden *binary* fixtures for the persistent synopsis format: encoded
+//! synopses committed under `tests/fixtures/`, decoded and checked against
+//! committed query values — so any accidental change to the on-disk format
+//! (field order, widths, endianness, CRC parameterization) fails CI even if
+//! encode/decode still round-trip each other.
+//!
+//! If one of these fails after an *intentional* format change, bump
+//! `FORMAT_VERSION`, keep a decoder for the old version, regenerate with
+//! `cargo test --test persist_golden -- --ignored --nocapture`, and commit
+//! the new fixtures in the same change.
+
+mod common;
+
+use std::path::PathBuf;
+
+use approx_hist::persist::{decode_synopsis, encode_synopsis, FORMAT_VERSION};
+use approx_hist::{EstimatorKind, Interval, Synopsis};
+use common::{fixture_builder, fixture_signals};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// The two committed fixtures: one per [`FittedModel`] variant, fitted by
+/// deterministic estimators on the shared fixture suite (the same signals
+/// the `golden_fixtures` suite pins).
+fn golden_sources() -> Vec<(&'static str, Synopsis)> {
+    let fit = |kind: EstimatorKind, fixture: &str| {
+        let signal = fixture_signals()
+            .into_iter()
+            .find(|(f, _)| *f == fixture)
+            .unwrap_or_else(|| panic!("unknown fixture {fixture}"))
+            .1;
+        kind.build(fixture_builder()).fit(&signal).unwrap()
+    };
+    vec![
+        ("synopsis_merging_steps_v1.bin", fit(EstimatorKind::Merging, "steps")),
+        ("synopsis_poly_ramp_v1.bin", fit(EstimatorKind::PiecewisePoly, "ramp")),
+    ]
+}
+
+#[test]
+#[ignore = "fixture-regeneration helper, not a regression test"]
+fn regenerate_persist_fixtures() {
+    for (name, synopsis) in golden_sources() {
+        let bytes = encode_synopsis(&synopsis);
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        let qs: Vec<usize> =
+            [0.1, 0.25, 0.5, 0.75, 0.9].iter().map(|&p| synopsis.quantile(p).unwrap()).collect();
+        let n = synopsis.domain();
+        println!(
+            "{name}: {} bytes, domain {n}, pieces {}, total_mass {:.12}, cdf(n/2) {:.12}, \
+             mass[0, n/4] {:.12}, quantiles {qs:?}",
+            bytes.len(),
+            synopsis.num_pieces(),
+            synopsis.total_mass(),
+            synopsis.cdf(n / 2).unwrap(),
+            synopsis.mass(Interval::new(0, n / 4).unwrap()).unwrap(),
+        );
+    }
+}
+
+/// One committed-value check: decode the committed bytes and compare against
+/// the committed scalars (1e-9 absolute, like the construction goldens) and
+/// exact quantile indices.
+#[allow(clippy::too_many_arguments)]
+fn assert_golden_fixture(
+    name: &str,
+    byte_len: usize,
+    domain: usize,
+    pieces: usize,
+    total_mass: f64,
+    cdf_mid: f64,
+    mass_first_quarter: f64,
+    quantiles: [usize; 5],
+) {
+    let bytes = std::fs::read(fixture_path(name))
+        .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+    assert_eq!(bytes.len(), byte_len, "{name}: committed byte length changed");
+    let synopsis = decode_synopsis(&bytes)
+        .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
+
+    assert_eq!(synopsis.domain(), domain, "{name}: domain");
+    assert_eq!(synopsis.num_pieces(), pieces, "{name}: pieces");
+    assert!(
+        (synopsis.total_mass() - total_mass).abs() < 1e-9,
+        "{name}: total mass {} != golden {total_mass}",
+        synopsis.total_mass()
+    );
+    let n = synopsis.domain();
+    assert!(
+        (synopsis.cdf(n / 2).unwrap() - cdf_mid).abs() < 1e-9,
+        "{name}: cdf(n/2) {} != golden {cdf_mid}",
+        synopsis.cdf(n / 2).unwrap()
+    );
+    let mass = synopsis.mass(Interval::new(0, n / 4).unwrap()).unwrap();
+    assert!(
+        (mass - mass_first_quarter).abs() < 1e-9,
+        "{name}: mass[0, n/4] {mass} != golden {mass_first_quarter}"
+    );
+    let qs: Vec<usize> =
+        [0.1, 0.25, 0.5, 0.75, 0.9].iter().map(|&p| synopsis.quantile(p).unwrap()).collect();
+    assert_eq!(qs, quantiles, "{name}: quantiles");
+
+    // The encoder must reproduce the committed bytes exactly — a format
+    // change that decode still tolerates (e.g. a reordered field both sides
+    // agree on) shows up here.
+    assert_eq!(encode_synopsis(&synopsis), bytes, "{name}: re-encoded bytes diverged");
+}
+
+#[test]
+fn committed_histogram_fixture_still_decodes_to_committed_values() {
+    assert_golden_fixture(
+        "synopsis_merging_steps_v1.bin",
+        262,
+        256,
+        13,
+        960.0,
+        0.601041666667,
+        135.0,
+        [47, 79, 114, 207, 236],
+    );
+}
+
+#[test]
+fn committed_polynomial_fixture_still_decodes_to_committed_values() {
+    assert_golden_fixture(
+        "synopsis_poly_ramp_v1.bin",
+        529,
+        200,
+        13,
+        2090.0,
+        0.265789473684,
+        153.0,
+        [60, 97, 140, 172, 189],
+    );
+}
+
+#[test]
+fn fitting_today_reproduces_the_committed_fixtures_bit_for_bit() {
+    // The construction algorithms are deterministic and pinned by the
+    // `golden_fixtures` suite; together with a stable format this means a
+    // fresh fit must encode to the exact committed bytes.
+    for (name, synopsis) in golden_sources() {
+        let committed = std::fs::read(fixture_path(name)).expect("committed fixture");
+        assert_eq!(
+            encode_synopsis(&synopsis),
+            committed,
+            "{name}: today's fit no longer encodes to the committed bytes"
+        );
+        assert_eq!(FORMAT_VERSION, 1, "bump the fixture file names with the format version");
+    }
+}

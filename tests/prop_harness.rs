@@ -254,6 +254,71 @@ fn batch_edge_cases_match_pointwise_queries() {
 }
 
 #[test]
+fn encode_decode_round_trip_is_bit_identical_for_every_estimator() {
+    let mut rng = StdRng::seed_from_u64(0xD15C_2015);
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            let fitted = estimator.fit(&signal).unwrap();
+            let decoded =
+                approx_hist::decode_synopsis(&approx_hist::encode_synopsis(&fitted)).unwrap();
+            let name = estimator.name();
+
+            // Identical structure and bookkeeping.
+            assert_eq!(decoded.model(), fitted.model(), "{fixture}/{name}: model");
+            assert_eq!(decoded.num_pieces(), fitted.num_pieces(), "{fixture}/{name}");
+            assert_eq!(decoded.domain(), fitted.domain(), "{fixture}/{name}");
+            assert_eq!(decoded.target_k(), fitted.target_k(), "{fixture}/{name}");
+            assert_eq!(decoded.estimator(), fitted.estimator(), "{fixture}/{name}");
+            assert_eq!(
+                decoded.total_mass().to_bits(),
+                fitted.total_mass().to_bits(),
+                "{fixture}/{name}: total mass bits"
+            );
+
+            // Bit-identical serving state…
+            let decoded_bits: Vec<u64> =
+                decoded.boundary_masses().iter().map(|m| m.to_bits()).collect();
+            let fitted_bits: Vec<u64> =
+                fitted.boundary_masses().iter().map(|m| m.to_bits()).collect();
+            assert_eq!(decoded_bits, fitted_bits, "{fixture}/{name}: boundary bits");
+
+            // …and bit-identical query results: cdf over every index,
+            // quantiles over a seeded fraction sweep, mass batches over
+            // seeded ranges.
+            for x in 0..n {
+                assert_eq!(
+                    decoded.cdf(x).unwrap().to_bits(),
+                    fitted.cdf(x).unwrap().to_bits(),
+                    "{fixture}/{name}: cdf({x})"
+                );
+            }
+            let mut ps: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..=1.0)).collect();
+            ps.extend([0.0, 0.25, 0.5, 0.75, 1.0]);
+            for &p in &ps {
+                assert_eq!(
+                    decoded.quantile(p).unwrap(),
+                    fitted.quantile(p).unwrap(),
+                    "{fixture}/{name}: quantile({p})"
+                );
+            }
+            let ranges: Vec<Interval> = (0..20)
+                .map(|_| {
+                    let mut ends = [rng.gen_range(0..n), rng.gen_range(0..n)];
+                    ends.sort_unstable();
+                    Interval::new(ends[0], ends[1]).unwrap()
+                })
+                .collect();
+            let decoded_masses: Vec<u64> =
+                decoded.mass_batch(&ranges).unwrap().iter().map(|m| m.to_bits()).collect();
+            let fitted_masses: Vec<u64> =
+                fitted.mass_batch(&ranges).unwrap().iter().map(|m| m.to_bits()).collect();
+            assert_eq!(decoded_masses, fitted_masses, "{fixture}/{name}: mass batch bits");
+        }
+    }
+}
+
+#[test]
 fn merge_is_associative_within_tolerance() {
     for (fixture, signal) in fixture_signals() {
         let n = signal.domain();
