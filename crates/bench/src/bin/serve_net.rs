@@ -1,0 +1,183 @@
+//! Seeded loopback benchmark for the network serving layer, written as JSON
+//! to `BENCH_net.json` at the workspace root (override with
+//! `HIST_BENCH_NET_OUT`).
+//!
+//! One `HistServer` on an ephemeral loopback port serves an `n = 2^16`
+//! seeded step synopsis; one blocking `HistClient` issues quantile and mass
+//! batches of size 1, 64 and 4096. For each (op, batch size) the bin reports
+//! requests/s, queries/s and p50/p99 request latency — the round-trip cost
+//! of the wire (framing, CRC, syscalls) amortized over growing batches. A
+//! correctness gate cross-checks every batch against the local synopsis
+//! bit for bit before timing starts.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use approx_hist::{
+    Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, Interval, ServerConfig,
+    Signal, Synopsis, SynopsisStore,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1 << 16;
+const K: usize = 32;
+const SEED: u64 = 2015;
+const BATCH_SIZES: [usize; 3] = [1, 64, 4096];
+/// Requests per (op, batch size) measurement, scaled down for big batches.
+fn requests_for(batch: usize) -> usize {
+    match batch {
+        0..=1 => 2_000,
+        2..=64 => 1_000,
+        _ => 150,
+    }
+}
+
+fn seeded_synopsis() -> Synopsis {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let values: Vec<f64> = (0..N)
+        .map(|i| ((i / (N / 32)) % 4) as f64 * 3.0 + 1.0 + rng.gen_range(0.0..0.25))
+        .collect();
+    GreedyMerging::new(EstimatorBuilder::new(K))
+        .fit(&Signal::from_dense(values).expect("finite signal"))
+        .expect("valid fit")
+}
+
+/// Latency percentiles over a sorted sample, by nearest-rank.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct Measurement {
+    op: &'static str,
+    batch: usize,
+    requests: usize,
+    requests_per_s: f64,
+    queries_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn measure(
+    op: &'static str,
+    batch: usize,
+    requests: usize,
+    mut round_trip: impl FnMut() -> usize,
+) -> Measurement {
+    // Warm-up: fill caches, establish the steady state.
+    for _ in 0..requests / 10 + 1 {
+        round_trip();
+    }
+    let mut latencies = Vec::with_capacity(requests);
+    let started = Instant::now();
+    let mut answered = 0usize;
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        answered += round_trip();
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(answered, requests * batch, "{op}/{batch}: short answers");
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let m = Measurement {
+        op,
+        batch,
+        requests,
+        requests_per_s: requests as f64 / elapsed,
+        queries_per_s: (requests * batch) as f64 / elapsed,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    };
+    println!(
+        "{op:>8} batch {batch:>4}: {:>9.0} req/s {:>11.0} q/s | p50 {:>7.1}us p99 {:>7.1}us",
+        m.requests_per_s, m.queries_per_s, m.p50_us, m.p99_us
+    );
+    m
+}
+
+fn main() {
+    let synopsis = seeded_synopsis();
+    let store = Arc::new(SynopsisStore::with_initial(synopsis.clone()));
+    let server = HistServer::bind("127.0.0.1:0", store, ServerConfig::default())
+        .expect("ephemeral loopback bind");
+    let mut client = HistClient::connect(server.local_addr()).expect("connect");
+    println!(
+        "serve_net: n = {N}, k = {K}, {} pieces, addr {}",
+        synopsis.num_pieces(),
+        server.local_addr()
+    );
+
+    // Seeded query workloads, one pool per batch size.
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x0E7);
+    let mut results = Vec::new();
+    for batch in BATCH_SIZES {
+        let ps: Vec<f64> = (0..batch).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        let ranges: Vec<Interval> = (0..batch)
+            .map(|_| {
+                let mut ends = [rng.gen_range(0..N), rng.gen_range(0..N)];
+                ends.sort_unstable();
+                Interval::new(ends[0], ends[1]).expect("ordered ends")
+            })
+            .collect();
+
+        // Correctness gate: the wire answers must equal the local ones bit
+        // for bit before the timing means anything.
+        let remote = client.quantile_batch(&ps).expect("quantile batch");
+        assert_eq!(remote.value, synopsis.quantile_batch(&ps).expect("local"), "quantile gate");
+        let remote = client.mass_batch(&ranges).expect("mass batch");
+        let local = synopsis.mass_batch(&ranges).expect("local");
+        assert_eq!(
+            remote.value.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            local.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "mass gate"
+        );
+
+        let requests = requests_for(batch);
+        results.push(measure("quantile", batch, requests, || {
+            client.quantile_batch(&ps).expect("quantile batch").value.len()
+        }));
+        results.push(measure("mass", batch, requests, || {
+            client.mass_batch(&ranges).expect("mass batch").value.len()
+        }));
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                r#"    {{
+      "op": "{}",
+      "batch": {},
+      "requests": {},
+      "requests_per_s": {:.1},
+      "queries_per_s": {:.1},
+      "p50_latency_us": {:.2},
+      "p99_latency_us": {:.2}
+    }}"#,
+                m.op, m.batch, m.requests, m.requests_per_s, m.queries_per_s, m.p50_us, m.p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "bench": "serve_net",
+  "n": {N},
+  "k": {K},
+  "seed": {SEED},
+  "transport": "tcp loopback, one blocking connection",
+  "batch_sizes": [1, 64, 4096],
+  "measurements": [
+{}
+  ]
+}}
+"#,
+        entries.join(",\n")
+    );
+
+    let path = std::env::var("HIST_BENCH_NET_OUT").unwrap_or_else(|_| "BENCH_net.json".into());
+    let mut file = std::fs::File::create(&path).expect("writable output path");
+    file.write_all(json.as_bytes()).expect("write BENCH_net.json");
+    println!("json written to {path}");
+}

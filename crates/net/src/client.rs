@@ -1,0 +1,171 @@
+//! The blocking client: one TCP connection, batch helpers mirroring the
+//! [`Synopsis`](hist_core::Synopsis) query API.
+//!
+//! Every answer comes back [`Stamped`] with the store epoch it was computed
+//! at, so callers can assert freshness and ordering: on a single connection
+//! the server hands out epochs monotonically, and two responses stamped with
+//! the *same* epoch were answered by the *same* immutable snapshot.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use hist_core::{Interval, Synopsis};
+use hist_persist::encode_synopsis;
+
+use crate::error::{NetError, NetResult};
+use crate::frame::{check_envelope, read_message, write_message, DEFAULT_MAX_FRAME_BYTES};
+use crate::proto::{decode_response_frame, encode_request, Request, Response, SynopsisStats};
+
+/// A value together with the store epoch it was computed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped<T> {
+    /// Epoch of the snapshot (or publish) that produced `value`.
+    pub epoch: u64,
+    /// The answer itself.
+    pub value: T,
+}
+
+/// Store statistics as reported by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// Current store epoch (0 before the first publish).
+    pub epoch: u64,
+    /// Summary of the served synopsis, or `None` for an empty store.
+    pub synopsis: Option<SynopsisStats>,
+}
+
+/// A blocking connection to a [`HistServer`](crate::HistServer).
+///
+/// ```no_run
+/// use hist_net::HistClient;
+///
+/// let mut client = HistClient::connect("127.0.0.1:4715").unwrap();
+/// let stats = client.stats().unwrap();
+/// println!("serving epoch {}", stats.epoch);
+/// let quantiles = client.quantile_batch(&[0.25, 0.5, 0.75]).unwrap();
+/// println!("quartiles at epoch {}: {:?}", quantiles.epoch, quantiles.value);
+/// ```
+#[derive(Debug)]
+pub struct HistClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl HistClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES })
+    }
+
+    /// Caps the response frames this client accepts. When mirroring the
+    /// server's [`ServerConfig::max_frame_bytes`](crate::ServerConfig), allow
+    /// for the constant per-frame overhead: a response can be a few bytes
+    /// larger than the request that elicited it.
+    pub fn with_max_frame_bytes(mut self, max_frame_bytes: usize) -> Self {
+        self.max_frame_bytes = max_frame_bytes;
+        self
+    }
+
+    /// Bounds how long a single response read may block (`None`, the
+    /// default, waits forever). A server whose connection pool is fully
+    /// occupied queues new connections instead of refusing them, so a
+    /// timeout turns "the server is saturated" from a silent hang into a
+    /// typed [`NetError::Io`] timeout.
+    pub fn with_read_timeout(self, timeout: Option<std::time::Duration>) -> NetResult<Self> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(self)
+    }
+
+    /// One request/response exchange.
+    fn round_trip(&mut self, request: &Request) -> NetResult<Response> {
+        write_message(&mut self.stream, &encode_request(request))?;
+        let frame =
+            read_message(&mut self.stream, self.max_frame_bytes)?.ok_or(NetError::Disconnected)?;
+        let (op, payload) = check_envelope(&frame)?;
+        let response = decode_response_frame(op, payload)?;
+        if let Response::Error { epoch, code, message } = response {
+            return Err(NetError::Remote { epoch, code, message });
+        }
+        Ok(response)
+    }
+
+    /// The cdf at each index, answered from one snapshot —
+    /// bit-identical to [`Synopsis::cdf`] on the published synopsis.
+    pub fn cdf_batch(&mut self, xs: &[usize]) -> NetResult<Stamped<Vec<f64>>> {
+        let request = Request::CdfBatch(xs.iter().map(|&x| x as u64).collect());
+        match self.round_trip(&request)? {
+            Response::CdfBatch { epoch, values } => Ok(Stamped { epoch, value: values }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The smallest index reaching each fraction — bit-identical to
+    /// [`Synopsis::quantile_batch`] on the published synopsis.
+    pub fn quantile_batch(&mut self, ps: &[f64]) -> NetResult<Stamped<Vec<usize>>> {
+        match self.round_trip(&Request::QuantileBatch(ps.to_vec()))? {
+            Response::QuantileBatch { epoch, indices } => {
+                let value = indices
+                    .into_iter()
+                    .map(|i| {
+                        usize::try_from(i).map_err(|_| {
+                            NetError::Frame(hist_persist::CodecError::ValueOutOfRange {
+                                what: "quantile index",
+                            })
+                        })
+                    })
+                    .collect::<NetResult<Vec<usize>>>()?;
+                Ok(Stamped { epoch, value })
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The estimated mass over each range — bit-identical to
+    /// [`Synopsis::mass_batch`] on the published synopsis.
+    pub fn mass_batch(&mut self, ranges: &[Interval]) -> NetResult<Stamped<Vec<f64>>> {
+        let request =
+            Request::MassBatch(ranges.iter().map(|r| (r.start() as u64, r.end() as u64)).collect());
+        match self.round_trip(&request)? {
+            Response::MassBatch { epoch, masses } => Ok(Stamped { epoch, value: masses }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The store epoch plus a summary of the served synopsis.
+    pub fn stats(&mut self) -> NetResult<StoreStats> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats { epoch, synopsis } => Ok(StoreStats { epoch, synopsis }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: replaces the served synopsis (ships it in the `AHISTSYN`
+    /// encoding). Returns the new epoch.
+    pub fn publish(&mut self, synopsis: &Synopsis) -> NetResult<u64> {
+        match self.round_trip(&Request::Publish(encode_synopsis(synopsis)))? {
+            Response::Updated { epoch } => Ok(epoch),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: merges an adjacent-chunk synopsis into the served one,
+    /// re-merged down to `budget` pieces. Returns the new epoch.
+    pub fn update_merge(&mut self, chunk: &Synopsis, budget: usize) -> NetResult<u64> {
+        let request =
+            Request::UpdateMerge { budget: budget as u64, synopsis: encode_synopsis(chunk) };
+        match self.round_trip(&request)? {
+            Response::Updated { epoch } => Ok(epoch),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// A structurally valid response of the wrong kind for the request — a
+/// protocol violation by the peer, reported as a frame-level tag error.
+fn unexpected(response: &Response) -> NetError {
+    NetError::Frame(hist_persist::CodecError::InvalidTag {
+        what: "response kind",
+        found: response.op(),
+    })
+}

@@ -1,0 +1,104 @@
+//! Typed errors of the network layer, on both sides of the wire.
+//!
+//! Local failures (socket I/O, undecodable frames) and *remote* failures (a
+//! typed error frame sent by the peer) are distinct variants, so a caller can
+//! tell "my connection broke" apart from "the server rejected my request" —
+//! and, for remote errors, which [`ErrorCode`] the server assigned.
+
+use std::fmt;
+
+use hist_persist::CodecError;
+
+use crate::proto::ErrorCode;
+
+/// Errors produced by the client, the server's internals, and the frame
+/// reader/writer.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed (connect, read, write, shutdown).
+    Io(std::io::Error),
+    /// Received bytes that do not decode as a protocol frame (bad magic,
+    /// checksum mismatch, truncated payload, hostile count, …).
+    Frame(CodecError),
+    /// The peer announced a frame larger than the configured maximum; the
+    /// frame was rejected *before* any allocation.
+    FrameTooLarge {
+        /// Announced frame length.
+        len: usize,
+        /// Largest frame this side accepts.
+        max: usize,
+    },
+    /// The connection closed in the middle of a request/response exchange.
+    Disconnected,
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Store epoch at the time the server built the error frame.
+        epoch: u64,
+        /// The typed error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Frame(e) => write!(f, "undecodable frame: {e}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "announced frame of {len} byte(s) exceeds the {max}-byte limit")
+            }
+            NetError::Disconnected => write!(f, "connection closed mid-exchange"),
+            NetError::Remote { epoch, code, message } => {
+                write!(f, "server error {code:?} at epoch {epoch}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+/// Result alias for the network layer.
+pub type NetResult<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_carry_key_data() {
+        let e = NetError::FrameTooLarge { len: 1 << 30, max: 1 << 20 };
+        assert!(e.to_string().contains("1048576"));
+        let e = NetError::Remote {
+            epoch: 7,
+            code: ErrorCode::EmptyStore,
+            message: "no synopsis published".into(),
+        };
+        assert!(e.to_string().contains("EmptyStore") && e.to_string().contains('7'));
+        let e: NetError = CodecError::BadMagic.into();
+        assert!(matches!(e, NetError::Frame(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,96 @@
+//! # hist-net
+//!
+//! The network serving layer: a dependency-free `std::net` TCP protocol that
+//! puts the workspace's synopses on the wire — queries, admin updates and
+//! stats, all over one framed binary format.
+//!
+//! The ROADMAP's north star is serving heavy traffic from many users; every
+//! layer below this one (fit, merge, stream, parallel build, concurrent
+//! store, durable codec) lives inside a single process. This crate closes
+//! the loop: a [`HistServer`] runs a concurrent accept loop over the
+//! existing [`SynopsisStore`](hist_serve::SynopsisStore) (reads wait-free,
+//! writes serialized, every response stamped with the snapshot epoch), and a
+//! blocking [`HistClient`] exposes batch helpers whose answers are
+//! **bit-identical** to querying the local [`Synopsis`](hist_core::Synopsis)
+//! directly — `f64`s travel as raw IEEE-754 bits, and published synopses
+//! ship in the `hist-persist` `AHISTSYN` encoding whose decode path is
+//! already proven bit-exact.
+//!
+//! ## Wire format
+//!
+//! Every message is one frame (see [`frame`]):
+//!
+//! ```text
+//! length u32 LE | "AHISTNET" | version u16 LE | op u8 | payload | crc32 u32 LE
+//! ```
+//!
+//! Request ops: `CdfBatch` (0x01), `QuantileBatch` (0x02), `MassBatch`
+//! (0x03), `Stats` (0x04), `Publish` (0x10), `UpdateMerge` (0x11). Response
+//! ops mirror them (`| 0x80`), plus `Updated` (0x90) and the typed `Error`
+//! frame (0xEE). The protocol version is tied to the persist format version
+//! by a compile-time assertion, because `Publish`/`UpdateMerge` payloads are
+//! `AHISTSYN` containers.
+//!
+//! ## Safety on hostile peers
+//!
+//! The server never trusts the wire: the length prefix is checked against
+//! [`ServerConfig::max_frame_bytes`] *before* any allocation, payload
+//! parsing funnels through the bounded `hist_persist::wire::Reader` (every
+//! count validated against the bytes actually present), published synopses
+//! go through the validating `hist-persist` decoder, and each connection
+//! carries a request budget. Any invalid input is answered with a typed
+//! error frame — or the connection is closed where the stream can no longer
+//! be re-synchronized — and never a panic or an attacker-sized allocation.
+//! The workspace corruption suite (`tests/net_corruption.rs`) drives
+//! truncations, byte flips, forged lengths and random soup against a live
+//! server to keep this true.
+//!
+//! ## Example: serve, query, update
+//!
+//! ```
+//! use std::sync::Arc;
+//! use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
+//! use hist_net::{HistClient, HistServer, ServerConfig};
+//! use hist_serve::SynopsisStore;
+//!
+//! let fit = |level: f64| {
+//!     let values: Vec<f64> = (0..128).map(|i| level + ((i / 64) % 2) as f64).collect();
+//!     GreedyMerging::new(EstimatorBuilder::new(4))
+//!         .fit(&Signal::from_dense(values).unwrap())
+//!         .unwrap()
+//! };
+//!
+//! // An ephemeral loopback server over a shared store.
+//! let store = Arc::new(SynopsisStore::new());
+//! let server = HistServer::bind("127.0.0.1:0", store, ServerConfig::default()).unwrap();
+//!
+//! let mut client = HistClient::connect(server.local_addr()).unwrap();
+//! let first = client.publish(&fit(1.0)).unwrap();
+//! let answers = client.quantile_batch(&[0.25, 0.5, 0.75]).unwrap();
+//! assert_eq!(answers.epoch, first);
+//!
+//! // A background refit merges the adjacent chunk in; the epoch advances.
+//! let second = client.update_merge(&fit(2.0), 9).unwrap();
+//! assert!(second > first);
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.epoch, second);
+//! assert_eq!(stats.synopsis.unwrap().domain, 256);
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{HistClient, Stamped, StoreStats};
+pub use error::{NetError, NetResult};
+pub use frame::{
+    check_envelope, read_message, seal_message, split_message, write_message,
+    DEFAULT_MAX_FRAME_BYTES, ENVELOPE_BYTES, LENGTH_PREFIX_BYTES, NET_MAGIC, PROTOCOL_VERSION,
+};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
+    SynopsisStats,
+};
+pub use server::{HistServer, ServerConfig};

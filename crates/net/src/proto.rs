@@ -1,0 +1,537 @@
+//! Request/response messages and their payload codecs.
+//!
+//! Payloads are little-endian with count-prefixed repeats, parsed through the
+//! bounded [`hist_persist::wire::Reader`] — every count is validated against
+//! the bytes actually remaining before any `Vec` is sized from it, so
+//! decoding hostile payloads is total (typed errors, no panics, no
+//! over-allocation). Synopses travel inside `Publish`/`UpdateMerge` as
+//! nested `AHISTSYN` containers, reusing the `hist-persist` codec verbatim:
+//! the server decodes them through the same validating path a file load
+//! uses, which is what makes a published synopsis answer queries
+//! bit-identically to the local original.
+//!
+//! Every response payload opens with the store epoch the answer was computed
+//! at, so a client can order responses across reconnects and publishes.
+
+use hist_persist::wire::{put_f64, put_u64, Reader};
+use hist_persist::{CodecError, CodecResult};
+
+use crate::frame::{seal_message, split_message};
+
+// Request opcodes.
+const OP_CDF_BATCH: u8 = 0x01;
+const OP_QUANTILE_BATCH: u8 = 0x02;
+const OP_MASS_BATCH: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_PUBLISH: u8 = 0x10;
+const OP_UPDATE_MERGE: u8 = 0x11;
+
+// Response opcodes (request op | 0x80, plus the shared update/error ops).
+const OP_CDF_OK: u8 = 0x81;
+const OP_QUANTILE_OK: u8 = 0x82;
+const OP_MASS_OK: u8 = 0x83;
+const OP_STATS_OK: u8 = 0x84;
+const OP_UPDATED: u8 = 0x90;
+const OP_ERROR: u8 = 0xEE;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Normalized cdf at each index, answered from one snapshot.
+    CdfBatch(Vec<u64>),
+    /// Smallest index reaching each cumulative fraction.
+    QuantileBatch(Vec<f64>),
+    /// Estimated mass over each inclusive `(start, end)` index range.
+    MassBatch(Vec<(u64, u64)>),
+    /// Store epoch plus a summary of the served synopsis.
+    Stats,
+    /// Admin: replace the served synopsis with the shipped `AHISTSYN` blob.
+    Publish(Vec<u8>),
+    /// Admin: merge the shipped adjacent-chunk synopsis into the served one,
+    /// re-merged down to `budget` pieces.
+    UpdateMerge {
+        /// Piece budget of the re-merge.
+        budget: u64,
+        /// `AHISTSYN`-encoded chunk synopsis.
+        synopsis: Vec<u8>,
+    },
+}
+
+/// Summary of the synopsis a server is serving, as reported by
+/// [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynopsisStats {
+    /// Domain size `n`.
+    pub domain: u64,
+    /// Number of pieces of the fitted model.
+    pub pieces: u64,
+    /// Piece budget the estimator was configured with.
+    pub target_k: u64,
+    /// Raw total mass.
+    pub total_mass: f64,
+    /// Name of the estimator that produced the synopsis.
+    pub estimator: String,
+}
+
+/// Typed error codes a server stamps on error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame did not decode (truncated payload, hostile count,
+    /// trailing bytes, …).
+    MalformedFrame,
+    /// The request announced a protocol version this server does not speak.
+    UnsupportedVersion,
+    /// The op byte is not a request this version defines.
+    UnknownOp,
+    /// The request decoded but a query argument is invalid for the served
+    /// synopsis (index out of domain, fraction outside `[0, 1]`, …).
+    InvalidQuery,
+    /// A query arrived before any synopsis was published.
+    EmptyStore,
+    /// A `Publish`/`UpdateMerge` payload failed to decode or validate.
+    InvalidSynopsis,
+    /// The announced frame length exceeds the server's limit.
+    FrameTooLarge,
+    /// The connection used up its per-connection request budget.
+    RequestLimit,
+    /// A code this build does not know (from a newer peer).
+    Unknown(u8),
+}
+
+impl ErrorCode {
+    /// The wire byte for this code.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::MalformedFrame => 1,
+            ErrorCode::UnsupportedVersion => 2,
+            ErrorCode::UnknownOp => 3,
+            ErrorCode::InvalidQuery => 4,
+            ErrorCode::EmptyStore => 5,
+            ErrorCode::InvalidSynopsis => 6,
+            ErrorCode::FrameTooLarge => 7,
+            ErrorCode::RequestLimit => 8,
+            ErrorCode::Unknown(raw) => raw,
+        }
+    }
+
+    /// The code a wire byte names (never fails: unknown bytes are preserved
+    /// as [`ErrorCode::Unknown`]).
+    pub fn from_u8(raw: u8) -> Self {
+        match raw {
+            1 => ErrorCode::MalformedFrame,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOp,
+            4 => ErrorCode::InvalidQuery,
+            5 => ErrorCode::EmptyStore,
+            6 => ErrorCode::InvalidSynopsis,
+            7 => ErrorCode::FrameTooLarge,
+            8 => ErrorCode::RequestLimit,
+            other => ErrorCode::Unknown(other),
+        }
+    }
+}
+
+/// A server response. Every variant opens with the store epoch it was
+/// computed at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Cdf values, in request order (raw IEEE-754 bits on the wire).
+    CdfBatch {
+        /// Epoch of the snapshot that answered.
+        epoch: u64,
+        /// One cdf value per requested index.
+        values: Vec<f64>,
+    },
+    /// Quantile indices, in request order.
+    QuantileBatch {
+        /// Epoch of the snapshot that answered.
+        epoch: u64,
+        /// One index per requested fraction.
+        indices: Vec<u64>,
+    },
+    /// Range masses, in request order.
+    MassBatch {
+        /// Epoch of the snapshot that answered.
+        epoch: u64,
+        /// One mass per requested range.
+        masses: Vec<f64>,
+    },
+    /// Store statistics.
+    Stats {
+        /// Current store epoch (0 before the first publish).
+        epoch: u64,
+        /// Summary of the served synopsis, or `None` for an empty store.
+        synopsis: Option<SynopsisStats>,
+    },
+    /// A `Publish`/`UpdateMerge` landed; the store now serves this epoch.
+    Updated {
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Typed rejection. The connection stays usable unless the server also
+    /// closed it (framing errors and exhausted request budgets close).
+    Error {
+        /// Store epoch when the error was built.
+        epoch: u64,
+        /// The typed code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The wire opcode of this response kind — the single source the encoder
+    /// and the client's mismatch reporting share.
+    pub(crate) fn op(&self) -> u8 {
+        match self {
+            Response::CdfBatch { .. } => OP_CDF_OK,
+            Response::QuantileBatch { .. } => OP_QUANTILE_OK,
+            Response::MassBatch { .. } => OP_MASS_OK,
+            Response::Stats { .. } => OP_STATS_OK,
+            Response::Updated { .. } => OP_UPDATED,
+            Response::Error { .. } => OP_ERROR,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------------
+
+/// Encodes a request into one complete wire message (length prefix
+/// included) — exactly the bytes a client writes to the socket.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let op = match request {
+        Request::CdfBatch(xs) => {
+            put_u64(&mut payload, xs.len() as u64);
+            for &x in xs {
+                put_u64(&mut payload, x);
+            }
+            OP_CDF_BATCH
+        }
+        Request::QuantileBatch(ps) => {
+            put_u64(&mut payload, ps.len() as u64);
+            for &p in ps {
+                put_f64(&mut payload, p);
+            }
+            OP_QUANTILE_BATCH
+        }
+        Request::MassBatch(ranges) => {
+            put_u64(&mut payload, ranges.len() as u64);
+            for &(start, end) in ranges {
+                put_u64(&mut payload, start);
+                put_u64(&mut payload, end);
+            }
+            OP_MASS_BATCH
+        }
+        Request::Stats => OP_STATS,
+        Request::Publish(blob) => {
+            put_u64(&mut payload, blob.len() as u64);
+            payload.extend_from_slice(blob);
+            OP_PUBLISH
+        }
+        Request::UpdateMerge { budget, synopsis } => {
+            put_u64(&mut payload, *budget);
+            put_u64(&mut payload, synopsis.len() as u64);
+            payload.extend_from_slice(synopsis);
+            OP_UPDATE_MERGE
+        }
+    };
+    seal_message(op, &payload)
+}
+
+/// Encodes a response into one complete wire message (length prefix
+/// included) — exactly the bytes a server writes to the socket.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match response {
+        Response::CdfBatch { epoch, values } => {
+            put_u64(&mut payload, *epoch);
+            put_u64(&mut payload, values.len() as u64);
+            for &v in values {
+                put_f64(&mut payload, v);
+            }
+        }
+        Response::QuantileBatch { epoch, indices } => {
+            put_u64(&mut payload, *epoch);
+            put_u64(&mut payload, indices.len() as u64);
+            for &i in indices {
+                put_u64(&mut payload, i);
+            }
+        }
+        Response::MassBatch { epoch, masses } => {
+            put_u64(&mut payload, *epoch);
+            put_u64(&mut payload, masses.len() as u64);
+            for &m in masses {
+                put_f64(&mut payload, m);
+            }
+        }
+        Response::Stats { epoch, synopsis } => {
+            put_u64(&mut payload, *epoch);
+            match synopsis {
+                None => payload.push(0),
+                Some(stats) => {
+                    payload.push(1);
+                    put_u64(&mut payload, stats.domain);
+                    put_u64(&mut payload, stats.pieces);
+                    put_u64(&mut payload, stats.target_k);
+                    put_f64(&mut payload, stats.total_mass);
+                    put_u64(&mut payload, stats.estimator.len() as u64);
+                    payload.extend_from_slice(stats.estimator.as_bytes());
+                }
+            }
+        }
+        Response::Updated { epoch } => {
+            put_u64(&mut payload, *epoch);
+        }
+        Response::Error { epoch, code, message } => {
+            put_u64(&mut payload, *epoch);
+            payload.push(code.to_u8());
+            put_u64(&mut payload, message.len() as u64);
+            payload.extend_from_slice(message.as_bytes());
+        }
+    };
+    seal_message(response.op(), &payload)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+/// Decodes a request from a verified frame's op byte and payload (the shape
+/// [`crate::frame::check_envelope`] returns).
+pub fn decode_request_frame(op: u8, payload: &[u8]) -> CodecResult<Request> {
+    let mut reader = Reader::new(payload);
+    let request = match op {
+        OP_CDF_BATCH => {
+            let count = reader.count("cdf indices", 8)?;
+            let mut xs = Vec::with_capacity(count);
+            for _ in 0..count {
+                xs.push(reader.u64()?);
+            }
+            Request::CdfBatch(xs)
+        }
+        OP_QUANTILE_BATCH => {
+            let count = reader.count("quantile fractions", 8)?;
+            let mut ps = Vec::with_capacity(count);
+            for _ in 0..count {
+                ps.push(reader.f64()?);
+            }
+            Request::QuantileBatch(ps)
+        }
+        OP_MASS_BATCH => {
+            let count = reader.count("mass ranges", 16)?;
+            let mut ranges = Vec::with_capacity(count);
+            for _ in 0..count {
+                let start = reader.u64()?;
+                let end = reader.u64()?;
+                ranges.push((start, end));
+            }
+            Request::MassBatch(ranges)
+        }
+        OP_STATS => Request::Stats,
+        OP_PUBLISH => Request::Publish(reader.section("synopsis blob")?.to_vec()),
+        OP_UPDATE_MERGE => {
+            let budget = reader.u64()?;
+            let synopsis = reader.section("synopsis blob")?.to_vec();
+            Request::UpdateMerge { budget, synopsis }
+        }
+        found => return Err(CodecError::InvalidTag { what: "request op", found }),
+    };
+    reader.finish()?;
+    Ok(request)
+}
+
+/// Decodes a response from a verified frame's op byte and payload.
+pub fn decode_response_frame(op: u8, payload: &[u8]) -> CodecResult<Response> {
+    // The op is validated before the payload is touched, so an unknown op is
+    // reported as such rather than as a truncation further in.
+    if !matches!(op, OP_CDF_OK | OP_QUANTILE_OK | OP_MASS_OK | OP_STATS_OK | OP_UPDATED | OP_ERROR)
+    {
+        return Err(CodecError::InvalidTag { what: "response op", found: op });
+    }
+    let mut reader = Reader::new(payload);
+    let epoch = reader.u64()?;
+    let response = match op {
+        OP_CDF_OK => {
+            let count = reader.count("cdf values", 8)?;
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(reader.f64()?);
+            }
+            Response::CdfBatch { epoch, values }
+        }
+        OP_QUANTILE_OK => {
+            let count = reader.count("quantile indices", 8)?;
+            let mut indices = Vec::with_capacity(count);
+            for _ in 0..count {
+                indices.push(reader.u64()?);
+            }
+            Response::QuantileBatch { epoch, indices }
+        }
+        OP_MASS_OK => {
+            let count = reader.count("mass values", 8)?;
+            let mut masses = Vec::with_capacity(count);
+            for _ in 0..count {
+                masses.push(reader.f64()?);
+            }
+            Response::MassBatch { epoch, masses }
+        }
+        OP_STATS_OK => {
+            let synopsis = match reader.u8()? {
+                0 => None,
+                1 => {
+                    let domain = reader.u64()?;
+                    let pieces = reader.u64()?;
+                    let target_k = reader.u64()?;
+                    let total_mass = reader.f64()?;
+                    let name = reader.section("estimator name")?;
+                    let estimator =
+                        std::str::from_utf8(name).map_err(|_| CodecError::NonUtf8Name)?.to_string();
+                    Some(SynopsisStats { domain, pieces, target_k, total_mass, estimator })
+                }
+                found => {
+                    return Err(CodecError::InvalidTag { what: "stats synopsis presence", found })
+                }
+            };
+            Response::Stats { epoch, synopsis }
+        }
+        OP_UPDATED => Response::Updated { epoch },
+        OP_ERROR => {
+            let code = ErrorCode::from_u8(reader.u8()?);
+            // Lossy on purpose: the message is display-only detail from the
+            // peer, and a mangled byte must not turn a typed error frame
+            // into an undecodable one.
+            let message = String::from_utf8_lossy(reader.section("error message")?).into_owned();
+            Response::Error { epoch, code, message }
+        }
+        _ => unreachable!("op membership checked above"),
+    };
+    reader.finish()?;
+    Ok(response)
+}
+
+/// Decodes a complete wire message (length prefix included) as a request.
+pub fn decode_request(message: &[u8]) -> CodecResult<Request> {
+    let (op, payload) = split_message(message)?;
+    decode_request_frame(op, payload)
+}
+
+/// Decodes a complete wire message (length prefix included) as a response.
+pub fn decode_response(message: &[u8]) -> CodecResult<Response> {
+    let (op, payload) = split_message(message)?;
+    decode_response_frame(op, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let decoded = decode_request(&encode_request(&request)).unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    fn round_trip_response(response: Response) {
+        let decoded = decode_response(&encode_response(&response)).unwrap();
+        assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn every_request_kind_round_trips() {
+        round_trip_request(Request::CdfBatch(vec![]));
+        round_trip_request(Request::CdfBatch(vec![0, 7, u64::MAX]));
+        round_trip_request(Request::QuantileBatch(vec![0.0, 0.5, 1.0]));
+        round_trip_request(Request::MassBatch(vec![(0, 0), (3, 99)]));
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Publish(b"AHISTSYN-ish bytes".to_vec()));
+        round_trip_request(Request::UpdateMerge { budget: 11, synopsis: vec![1, 2, 3] });
+    }
+
+    #[test]
+    fn every_response_kind_round_trips() {
+        round_trip_response(Response::CdfBatch { epoch: 3, values: vec![0.25, 1.0] });
+        round_trip_response(Response::QuantileBatch { epoch: 4, indices: vec![0, 99] });
+        round_trip_response(Response::MassBatch { epoch: 5, masses: vec![-1.5, 0.0] });
+        round_trip_response(Response::Stats { epoch: 0, synopsis: None });
+        round_trip_response(Response::Stats {
+            epoch: 9,
+            synopsis: Some(SynopsisStats {
+                domain: 256,
+                pieces: 13,
+                target_k: 5,
+                total_mass: 960.0,
+                estimator: "merging".into(),
+            }),
+        });
+        round_trip_response(Response::Updated { epoch: 42 });
+        round_trip_response(Response::Error {
+            epoch: 7,
+            code: ErrorCode::InvalidQuery,
+            message: "index 900 out of domain 256".into(),
+        });
+    }
+
+    #[test]
+    fn cdf_values_ship_as_raw_bits() {
+        // Negative zero and a subnormal survive exactly — the wire carries
+        // IEEE-754 bits, not a decimal rendering.
+        let values = vec![-0.0, f64::MIN_POSITIVE / 4.0];
+        let encoded = encode_response(&Response::CdfBatch { epoch: 1, values: values.clone() });
+        match decode_response(&encoded).unwrap() {
+            Response::CdfBatch { values: decoded, .. } => {
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&decoded), bits(&values));
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip_including_unknown() {
+        for raw in 0..=255u8 {
+            assert_eq!(ErrorCode::from_u8(raw).to_u8(), raw);
+        }
+        assert_eq!(ErrorCode::from_u8(200), ErrorCode::Unknown(200));
+    }
+
+    #[test]
+    fn request_and_response_ops_reject_each_other() {
+        let request = encode_request(&Request::Stats);
+        assert!(matches!(
+            decode_response(&request),
+            Err(CodecError::InvalidTag { what: "response op", .. })
+        ));
+        let response = encode_response(&Response::Updated { epoch: 1 });
+        assert!(matches!(
+            decode_request(&response),
+            Err(CodecError::InvalidTag { what: "request op", .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation() {
+        // A CdfBatch announcing u64::MAX indices inside a valid envelope.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, u64::MAX);
+        let message = seal_message(OP_CDF_BATCH, &payload);
+        assert!(matches!(
+            decode_request(&message),
+            Err(CodecError::CountOutOfBounds { count: u64::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // zero indices…
+        payload.extend_from_slice(b"junk"); // …then junk
+        let message = seal_message(OP_CDF_BATCH, &payload);
+        assert!(matches!(
+            decode_request(&message),
+            Err(CodecError::TrailingBytes { remaining: 4 })
+        ));
+    }
+}

@@ -1,0 +1,479 @@
+//! The serving side: a concurrent TCP accept loop over a shared
+//! [`SynopsisStore`].
+//!
+//! [`HistServer::bind`] spawns one accept thread; each accepted connection is
+//! dispatched onto the crate-shared [`ThreadPool`] from `hist-serve`, where a
+//! handler loops over framed requests. Reads go through an epoch-stamped
+//! store snapshot (wait-free in practice), batch queries are sharded through
+//! a [`QueryExecutor`], and admin writes (`Publish`/`UpdateMerge`) serialize
+//! on the store's writer path — exactly the concurrency contract the
+//! in-process serving layer already guarantees, now over the wire.
+//!
+//! Hostile peers are contained at three layers: the frame length prefix is
+//! checked against [`ServerConfig::max_frame_bytes`] *before* any allocation,
+//! payload parsing is total (typed errors, bounded counts), and each
+//! connection carries a request budget. Every rejection is answered with a
+//! typed error frame; the connection is kept open while the stream is still
+//! framed (the length prefix was honoured — even a bad CRC or magic inside
+//! a delimited frame leaves the next frame findable) and answered-then-
+//! closed where it is not (a length prefix that is oversized or shorter
+//! than an envelope, or an exhausted request budget).
+
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hist_core::Interval;
+use hist_persist::{decode_synopsis, CodecError};
+use hist_serve::{QueryExecutor, Snapshot, SynopsisStore, ThreadPool};
+
+use crate::frame::{check_envelope, write_message, ENVELOPE_BYTES, LENGTH_PREFIX_BYTES};
+use crate::proto::{
+    decode_request_frame, encode_response, ErrorCode, Request, Response, SynopsisStats,
+};
+
+/// Tuning knobs of a [`HistServer`]. The defaults serve tests and examples;
+/// production deployments mostly care about `max_frame_bytes` (hostile-peer
+/// allocation bound) and the two thread counts.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest frame accepted from a peer; larger announcements are rejected
+    /// before any allocation. (Response frames the server *builds* are not
+    /// checked against this: a client mirroring the limit should allow the
+    /// constant per-frame overhead on top of its largest request.)
+    pub max_frame_bytes: usize,
+    /// Requests a single connection may issue before the server answers a
+    /// typed [`ErrorCode::RequestLimit`] frame and closes it.
+    pub max_requests_per_connection: u64,
+    /// Workers in the connection pool (= connections served concurrently).
+    /// A connection holds its worker for its whole lifetime; connections
+    /// beyond this count queue until a worker frees up, so size it to the
+    /// expected number of simultaneous clients.
+    pub connection_threads: usize,
+    /// Workers in the batch-query executor shared by all connections.
+    pub query_threads: usize,
+    /// Socket read timeout used to poll the shutdown flag between requests;
+    /// bounds how long a graceful shutdown waits for idle connections.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
+            max_requests_per_connection: u64::MAX,
+            connection_threads: 4,
+            query_threads: 4,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A running synopsis server: accept loop + connection pool over a shared
+/// [`SynopsisStore`].
+///
+/// Dropping the server (or calling [`HistServer::shutdown`]) stops accepting,
+/// wakes every idle connection handler and joins all threads — no detached
+/// threads outlive the value.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use hist_net::{HistServer, ServerConfig};
+/// use hist_serve::SynopsisStore;
+///
+/// let store = Arc::new(SynopsisStore::new());
+/// let server =
+///     HistServer::bind("127.0.0.1:0", Arc::clone(&store), ServerConfig::default()).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// # drop(server);
+/// ```
+pub struct HistServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<Arc<ThreadPool>>,
+    store: Arc<SynopsisStore>,
+}
+
+impl std::fmt::Debug for HistServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistServer")
+            .field("local_addr", &self.local_addr)
+            .field("epoch", &self.store.epoch())
+            .field("shut_down", &self.shutdown.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl HistServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `store` immediately.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<SynopsisStore>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(ThreadPool::new(config.connection_threads));
+        let executor = Arc::new(QueryExecutor::new(config.query_threads));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let pool = Arc::clone(&pool);
+            let store = Arc::clone(&store);
+            std::thread::Builder::new().name("hist-net-accept".into()).spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else {
+                        // Persistent accept errors (EMFILE under fd
+                        // exhaustion) return immediately: back off instead
+                        // of hot-looping exactly when the host is starved.
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    };
+                    let shutdown = Arc::clone(&shutdown);
+                    let store = Arc::clone(&store);
+                    let executor = Arc::clone(&executor);
+                    let config = config.clone();
+                    pool.execute(move || {
+                        Connection { stream, store, executor, config, shutdown }.run();
+                    });
+                }
+            })?
+        };
+        Ok(Self { local_addr, shutdown, accept: Some(accept), pool: Some(pool), store })
+    }
+
+    /// The address the server is listening on (resolves ephemeral ports).
+    #[inline]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The store this server serves; publish to it directly to seed the
+    /// server from the owning process.
+    #[inline]
+    pub fn store(&self) -> &Arc<SynopsisStore> {
+        &self.store
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// wake idle connection handlers (they poll the shutdown flag on the
+    /// [`ServerConfig::poll_interval`] read timeout) and join every thread.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() && self.pool.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept call with a throwaway connection. A
+        // wildcard bind address (0.0.0.0 / ::) is not itself connectable
+        // everywhere, so the waker targets loopback on the bound port.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept thread has exited, so this is the last Arc: dropping it
+        // joins the pool workers, whose handlers exit on the shutdown flag.
+        self.pool.take();
+    }
+}
+
+impl Drop for HistServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Outcome of one incremental read attempt.
+enum Fill {
+    /// The buffer is full.
+    Done,
+    /// The peer closed the stream.
+    Eof,
+    /// The read timed out (poll the shutdown flag and retry).
+    Timeout,
+    /// The socket failed.
+    Failed,
+}
+
+/// One accepted connection, running on a pool worker.
+struct Connection {
+    stream: TcpStream,
+    store: Arc<SynopsisStore>,
+    executor: Arc<QueryExecutor>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Connection {
+    fn run(mut self) {
+        let _ = self.stream.set_read_timeout(Some(self.config.poll_interval));
+        let _ = self.stream.set_nodelay(true);
+        let mut served = 0u64;
+        loop {
+            let frame = match self.read_frame() {
+                Ok(Some(frame)) => frame,
+                // Clean close, peer gone, or shutdown: nothing left to say.
+                Ok(None) => return,
+                // Framing errors desynchronize the stream: answer with a
+                // typed error frame, then close.
+                Err(response) => return self.send_and_close(&response),
+            };
+            if served >= self.config.max_requests_per_connection {
+                let response = self.error(
+                    ErrorCode::RequestLimit,
+                    format!(
+                        "connection exceeded its {} request budget",
+                        self.config.max_requests_per_connection
+                    ),
+                );
+                return self.send_and_close(&response);
+            }
+            served += 1;
+            let response = match check_envelope(&frame) {
+                Ok((op, payload)) => match decode_request_frame(op, payload) {
+                    Ok(request) => self.respond(request),
+                    Err(e) => self.error(decode_error_code(&e), e.to_string()),
+                },
+                Err(e) => {
+                    // The frame arrived whole (the length prefix was
+                    // honoured) but its envelope is invalid — the stream
+                    // itself is still framed, so answer and continue.
+                    self.send(&self.error(decode_error_code(&e), e.to_string()));
+                    continue;
+                }
+            };
+            if !self.send(&response) {
+                return;
+            }
+        }
+    }
+
+    /// Reads one length-prefixed frame, polling the shutdown flag on read
+    /// timeouts. `Ok(None)` means the connection is over (clean EOF, socket
+    /// failure, or shutdown); `Err(response)` carries the typed error frame
+    /// to send before closing (frame too large / truncated announcement).
+    fn read_frame(&mut self) -> Result<Option<Vec<u8>>, Response> {
+        let mut prefix = [0u8; LENGTH_PREFIX_BYTES];
+        let mut got = 0usize;
+        loop {
+            match self.fill(&mut prefix, &mut got) {
+                Fill::Done => break,
+                // EOF before any prefix byte is a clean close; EOF inside
+                // the prefix means the peer gave up mid-message — nobody is
+                // left to read an error frame either way.
+                Fill::Eof | Fill::Failed => return Ok(None),
+                Fill::Timeout => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > self.config.max_frame_bytes {
+            return Err(self.error(
+                ErrorCode::FrameTooLarge,
+                format!(
+                    "announced frame of {len} byte(s) exceeds the {}-byte limit",
+                    self.config.max_frame_bytes
+                ),
+            ));
+        }
+        if len < ENVELOPE_BYTES {
+            return Err(self.error(
+                ErrorCode::MalformedFrame,
+                format!("announced frame of {len} byte(s) is shorter than an envelope"),
+            ));
+        }
+        let mut frame = vec![0u8; len];
+        let mut filled = 0usize;
+        loop {
+            match self.fill(&mut frame, &mut filled) {
+                Fill::Done => return Ok(Some(frame)),
+                Fill::Eof | Fill::Failed => return Ok(None),
+                Fill::Timeout => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances `filled` toward `buf.len()`, mapping socket conditions to
+    /// [`Fill`] outcomes.
+    fn fill(&mut self, buf: &mut [u8], filled: &mut usize) -> Fill {
+        while *filled < buf.len() {
+            match self.stream.read(&mut buf[*filled..]) {
+                Ok(0) => return Fill::Eof,
+                Ok(n) => *filled += n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Fill::Timeout
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Fill::Failed,
+            }
+        }
+        Fill::Done
+    }
+
+    /// Writes a response; `false` means the peer is gone.
+    fn send(&mut self, response: &Response) -> bool {
+        write_message(&mut self.stream, &encode_response(response)).is_ok()
+    }
+
+    /// Sends a final response, then closes *gracefully*: half-close the
+    /// write side and drain whatever the peer already pipelined, so the
+    /// kernel delivers the last frame instead of clobbering it with an RST
+    /// (closing a socket with unread bytes resets the connection and
+    /// discards data the peer has not consumed yet).
+    fn send_and_close(mut self, response: &Response) {
+        let _ = self.send(response);
+        let _ = self.stream.shutdown(Shutdown::Write);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut scratch = [0u8; 4096];
+        while Instant::now() < deadline {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn error(&self, code: ErrorCode, message: String) -> Response {
+        Response::Error { epoch: self.store.epoch(), code, message }
+    }
+
+    /// The snapshot queries answer from, or the typed empty-store error.
+    fn snapshot(&self) -> Result<Snapshot, Response> {
+        self.store.snapshot().ok_or_else(|| {
+            self.error(ErrorCode::EmptyStore, "no synopsis has been published yet".into())
+        })
+    }
+
+    /// Maps one decoded request to its response. Total: every failure is a
+    /// typed error frame, never a panic.
+    fn respond(&self, request: Request) -> Response {
+        match request {
+            Request::CdfBatch(xs) => match self.snapshot() {
+                Err(e) => e,
+                Ok(snapshot) => {
+                    let mut indices = Vec::with_capacity(xs.len());
+                    for &x in &xs {
+                        match usize::try_from(x) {
+                            Ok(index) => indices.push(index),
+                            Err(_) => {
+                                return self.error(
+                                    ErrorCode::InvalidQuery,
+                                    format!("index {x} does not fit this platform's usize"),
+                                )
+                            }
+                        }
+                    }
+                    match self.executor.cdf_batch(snapshot.synopsis(), &indices) {
+                        Ok(values) => Response::CdfBatch { epoch: snapshot.epoch(), values },
+                        Err(e) => self.error(ErrorCode::InvalidQuery, e.to_string()),
+                    }
+                }
+            },
+            Request::QuantileBatch(ps) => match self.snapshot() {
+                Err(e) => e,
+                Ok(snapshot) => match self.executor.quantile_batch(snapshot.synopsis(), &ps) {
+                    Ok(indices) => Response::QuantileBatch {
+                        epoch: snapshot.epoch(),
+                        indices: indices.into_iter().map(|i| i as u64).collect(),
+                    },
+                    Err(e) => self.error(ErrorCode::InvalidQuery, e.to_string()),
+                },
+            },
+            Request::MassBatch(raw) => match self.snapshot() {
+                Err(e) => e,
+                Ok(snapshot) => {
+                    let mut ranges = Vec::with_capacity(raw.len());
+                    for &(start, end) in &raw {
+                        let interval = usize::try_from(start)
+                            .ok()
+                            .zip(usize::try_from(end).ok())
+                            .and_then(|(s, e)| Interval::new(s, e).ok());
+                        match interval {
+                            Some(interval) => ranges.push(interval),
+                            None => {
+                                return self.error(
+                                    ErrorCode::InvalidQuery,
+                                    format!("[{start}, {end}] is not a valid index range"),
+                                )
+                            }
+                        }
+                    }
+                    match self.executor.mass_batch(snapshot.synopsis(), &ranges) {
+                        Ok(masses) => Response::MassBatch { epoch: snapshot.epoch(), masses },
+                        Err(e) => self.error(ErrorCode::InvalidQuery, e.to_string()),
+                    }
+                }
+            },
+            Request::Stats => {
+                let snapshot = self.store.snapshot();
+                Response::Stats {
+                    epoch: snapshot.as_ref().map_or_else(|| self.store.epoch(), |s| s.epoch()),
+                    synopsis: snapshot.map(|s| SynopsisStats {
+                        domain: s.domain() as u64,
+                        pieces: s.num_pieces() as u64,
+                        target_k: s.target_k() as u64,
+                        total_mass: s.total_mass(),
+                        estimator: s.estimator().to_string(),
+                    }),
+                }
+            }
+            Request::Publish(blob) => match decode_synopsis(&blob) {
+                Ok(synopsis) => Response::Updated { epoch: self.store.publish(synopsis) },
+                Err(e) => self.error(ErrorCode::InvalidSynopsis, e.to_string()),
+            },
+            Request::UpdateMerge { budget, synopsis } => {
+                let Ok(budget) = usize::try_from(budget) else {
+                    return self.error(
+                        ErrorCode::InvalidSynopsis,
+                        format!("budget {budget} does not fit this platform's usize"),
+                    );
+                };
+                match decode_synopsis(&synopsis) {
+                    Ok(chunk) => match self.store.update_merge(&chunk, budget) {
+                        Ok(epoch) => Response::Updated { epoch },
+                        Err(e) => self.error(ErrorCode::InvalidSynopsis, e.to_string()),
+                    },
+                    Err(e) => self.error(ErrorCode::InvalidSynopsis, e.to_string()),
+                }
+            }
+        }
+    }
+}
+
+/// The typed error code a request-decode failure maps to.
+fn decode_error_code(e: &CodecError) -> ErrorCode {
+    match e {
+        CodecError::UnsupportedVersion { .. } => ErrorCode::UnsupportedVersion,
+        CodecError::InvalidTag { what: "request op", .. } => ErrorCode::UnknownOp,
+        _ => ErrorCode::MalformedFrame,
+    }
+}

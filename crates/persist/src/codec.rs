@@ -32,6 +32,7 @@ use hist_core::{
 
 use crate::crc32::crc32;
 use crate::error::{CodecError, CodecResult};
+use crate::wire::{put_f64, put_u16, put_u32, put_u64, Reader};
 
 /// Magic bytes opening a single-synopsis container.
 pub const SYNOPSIS_MAGIC: [u8; 8] = *b"AHISTSYN";
@@ -95,28 +96,6 @@ fn intern_name(name: &str) -> &'static str {
     KNOWN_NAMES.iter().find(|known| **known == name).copied().unwrap_or(FALLBACK_NAME)
 }
 
-// ---------------------------------------------------------------------------
-// Little-endian write primitives.
-// ---------------------------------------------------------------------------
-
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f64(out: &mut Vec<u8>, v: f64) {
-    // Stored as raw IEEE-754 bits: round-trips every finite value exactly,
-    // which is what makes decoded query results bit-identical.
-    out.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-
 /// Opens a frame: magic + version. Closed by [`seal`].
 fn open_frame(magic: [u8; 8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
@@ -130,82 +109,6 @@ fn seal(mut out: Vec<u8>) -> Vec<u8> {
     let crc = crc32(&out);
     put_u32(&mut out, crc);
     out
-}
-
-// ---------------------------------------------------------------------------
-// Bounded read primitives.
-// ---------------------------------------------------------------------------
-
-/// A cursor over the (CRC-verified) payload bytes. Every read is
-/// bounds-checked; `take` is the single point all reads funnel through.
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    fn take(&mut self, n: usize) -> CodecResult<&'a [u8]> {
-        if n > self.remaining() {
-            return Err(CodecError::Truncated { needed: n, available: self.remaining() });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> CodecResult<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> CodecResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-
-    fn u64(&mut self) -> CodecResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-
-    fn f64(&mut self) -> CodecResult<f64> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    /// A `u64` field that must fit the platform's `usize`.
-    fn usize64(&mut self, what: &'static str) -> CodecResult<usize> {
-        usize::try_from(self.u64()?).map_err(|_| CodecError::ValueOutOfRange { what })
-    }
-
-    /// An element count whose elements occupy at least `min_element_bytes`
-    /// each: bounded by the bytes actually remaining, so a hostile count can
-    /// never drive an over-allocation.
-    fn count(&mut self, what: &'static str, min_element_bytes: usize) -> CodecResult<usize> {
-        let count = self.u64()?;
-        let limit = (self.remaining() / min_element_bytes.max(1)) as u64;
-        if count > limit {
-            return Err(CodecError::CountOutOfBounds { what, count, limit });
-        }
-        Ok(count as usize)
-    }
-
-    /// A length-prefixed byte section.
-    fn section(&mut self, what: &'static str) -> CodecResult<&'a [u8]> {
-        let len = self.count(what, 1)?;
-        self.take(len)
-    }
-
-    fn finish(&self) -> CodecResult<()> {
-        if self.remaining() > 0 {
-            return Err(CodecError::TrailingBytes { remaining: self.remaining() });
-        }
-        Ok(())
-    }
 }
 
 /// Verifies the frame (magic, version, CRC trailer) and returns the payload.

@@ -64,6 +64,7 @@ pub mod codec;
 pub mod crc32;
 pub mod error;
 pub mod file;
+pub mod wire;
 
 pub use codec::{
     decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_store_snapshot,

@@ -66,6 +66,15 @@ impl QueryExecutor {
         self.run_sharded(synopsis, ps, |synopsis, shard| synopsis.quantile_batch(shard))
     }
 
+    /// Pointwise [`Synopsis::cdf`] over an index batch, sharded across the
+    /// pool: same results, same input order, same error on the first
+    /// out-of-domain index.
+    pub fn cdf_batch(&self, synopsis: &Arc<Synopsis>, xs: &[usize]) -> Result<Vec<f64>> {
+        self.run_sharded(synopsis, xs, |synopsis, shard| {
+            shard.iter().map(|&x| synopsis.cdf(x)).collect()
+        })
+    }
+
     /// Splits `queries` into one contiguous shard per worker, runs `run` on
     /// each shard concurrently and concatenates the results in shard (=
     /// input) order. Contiguous sharding keeps error reporting deterministic:
@@ -80,6 +89,13 @@ impl QueryExecutor {
         Q: Copy + Send + 'static,
         R: Send + 'static,
     {
+        // Explicit empty-batch early return: `threads.min(0)` used to fall
+        // into the serial path below, which still paid a full dynamic
+        // dispatch to answer nothing — and hid the degenerate case from the
+        // sharding logic. An empty batch has exactly one right answer.
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
         let shards = self.pool.threads().min(queries.len());
         if shards <= 1 {
             return run(synopsis, queries);
@@ -146,6 +162,9 @@ mod tests {
                 synopsis.quantile_batch(&ps).unwrap(),
                 "{threads} threads"
             );
+            let xs: Vec<usize> = (0..301).map(|i| (i * 17) % 1024).collect();
+            let direct: Vec<f64> = xs.iter().map(|&x| synopsis.cdf(x).unwrap()).collect();
+            assert_eq!(executor.cdf_batch(&synopsis, &xs).unwrap(), direct, "{threads} threads");
         }
     }
 
@@ -161,6 +180,31 @@ mod tests {
             executor.mass_batch(&synopsis, &ranges).unwrap(),
             synopsis.mass_batch(&ranges).unwrap()
         );
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_across_every_pool_size() {
+        // Regression for the empty-slice sharding path: every pool size must
+        // answer empty batches with an empty vector (no pool dispatch) and
+        // singleton batches identically to the direct call.
+        let synopsis = shared_synopsis(128);
+        for threads in [1usize, 2, 4, 8] {
+            let executor = QueryExecutor::new(threads);
+            assert_eq!(executor.mass_batch(&synopsis, &[]).unwrap(), Vec::<f64>::new());
+            assert_eq!(executor.quantile_batch(&synopsis, &[]).unwrap(), Vec::<usize>::new());
+            let one_range = [Interval::new(7, 90).unwrap()];
+            assert_eq!(
+                executor.mass_batch(&synopsis, &one_range).unwrap(),
+                synopsis.mass_batch(&one_range).unwrap(),
+                "{threads} threads"
+            );
+            let one_p = [0.625];
+            assert_eq!(
+                executor.quantile_batch(&synopsis, &one_p).unwrap(),
+                synopsis.quantile_batch(&one_p).unwrap(),
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -81,7 +81,13 @@
 //!   versioned, CRC-checked binary codec ([`encode_synopsis`] /
 //!   [`decode_synopsis`], panic-free on arbitrary bytes) with file helpers
 //!   ([`save_synopsis`] / [`load_synopsis`]), powering store snapshots on
-//!   disk and streaming checkpoint/resume.
+//!   disk and streaming checkpoint/resume;
+//! * [`net`] (`hist-net`) — the network serving layer: a length-prefixed,
+//!   CRC-trailed binary TCP protocol over the synopsis store
+//!   ([`HistServer`] / [`HistClient`]), with batch query ops, admin
+//!   publish/merge ops shipping synopses in the `AHISTSYN` encoding, typed
+//!   error frames, and hostile-peer bounds (max frame size, per-connection
+//!   request budgets).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every table and figure of the paper.
@@ -89,6 +95,7 @@
 pub use hist_baselines as baselines;
 pub use hist_core as core;
 pub use hist_datasets as datasets;
+pub use hist_net as net;
 pub use hist_persist as persist;
 pub use hist_poly as poly;
 pub use hist_sampling as sampling;
@@ -100,6 +107,9 @@ pub use hist_baselines::{DualGreedy, EqualMass, EqualWidth, ExactDp, GksQuantile
 pub use hist_core::{
     Estimator, EstimatorBuilder, FastMerging, FittedModel, GreedyMerging, Hierarchical, Signal,
     Synopsis,
+};
+pub use hist_net::{
+    ErrorCode, HistClient, HistServer, NetError, ServerConfig, Stamped, StoreStats, SynopsisStats,
 };
 pub use hist_persist::{
     decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_store_snapshot,

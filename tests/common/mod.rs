@@ -10,12 +10,26 @@
 // Each test binary compiles its own copy of this module and uses a subset.
 #![allow(dead_code)]
 
+use std::sync::{Mutex, MutexGuard};
+
 use approx_hist::{Estimator, EstimatorBuilder, Signal};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The shared piece budget of the fixture suite.
 pub const FIXTURE_K: usize = 5;
+
+/// Serializes the saturating stress harnesses inside one test binary: each
+/// spawns a dozen busy threads, and running two at once on a small machine
+/// starves the writers of their deadline-bound progress quotas. (Each test
+/// binary compiles its own copy of this gate; binaries themselves already
+/// run sequentially under `cargo test`.)
+static STRESS_GATE: Mutex<()> = Mutex::new(());
+
+/// Claims the stress gate, surviving a poisoning panic in an earlier holder.
+pub fn stress_gate() -> MutexGuard<'static, ()> {
+    STRESS_GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Deterministic noise values in `[-amplitude, amplitude]`, seeded.
 pub fn seeded_noise(seed: u64, n: usize, amplitude: f64) -> Vec<f64> {

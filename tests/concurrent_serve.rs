@@ -12,7 +12,7 @@
 mod common;
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use approx_hist::{
@@ -32,11 +32,6 @@ const RUN_FOR: Duration = Duration::from_millis(900);
 /// a heavily loaded machine.
 const MIN_MERGES_PER_WRITER: usize = 25;
 const CHUNK_DOMAIN: usize = 96;
-
-/// Serializes the two saturating stress harnesses in this binary: each spawns
-/// a dozen busy threads, and running both at once on a small machine starves
-/// the writers of their deadline-bound merge quotas.
-static STRESS_GATE: Mutex<()> = Mutex::new(());
 
 /// A pool of pre-fitted chunk synopses for one writer, so the write loop
 /// measures store contention rather than fit time.
@@ -170,7 +165,7 @@ fn streaming_checkpoints_resume_to_bit_identical_output() {
 
 #[test]
 fn saved_store_reopens_consistently_under_concurrent_stress() {
-    let _gate = STRESS_GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _gate = common::stress_gate();
     let dir = std::env::temp_dir().join("approx-hist-tests").join("stress-reopen");
     std::fs::create_dir_all(&dir).expect("scratch dir");
     let warm_path = dir.join("warm.snapshot");
@@ -285,7 +280,7 @@ fn saved_store_reopens_consistently_under_concurrent_stress() {
 
 #[test]
 fn concurrent_writers_and_readers_never_observe_a_torn_snapshot() {
-    let _gate = STRESS_GATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _gate = common::stress_gate();
     let store = Arc::new(SynopsisStore::with_initial(chunk_pool(99).pop().unwrap()));
     let executor = Arc::new(QueryExecutor::new(4));
     let done = Arc::new(AtomicBool::new(false));

@@ -1,0 +1,148 @@
+//! Golden *binary* fixtures for the wire protocol: canonical request and
+//! response messages committed under `tests/fixtures/net_*_v1.bin`, decoded
+//! and checked against their construction values — so any accidental change
+//! to the on-wire format (field order, widths, endianness, opcode values,
+//! CRC parameterization, length-prefix semantics) fails CI even while
+//! encode/decode still round-trip each other.
+//!
+//! The publish/update fixtures nest the *committed persist fixture*
+//! (`synopsis_merging_steps_v1.bin`) as their synopsis blob, pinning the
+//! protocol-version ↔ persist-format coupling in bytes: protocol v1 frames
+//! carry format v1 containers.
+//!
+//! If one of these fails after an *intentional* format change, bump
+//! `PROTOCOL_VERSION`, regenerate with
+//! `cargo test --test net_golden -- --ignored --nocapture`, and commit the
+//! new fixtures (with bumped file names) in the same change.
+
+use std::path::PathBuf;
+
+use approx_hist::net::{
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
+    SynopsisStats, PROTOCOL_VERSION,
+};
+use approx_hist::persist::FORMAT_VERSION;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// The committed persist fixture, reused as the synopsis blob of the admin
+/// ops — the wire protocol ships exactly what the file format stores.
+fn synopsis_blob() -> Vec<u8> {
+    std::fs::read(fixture_path("synopsis_merging_steps_v1.bin"))
+        .expect("the persist golden fixture is committed")
+}
+
+/// Every request fixture: deterministic construction values.
+fn golden_requests() -> Vec<(&'static str, Request)> {
+    vec![
+        ("net_cdf_request_v1.bin", Request::CdfBatch(vec![0, 7, 128, 255])),
+        ("net_quantile_request_v1.bin", Request::QuantileBatch(vec![0.0, 0.25, 0.5, 0.75, 1.0])),
+        ("net_mass_request_v1.bin", Request::MassBatch(vec![(0, 63), (64, 255), (10, 10)])),
+        ("net_stats_request_v1.bin", Request::Stats),
+        ("net_publish_request_v1.bin", Request::Publish(synopsis_blob())),
+        (
+            "net_update_request_v1.bin",
+            Request::UpdateMerge { budget: 11, synopsis: synopsis_blob() },
+        ),
+    ]
+}
+
+/// Every response fixture: deterministic construction values.
+fn golden_responses() -> Vec<(&'static str, Response)> {
+    vec![
+        (
+            "net_cdf_response_v1.bin",
+            Response::CdfBatch { epoch: 7, values: vec![0.0, 0.109375, 0.6015625, 1.0] },
+        ),
+        (
+            "net_quantile_response_v1.bin",
+            Response::QuantileBatch { epoch: 7, indices: vec![0, 79, 114, 207, 236] },
+        ),
+        (
+            "net_mass_response_v1.bin",
+            Response::MassBatch { epoch: 7, masses: vec![135.0, 825.0, 1.5] },
+        ),
+        (
+            "net_stats_response_v1.bin",
+            Response::Stats {
+                epoch: 7,
+                synopsis: Some(SynopsisStats {
+                    domain: 256,
+                    pieces: 13,
+                    target_k: 5,
+                    total_mass: 960.0,
+                    estimator: "merging".into(),
+                }),
+            },
+        ),
+        ("net_updated_response_v1.bin", Response::Updated { epoch: 8 }),
+        (
+            "net_error_response_v1.bin",
+            Response::Error {
+                epoch: 7,
+                code: ErrorCode::InvalidQuery,
+                message: "index 900 out of domain 256".into(),
+            },
+        ),
+    ]
+}
+
+#[test]
+#[ignore = "fixture-regeneration helper, not a regression test"]
+fn regenerate_net_fixtures() {
+    for (name, request) in golden_requests() {
+        let bytes = encode_request(&request);
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        println!("{name}: {} bytes", bytes.len());
+    }
+    for (name, response) in golden_responses() {
+        let bytes = encode_response(&response);
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        println!("{name}: {} bytes", bytes.len());
+    }
+}
+
+#[test]
+fn committed_request_frames_still_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_requests() {
+        let committed = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+        let decoded = decode_request(&committed)
+            .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
+        assert_eq!(decoded, expected, "{name}: decoded request changed");
+        assert_eq!(encode_request(&expected), committed, "{name}: re-encoded bytes diverged");
+    }
+}
+
+#[test]
+fn committed_response_frames_still_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_responses() {
+        let committed = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+        let decoded = decode_response(&committed)
+            .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
+        assert_eq!(decoded, expected, "{name}: decoded response changed");
+        assert_eq!(encode_response(&expected), committed, "{name}: re-encoded bytes diverged");
+    }
+}
+
+#[test]
+fn protocol_version_is_tied_to_the_persist_format_version() {
+    // Protocol frames carry AHISTSYN blobs: v1 of the protocol pins v1 of
+    // the persist format. Bump the fixture file names with either version.
+    assert_eq!(PROTOCOL_VERSION, 1, "bump the net fixture file names with the protocol version");
+    assert_eq!(
+        PROTOCOL_VERSION, FORMAT_VERSION,
+        "the wire protocol and the persist format version must move together"
+    );
+    // The committed publish fixture begins, after its frame header, with a
+    // nested AHISTSYN container — the coupling is visible in the bytes.
+    let publish = std::fs::read(fixture_path("net_publish_request_v1.bin")).unwrap();
+    let needle = b"AHISTSYN";
+    assert!(
+        publish.windows(needle.len()).any(|w| w == needle),
+        "the publish fixture must nest an AHISTSYN container"
+    );
+}
