@@ -2,12 +2,21 @@
 //! to `BENCH_net.json` at the workspace root (override with
 //! `HIST_BENCH_NET_OUT`).
 //!
-//! One `HistServer` on an ephemeral loopback port serves an `n = 2^16`
-//! seeded step synopsis; one blocking `HistClient` issues quantile and mass
-//! batches of size 1, 64 and 4096. For each (op, batch size) the bin reports
-//! requests/s, queries/s and p50/p99 request latency — the round-trip cost
-//! of the wire (framing, CRC, syscalls) amortized over growing batches. A
-//! correctness gate cross-checks every batch against the local synopsis
+//! Two sweeps share one seeded workload generator:
+//!
+//! * **Batch sweep** — one `HistServer` on an ephemeral loopback port serves
+//!   an `n = 2^16` seeded step synopsis at the default key; one blocking
+//!   `HistClient` issues quantile and mass batches of size 1, 64 and 4096.
+//!   For each (op, batch size) the bin reports requests/s, queries/s and
+//!   p50/p99 request latency — the round-trip cost of the wire (framing,
+//!   CRC, syscalls) amortized over growing batches.
+//! * **Keyed sweep** — store maps of 1, 1 000 and 100 000 keys, each key
+//!   serving a small seeded synopsis; the client retargets a seeded random
+//!   key before every request. The spread across key counts isolates the
+//!   cost of the keyed lookup path (shard hash + HashMap probe + key section
+//!   on the wire) from the query itself.
+//!
+//! A correctness gate cross-checks every batch against the local synopsis
 //! bit for bit before timing starts.
 
 use std::io::Write as _;
@@ -16,7 +25,7 @@ use std::time::Instant;
 
 use approx_hist::{
     Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, Interval, ServerConfig,
-    Signal, Synopsis, SynopsisStore,
+    Signal, StoreMap, Synopsis,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,6 +34,10 @@ const N: usize = 1 << 16;
 const K: usize = 32;
 const SEED: u64 = 2015;
 const BATCH_SIZES: [usize; 3] = [1, 64, 4096];
+const KEY_COUNTS: [usize; 3] = [1, 1_000, 100_000];
+/// Batch size of every keyed-sweep request (small: the lookup is the point).
+const KEYED_BATCH: usize = 16;
+
 /// Requests per (op, batch size) measurement, scaled down for big batches.
 fn requests_for(batch: usize) -> usize {
     match batch {
@@ -44,6 +57,17 @@ fn seeded_synopsis() -> Synopsis {
         .expect("valid fit")
 }
 
+/// A small per-key synopsis for the keyed sweep (cloned across keys: the
+/// sweep measures the lookup path, not per-key fit variety).
+fn keyed_synopsis() -> Synopsis {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5EED);
+    let values: Vec<f64> =
+        (0..1024).map(|i| ((i / 128) % 3) as f64 + 1.0 + rng.gen_range(0.0..0.5)).collect();
+    GreedyMerging::new(EstimatorBuilder::new(8))
+        .fit(&Signal::from_dense(values).expect("finite signal"))
+        .expect("valid fit")
+}
+
 /// Latency percentiles over a sorted sample, by nearest-rank.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
@@ -51,7 +75,8 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 struct Measurement {
-    op: &'static str,
+    op: String,
+    keys: usize,
     batch: usize,
     requests: usize,
     requests_per_s: f64,
@@ -61,7 +86,8 @@ struct Measurement {
 }
 
 fn measure(
-    op: &'static str,
+    op: &str,
+    keys: usize,
     batch: usize,
     requests: usize,
     mut round_trip: impl FnMut() -> usize,
@@ -82,7 +108,8 @@ fn measure(
     assert_eq!(answered, requests * batch, "{op}/{batch}: short answers");
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let m = Measurement {
-        op,
+        op: op.to_string(),
+        keys,
         batch,
         requests,
         requests_per_s: requests as f64 / elapsed,
@@ -91,16 +118,17 @@ fn measure(
         p99_us: percentile(&latencies, 0.99),
     };
     println!(
-        "{op:>8} batch {batch:>4}: {:>9.0} req/s {:>11.0} q/s | p50 {:>7.1}us p99 {:>7.1}us",
+        "{op:>14} keys {keys:>6} batch {batch:>4}: {:>9.0} req/s {:>11.0} q/s | p50 {:>7.1}us p99 {:>7.1}us",
         m.requests_per_s, m.queries_per_s, m.p50_us, m.p99_us
     );
     m
 }
 
-fn main() {
+/// The original single-store sweep: growing batches at the default key.
+fn batch_sweep(results: &mut Vec<Measurement>) {
     let synopsis = seeded_synopsis();
-    let store = Arc::new(SynopsisStore::with_initial(synopsis.clone()));
-    let server = HistServer::bind("127.0.0.1:0", store, ServerConfig::default())
+    let map = Arc::new(StoreMap::with_initial(synopsis.clone()));
+    let server = HistServer::bind("127.0.0.1:0", map, ServerConfig::default())
         .expect("ephemeral loopback bind");
     let mut client = HistClient::connect(server.local_addr()).expect("connect");
     println!(
@@ -111,7 +139,6 @@ fn main() {
 
     // Seeded query workloads, one pool per batch size.
     let mut rng = StdRng::seed_from_u64(SEED ^ 0x0E7);
-    let mut results = Vec::new();
     for batch in BATCH_SIZES {
         let ps: Vec<f64> = (0..batch).map(|_| rng.gen_range(0.0..=1.0)).collect();
         let ranges: Vec<Interval> = (0..batch)
@@ -135,13 +162,53 @@ fn main() {
         );
 
         let requests = requests_for(batch);
-        results.push(measure("quantile", batch, requests, || {
+        results.push(measure("quantile", 1, batch, requests, || {
             client.quantile_batch(&ps).expect("quantile batch").value.len()
         }));
-        results.push(measure("mass", batch, requests, || {
+        results.push(measure("mass", 1, batch, requests, || {
             client.mass_batch(&ranges).expect("mass batch").value.len()
         }));
     }
+}
+
+/// The keyed sweep: fixed small batches against maps of growing key counts,
+/// retargeting a seeded random key before every request.
+fn keyed_sweep(results: &mut Vec<Measurement>) {
+    let synopsis = keyed_synopsis();
+    let ps: Vec<f64> = {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0xF00D);
+        (0..KEYED_BATCH).map(|_| rng.gen_range(0.0..=1.0)).collect()
+    };
+    let local = synopsis.quantile_batch(&ps).expect("local keyed quantiles");
+
+    for keys in KEY_COUNTS {
+        // Populate in-process: the sweep measures serving, not ingest.
+        let map = Arc::new(StoreMap::new());
+        for i in 0..keys {
+            map.publish(&format!("tenant/{i:06}"), synopsis.clone()).expect("publish");
+        }
+        let server = HistServer::bind("127.0.0.1:0", Arc::clone(&map), ServerConfig::default())
+            .expect("ephemeral loopback bind");
+        let mut client = HistClient::connect(server.local_addr()).expect("connect");
+
+        // Correctness gate on a sampled key.
+        client.set_key(&format!("tenant/{:06}", keys / 2)).expect("valid key");
+        assert_eq!(client.quantile_batch(&ps).expect("keyed gate").value, local, "keyed gate");
+
+        let mut rng = StdRng::seed_from_u64(SEED ^ keys as u64);
+        let requests = 1_000;
+        results.push(measure("keyed_quantile", keys, KEYED_BATCH, requests, || {
+            let key = format!("tenant/{:06}", rng.gen_range(0..keys));
+            client.set_key(&key).expect("valid key");
+            client.quantile_batch(&ps).expect("keyed quantile batch").value.len()
+        }));
+    }
+}
+
+fn main() {
+    let mut results = Vec::new();
+    batch_sweep(&mut results);
+    keyed_sweep(&mut results);
 
     let entries: Vec<String> = results
         .iter()
@@ -149,6 +216,7 @@ fn main() {
             format!(
                 r#"    {{
       "op": "{}",
+      "keys": {},
       "batch": {},
       "requests": {},
       "requests_per_s": {:.1},
@@ -156,7 +224,14 @@ fn main() {
       "p50_latency_us": {:.2},
       "p99_latency_us": {:.2}
     }}"#,
-                m.op, m.batch, m.requests, m.requests_per_s, m.queries_per_s, m.p50_us, m.p99_us
+                m.op,
+                m.keys,
+                m.batch,
+                m.requests,
+                m.requests_per_s,
+                m.queries_per_s,
+                m.p50_us,
+                m.p99_us
             )
         })
         .collect();
@@ -168,6 +243,7 @@ fn main() {
   "seed": {SEED},
   "transport": "tcp loopback, one blocking connection",
   "batch_sizes": [1, 64, 4096],
+  "key_counts": [1, 1000, 100000],
   "measurements": [
 {}
   ]

@@ -1,21 +1,36 @@
 //! The blocking client: one TCP connection, batch helpers mirroring the
-//! [`Synopsis`](hist_core::Synopsis) query API.
+//! [`Synopsis`](hist_core::Synopsis) query API, addressed at one key of the
+//! server's multi-tenant store map.
 //!
-//! Every answer comes back [`Stamped`] with the store epoch it was computed
-//! at, so callers can assert freshness and ordering: on a single connection
-//! the server hands out epochs monotonically, and two responses stamped with
-//! the *same* epoch were answered by the *same* immutable snapshot.
+//! Every answer comes back [`Stamped`] with the epoch it was computed at
+//! (the addressed key's epoch; store-wide answers carry the largest per-key
+//! epoch), so callers can assert freshness and ordering: per key the server
+//! hands out epochs monotonically, and two responses stamped with the *same*
+//! epoch were answered by the *same* immutable snapshot.
+//!
+//! The client starts out addressing [`DEFAULT_KEY`]; [`HistClient::with_key`]
+//! / [`HistClient::set_key`] retarget every subsequent query and admin call.
+//! [`HistClient::with_protocol_version`] pins the wire version — v1 speaks
+//! the legacy keyless layout (default key only, no store-wide ops), which is
+//! how the compat suite drives a v2 server with v1 frames.
 
 use std::net::{TcpStream, ToSocketAddrs};
 
 use hist_core::{Interval, Synopsis};
-use hist_persist::encode_synopsis;
+use hist_persist::{decode_synopsis, encode_synopsis, CodecError};
+use hist_serve::{MergedView, DEFAULT_KEY};
 
 use crate::error::{NetError, NetResult};
-use crate::frame::{check_envelope, read_message, write_message, DEFAULT_MAX_FRAME_BYTES};
-use crate::proto::{decode_response_frame, encode_request, Request, Response, SynopsisStats};
+use crate::frame::{
+    check_envelope, read_message, write_message, DEFAULT_MAX_FRAME_BYTES, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
+use crate::proto::{
+    decode_response_frame, encode_request_versioned, Request, Response, StoreWideStats,
+    SynopsisStats,
+};
 
-/// A value together with the store epoch it was computed at.
+/// A value together with the epoch it was computed at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Stamped<T> {
     /// Epoch of the snapshot (or publish) that produced `value`.
@@ -24,12 +39,12 @@ pub struct Stamped<T> {
     pub value: T,
 }
 
-/// Store statistics as reported by the server.
+/// Per-key store statistics as reported by the server.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreStats {
-    /// Current store epoch (0 before the first publish).
+    /// The addressed key's epoch (0 before its first publish).
     pub epoch: u64,
-    /// Summary of the served synopsis, or `None` for an empty store.
+    /// Summary of the key's served synopsis, or `None` if it serves nothing.
     pub synopsis: Option<SynopsisStats>,
 }
 
@@ -38,7 +53,7 @@ pub struct StoreStats {
 /// ```no_run
 /// use hist_net::HistClient;
 ///
-/// let mut client = HistClient::connect("127.0.0.1:4715").unwrap();
+/// let mut client = HistClient::connect("127.0.0.1:4715").unwrap().with_key("api/login").unwrap();
 /// let stats = client.stats().unwrap();
 /// println!("serving epoch {}", stats.epoch);
 /// let quantiles = client.quantile_batch(&[0.25, 0.5, 0.75]).unwrap();
@@ -48,14 +63,22 @@ pub struct StoreStats {
 pub struct HistClient {
     stream: TcpStream,
     max_frame_bytes: usize,
+    key: String,
+    version: u16,
 }
 
 impl HistClient {
-    /// Connects to a server.
+    /// Connects to a server, addressing [`DEFAULT_KEY`] at the current
+    /// protocol version.
     pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES })
+        Ok(Self {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            key: DEFAULT_KEY.to_owned(),
+            version: PROTOCOL_VERSION,
+        })
     }
 
     /// Caps the response frames this client accepts. When mirroring the
@@ -77,23 +100,67 @@ impl HistClient {
         Ok(self)
     }
 
+    /// Retargets every subsequent query and admin call at `key` (builder
+    /// form). Rejects keys that violate the encoding rules.
+    pub fn with_key(mut self, key: &str) -> NetResult<Self> {
+        self.set_key(key)?;
+        Ok(self)
+    }
+
+    /// Retargets every subsequent query and admin call at `key`.
+    pub fn set_key(&mut self, key: &str) -> NetResult<()> {
+        hist_persist::validate_key(key).map_err(NetError::Frame)?;
+        key.clone_into(&mut self.key);
+        Ok(())
+    }
+
+    /// The key this client currently addresses.
+    #[inline]
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Pins the wire protocol version this client speaks (builder form).
+    /// Version 1 is the legacy keyless layout: it only addresses
+    /// [`DEFAULT_KEY`] and cannot express the store-wide ops
+    /// ([`list_keys`](Self::list_keys) and friends) — those return a typed
+    /// encode error instead of lying on the wire.
+    pub fn with_protocol_version(mut self, version: u16) -> NetResult<Self> {
+        if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+            return Err(NetError::Frame(CodecError::UnsupportedVersion {
+                found: version,
+                supported: PROTOCOL_VERSION,
+            }));
+        }
+        self.version = version;
+        Ok(self)
+    }
+
+    /// The wire protocol version this client speaks.
+    #[inline]
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
     /// One request/response exchange.
     fn round_trip(&mut self, request: &Request) -> NetResult<Response> {
-        write_message(&mut self.stream, &encode_request(request))?;
+        let message = encode_request_versioned(self.version, request).map_err(NetError::Frame)?;
+        write_message(&mut self.stream, &message)?;
         let frame =
             read_message(&mut self.stream, self.max_frame_bytes)?.ok_or(NetError::Disconnected)?;
-        let (op, payload) = check_envelope(&frame)?;
-        let response = decode_response_frame(op, payload)?;
+        let (version, op, payload) = check_envelope(&frame)?;
+        let response = decode_response_frame(version, op, payload)?;
         if let Response::Error { epoch, code, message } = response {
             return Err(NetError::Remote { epoch, code, message });
         }
         Ok(response)
     }
 
-    /// The cdf at each index, answered from one snapshot —
-    /// bit-identical to [`Synopsis::cdf`] on the published synopsis.
+    /// The cdf at each index, answered from one snapshot of the addressed
+    /// key — bit-identical to [`Synopsis::cdf`] on the published synopsis.
     pub fn cdf_batch(&mut self, xs: &[usize]) -> NetResult<Stamped<Vec<f64>>> {
-        let request = Request::CdfBatch(xs.iter().map(|&x| x as u64).collect());
+        let request =
+            Request::CdfBatch { key: self.key.clone(), xs: xs.iter().map(|&x| x as u64).collect() };
         match self.round_trip(&request)? {
             Response::CdfBatch { epoch, values } => Ok(Stamped { epoch, value: values }),
             other => Err(unexpected(&other)),
@@ -103,7 +170,8 @@ impl HistClient {
     /// The smallest index reaching each fraction — bit-identical to
     /// [`Synopsis::quantile_batch`] on the published synopsis.
     pub fn quantile_batch(&mut self, ps: &[f64]) -> NetResult<Stamped<Vec<usize>>> {
-        match self.round_trip(&Request::QuantileBatch(ps.to_vec()))? {
+        let request = Request::QuantileBatch { key: self.key.clone(), ps: ps.to_vec() };
+        match self.round_trip(&request)? {
             Response::QuantileBatch { epoch, indices } => {
                 let value = indices
                     .into_iter()
@@ -124,38 +192,90 @@ impl HistClient {
     /// The estimated mass over each range — bit-identical to
     /// [`Synopsis::mass_batch`] on the published synopsis.
     pub fn mass_batch(&mut self, ranges: &[Interval]) -> NetResult<Stamped<Vec<f64>>> {
-        let request =
-            Request::MassBatch(ranges.iter().map(|r| (r.start() as u64, r.end() as u64)).collect());
+        let request = Request::MassBatch {
+            key: self.key.clone(),
+            ranges: ranges.iter().map(|r| (r.start() as u64, r.end() as u64)).collect(),
+        };
         match self.round_trip(&request)? {
             Response::MassBatch { epoch, masses } => Ok(Stamped { epoch, value: masses }),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// The store epoch plus a summary of the served synopsis.
+    /// The addressed key's epoch plus a summary of its served synopsis
+    /// (piece count, domain, budget, mass, provenance) in one frame.
     pub fn stats(&mut self) -> NetResult<StoreStats> {
-        match self.round_trip(&Request::Stats)? {
+        match self.round_trip(&Request::Stats { key: self.key.clone() })? {
             Response::Stats { epoch, synopsis } => Ok(StoreStats { epoch, synopsis }),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Admin: replaces the served synopsis (ships it in the `AHISTSYN`
-    /// encoding). Returns the new epoch.
+    /// Store-wide summary: key count, served count, total pieces, epoch
+    /// range. (Protocol v2 only.)
+    pub fn store_stats(&mut self) -> NetResult<Stamped<StoreWideStats>> {
+        match self.round_trip(&Request::StoreStats)? {
+            Response::StoreStats { epoch, stats } => Ok(Stamped { epoch, value: stats }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Every key of the served store map, in canonical (ascending) order.
+    /// (Protocol v2 only.)
+    pub fn list_keys(&mut self) -> NetResult<Stamped<Vec<String>>> {
+        match self.round_trip(&Request::ListKeys)? {
+            Response::KeyList { epoch, keys } => Ok(Stamped { epoch, value: keys }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The merged global view: every served key's synopsis tree-merged down
+    /// to `budget` pieces, decoded back to a queryable [`Synopsis`] — the
+    /// same [`MergedView`] the in-process
+    /// [`StoreMap::merged_view`](hist_serve::StoreMap::merged_view) returns.
+    /// (Protocol v2 only.)
+    pub fn merged_view(&mut self, budget: usize) -> NetResult<MergedView> {
+        match self.round_trip(&Request::MergedView { budget: budget as u64 })? {
+            Response::MergedView { epoch, keys, synopsis } => {
+                let synopsis = decode_synopsis(&synopsis).map_err(NetError::Frame)?;
+                Ok(MergedView { epoch, keys, synopsis })
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: replaces the addressed key's served synopsis (ships it in the
+    /// `AHISTSYN` encoding), creating the key on first use. Returns the new
+    /// epoch.
     pub fn publish(&mut self, synopsis: &Synopsis) -> NetResult<u64> {
-        match self.round_trip(&Request::Publish(encode_synopsis(synopsis)))? {
+        let request =
+            Request::Publish { key: self.key.clone(), synopsis: encode_synopsis(synopsis) };
+        match self.round_trip(&request)? {
             Response::Updated { epoch } => Ok(epoch),
             other => Err(unexpected(&other)),
         }
     }
 
-    /// Admin: merges an adjacent-chunk synopsis into the served one,
-    /// re-merged down to `budget` pieces. Returns the new epoch.
+    /// Admin: merges an adjacent-chunk synopsis into the addressed key's
+    /// served one, re-merged down to `budget` pieces. Returns the new epoch.
     pub fn update_merge(&mut self, chunk: &Synopsis, budget: usize) -> NetResult<u64> {
-        let request =
-            Request::UpdateMerge { budget: budget as u64, synopsis: encode_synopsis(chunk) };
+        let request = Request::UpdateMerge {
+            key: self.key.clone(),
+            budget: budget as u64,
+            synopsis: encode_synopsis(chunk),
+        };
         match self.round_trip(&request)? {
             Response::Updated { epoch } => Ok(epoch),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Admin: evicts `key` (not necessarily the addressed one) and its
+    /// store. Returns whether the key existed, stamped with its last epoch.
+    /// (Protocol v2 only.)
+    pub fn drop_key(&mut self, key: &str) -> NetResult<Stamped<bool>> {
+        match self.round_trip(&Request::DropKey { key: key.to_owned() })? {
+            Response::Dropped { epoch, existed } => Ok(Stamped { epoch, value: existed }),
             other => Err(unexpected(&other)),
         }
     }

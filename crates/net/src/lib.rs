@@ -1,20 +1,20 @@
 //! # hist-net
 //!
 //! The network serving layer: a dependency-free `std::net` TCP protocol that
-//! puts the workspace's synopses on the wire — queries, admin updates and
-//! stats, all over one framed binary format.
+//! puts the workspace's synopses on the wire — keyed multi-tenant queries,
+//! admin updates and stats, all over one framed binary format.
 //!
 //! The ROADMAP's north star is serving heavy traffic from many users; every
 //! layer below this one (fit, merge, stream, parallel build, concurrent
 //! store, durable codec) lives inside a single process. This crate closes
-//! the loop: a [`HistServer`] runs a concurrent accept loop over the
-//! existing [`SynopsisStore`](hist_serve::SynopsisStore) (reads wait-free,
-//! writes serialized, every response stamped with the snapshot epoch), and a
-//! blocking [`HistClient`] exposes batch helpers whose answers are
-//! **bit-identical** to querying the local [`Synopsis`](hist_core::Synopsis)
-//! directly — `f64`s travel as raw IEEE-754 bits, and published synopses
-//! ship in the `hist-persist` `AHISTSYN` encoding whose decode path is
-//! already proven bit-exact.
+//! the loop: a [`HistServer`] runs a concurrent accept loop over the keyed
+//! [`StoreMap`](hist_serve::StoreMap) (one epoch/snapshot store per
+//! tenant/metric key — reads wait-free, writes serialized per key, every
+//! response stamped with the snapshot epoch), and a blocking [`HistClient`]
+//! exposes batch helpers whose answers are **bit-identical** to querying the
+//! local [`Synopsis`](hist_core::Synopsis) directly — `f64`s travel as raw
+//! IEEE-754 bits, and published synopses ship in the `hist-persist`
+//! `AHISTSYN` encoding whose decode path is already proven bit-exact.
 //!
 //! ## Wire format
 //!
@@ -24,10 +24,20 @@
 //! length u32 LE | "AHISTNET" | version u16 LE | op u8 | payload | crc32 u32 LE
 //! ```
 //!
+//! **Protocol v2** (current): every query/admin payload opens with a *key*
+//! section (length-prefixed, non-empty UTF-8, at most
+//! [`hist_persist::MAX_KEY_BYTES`] bytes) addressing one store of the map.
 //! Request ops: `CdfBatch` (0x01), `QuantileBatch` (0x02), `MassBatch`
-//! (0x03), `Stats` (0x04), `Publish` (0x10), `UpdateMerge` (0x11). Response
-//! ops mirror them (`| 0x80`), plus `Updated` (0x90) and the typed `Error`
-//! frame (0xEE). The protocol version is tied to the persist format version
+//! (0x03), `Stats` (0x04), `StoreStats` (0x05), `ListKeys` (0x06),
+//! `MergedView` (0x07), `Publish` (0x10), `UpdateMerge` (0x11), `DropKey`
+//! (0x12). Response ops mirror them (`| 0x80`), plus `Updated` (0x90),
+//! `Dropped` (0x91) and the typed `Error` frame (0xEE).
+//!
+//! **Protocol v1** (legacy) is the keyless single-store layout; the server
+//! still decodes it — a v1 frame addresses
+//! [`DEFAULT_KEY`](hist_serve::DEFAULT_KEY) — and mirrors the request's
+//! version in its answer, so unmodified v1 clients keep working against a
+//! keyed server. The version pair (persist format, wire protocol) is pinned
 //! by a compile-time assertion, because `Publish`/`UpdateMerge` payloads are
 //! `AHISTSYN` containers.
 //!
@@ -51,7 +61,7 @@
 //! use std::sync::Arc;
 //! use hist_core::{Estimator, EstimatorBuilder, GreedyMerging, Signal};
 //! use hist_net::{HistClient, HistServer, ServerConfig};
-//! use hist_serve::SynopsisStore;
+//! use hist_serve::StoreMap;
 //!
 //! let fit = |level: f64| {
 //!     let values: Vec<f64> = (0..128).map(|i| level + ((i / 64) % 2) as f64).collect();
@@ -60,11 +70,13 @@
 //!         .unwrap()
 //! };
 //!
-//! // An ephemeral loopback server over a shared store.
-//! let store = Arc::new(SynopsisStore::new());
-//! let server = HistServer::bind("127.0.0.1:0", store, ServerConfig::default()).unwrap();
+//! // An ephemeral loopback server over a shared keyed store map.
+//! let map = Arc::new(StoreMap::new());
+//! let server = HistServer::bind("127.0.0.1:0", map, ServerConfig::default()).unwrap();
 //!
-//! let mut client = HistClient::connect(server.local_addr()).unwrap();
+//! // Each tenant addresses its own key; this one serves "api/login".
+//! let mut client =
+//!     HistClient::connect(server.local_addr()).unwrap().with_key("api/login").unwrap();
 //! let first = client.publish(&fit(1.0)).unwrap();
 //! let answers = client.quantile_batch(&[0.25, 0.5, 0.75]).unwrap();
 //! assert_eq!(answers.epoch, first);
@@ -75,6 +87,9 @@
 //! let stats = client.stats().unwrap();
 //! assert_eq!(stats.epoch, second);
 //! assert_eq!(stats.synopsis.unwrap().domain, 256);
+//!
+//! // Store-wide ops see every key.
+//! assert_eq!(client.list_keys().unwrap().value, vec!["api/login".to_string()]);
 //! ```
 
 pub mod client;
@@ -86,11 +101,13 @@ pub mod server;
 pub use client::{HistClient, Stamped, StoreStats};
 pub use error::{NetError, NetResult};
 pub use frame::{
-    check_envelope, read_message, seal_message, split_message, write_message,
-    DEFAULT_MAX_FRAME_BYTES, ENVELOPE_BYTES, LENGTH_PREFIX_BYTES, NET_MAGIC, PROTOCOL_VERSION,
+    check_envelope, read_message, seal_message, seal_message_versioned, split_message,
+    write_message, DEFAULT_MAX_FRAME_BYTES, ENVELOPE_BYTES, LENGTH_PREFIX_BYTES,
+    MIN_PROTOCOL_VERSION, NET_MAGIC, PROTOCOL_VERSION,
 };
+pub use hist_serve::MergedView;
 pub use proto::{
-    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
-    SynopsisStats,
+    decode_request, decode_response, encode_request, encode_request_versioned, encode_response,
+    encode_response_versioned, ErrorCode, Request, Response, StoreWideStats, SynopsisStats,
 };
 pub use server::{HistServer, ServerConfig};

@@ -1,67 +1,136 @@
-//! Request/response messages and their payload codecs.
+//! Request/response messages and their payload codecs, for both protocol
+//! versions this build speaks.
 //!
 //! Payloads are little-endian with count-prefixed repeats, parsed through the
 //! bounded [`hist_persist::wire::Reader`] — every count is validated against
 //! the bytes actually remaining before any `Vec` is sized from it, so
 //! decoding hostile payloads is total (typed errors, no panics, no
-//! over-allocation). Synopses travel inside `Publish`/`UpdateMerge` as
-//! nested `AHISTSYN` containers, reusing the `hist-persist` codec verbatim:
-//! the server decodes them through the same validating path a file load
-//! uses, which is what makes a published synopsis answer queries
-//! bit-identically to the local original.
+//! over-allocation). Synopses travel inside `Publish`/`UpdateMerge` (and the
+//! `MergedView` answer) as nested `AHISTSYN` containers, reusing the
+//! `hist-persist` codec verbatim: the server decodes them through the same
+//! validating path a file load uses, which is what makes a published synopsis
+//! answer queries bit-identically to the local original.
 //!
-//! Every response payload opens with the store epoch the answer was computed
-//! at, so a client can order responses across reconnects and publishes.
+//! ## Versions
+//!
+//! * **v2** (current): every query/admin op opens with a *key* section — a
+//!   length-prefixed, non-empty UTF-8 tenant/metric name of at most
+//!   [`hist_persist::MAX_KEY_BYTES`] bytes — addressing one store of the
+//!   server's keyed [`StoreMap`](hist_serve::StoreMap). Four ops are
+//!   v2-only: `StoreStats`, `ListKeys`, `MergedView`, `DropKey`.
+//! * **v1** (legacy, decode + mirrored answers): the keyless single-store
+//!   layout. A v1 frame decodes as the same request addressed at
+//!   [`hist_serve::DEFAULT_KEY`], so old clients and a keyed server agree on
+//!   which store "the" store is. v2-only ops do not exist in v1: their op
+//!   bytes in a v1 frame are unknown ops, and their response kinds refuse to
+//!   encode at v1.
+//!
+//! Every response payload opens with the epoch the answer was computed at
+//! (the addressed key's epoch; store-wide answers carry the largest per-key
+//! epoch), so a client can order responses across reconnects and publishes.
 
 use hist_persist::wire::{put_f64, put_u64, Reader};
 use hist_persist::{CodecError, CodecResult};
+use hist_serve::DEFAULT_KEY;
 
-use crate::frame::{seal_message, split_message};
+use crate::frame::{seal_message_versioned, split_message, PROTOCOL_VERSION};
 
 // Request opcodes.
 const OP_CDF_BATCH: u8 = 0x01;
 const OP_QUANTILE_BATCH: u8 = 0x02;
 const OP_MASS_BATCH: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
+const OP_STORE_STATS: u8 = 0x05;
+const OP_LIST_KEYS: u8 = 0x06;
+const OP_MERGED_VIEW: u8 = 0x07;
 const OP_PUBLISH: u8 = 0x10;
 const OP_UPDATE_MERGE: u8 = 0x11;
+const OP_DROP_KEY: u8 = 0x12;
 
-// Response opcodes (request op | 0x80, plus the shared update/error ops).
+// Response opcodes (request op | 0x80, plus the shared admin/error ops).
 const OP_CDF_OK: u8 = 0x81;
 const OP_QUANTILE_OK: u8 = 0x82;
 const OP_MASS_OK: u8 = 0x83;
 const OP_STATS_OK: u8 = 0x84;
+const OP_STORE_STATS_OK: u8 = 0x85;
+const OP_LIST_KEYS_OK: u8 = 0x86;
+const OP_MERGED_VIEW_OK: u8 = 0x87;
 const OP_UPDATED: u8 = 0x90;
+const OP_DROPPED: u8 = 0x91;
 const OP_ERROR: u8 = 0xEE;
 
-/// A client request.
+/// A client request. Keyed ops address one store of the server's
+/// [`StoreMap`](hist_serve::StoreMap); protocol v1 frames decode with
+/// `key == `[`DEFAULT_KEY`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Normalized cdf at each index, answered from one snapshot.
-    CdfBatch(Vec<u64>),
+    /// Normalized cdf at each index, answered from one snapshot of `key`.
+    CdfBatch {
+        /// Addressed store.
+        key: String,
+        /// Requested indices.
+        xs: Vec<u64>,
+    },
     /// Smallest index reaching each cumulative fraction.
-    QuantileBatch(Vec<f64>),
+    QuantileBatch {
+        /// Addressed store.
+        key: String,
+        /// Requested fractions.
+        ps: Vec<f64>,
+    },
     /// Estimated mass over each inclusive `(start, end)` index range.
-    MassBatch(Vec<(u64, u64)>),
-    /// Store epoch plus a summary of the served synopsis.
-    Stats,
-    /// Admin: replace the served synopsis with the shipped `AHISTSYN` blob.
-    Publish(Vec<u8>),
-    /// Admin: merge the shipped adjacent-chunk synopsis into the served one,
-    /// re-merged down to `budget` pieces.
+    MassBatch {
+        /// Addressed store.
+        key: String,
+        /// Requested ranges.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// Per-key stats: the key's epoch plus a summary of its synopsis.
+    Stats {
+        /// Addressed store.
+        key: String,
+    },
+    /// Store-wide summary: key count, served count, total pieces, epoch
+    /// range. (v2 only.)
+    StoreStats,
+    /// Every key, in canonical (ascending) order. (v2 only.)
+    ListKeys,
+    /// Tree-merge every served key's synopsis into one global view with the
+    /// given piece budget. (v2 only.)
+    MergedView {
+        /// Piece budget of the merged synopsis.
+        budget: u64,
+    },
+    /// Admin: replace `key`'s served synopsis with the shipped `AHISTSYN`
+    /// blob (creating the key on first use).
+    Publish {
+        /// Addressed store.
+        key: String,
+        /// `AHISTSYN`-encoded synopsis.
+        synopsis: Vec<u8>,
+    },
+    /// Admin: merge the shipped adjacent-chunk synopsis into `key`'s served
+    /// one, re-merged down to `budget` pieces.
     UpdateMerge {
+        /// Addressed store.
+        key: String,
         /// Piece budget of the re-merge.
         budget: u64,
         /// `AHISTSYN`-encoded chunk synopsis.
         synopsis: Vec<u8>,
     },
+    /// Admin: evict `key` and its store. (v2 only.)
+    DropKey {
+        /// Key to evict.
+        key: String,
+    },
 }
 
-/// Summary of the synopsis a server is serving, as reported by
-/// [`Request::Stats`].
+/// Summary of one served synopsis, as reported by [`Request::Stats`]: piece
+/// count, domain bounds, budget, mass and provenance — all in one frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynopsisStats {
-    /// Domain size `n`.
+    /// Domain size `n` (the synopsis covers indices `0..domain`).
     pub domain: u64,
     /// Number of pieces of the fitted model.
     pub pieces: u64,
@@ -71,6 +140,22 @@ pub struct SynopsisStats {
     pub total_mass: f64,
     /// Name of the estimator that produced the synopsis.
     pub estimator: String,
+}
+
+/// Store-wide summary of a keyed server, as reported by
+/// [`Request::StoreStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreWideStats {
+    /// Number of keys present (served or not).
+    pub keys: u64,
+    /// Number of keys currently serving a synopsis.
+    pub served: u64,
+    /// Total piece count across all served synopses.
+    pub total_pieces: u64,
+    /// Smallest per-key epoch (0 if any key never published, or no keys).
+    pub min_epoch: u64,
+    /// Largest per-key epoch (0 if no keys).
+    pub max_epoch: u64,
 }
 
 /// Typed error codes a server stamps on error frames.
@@ -94,6 +179,11 @@ pub enum ErrorCode {
     FrameTooLarge,
     /// The connection used up its per-connection request budget.
     RequestLimit,
+    /// The addressed key is not present in the store map.
+    UnknownKey,
+    /// The key violates the encoding rules (empty, over the length cap, not
+    /// valid UTF-8).
+    InvalidKey,
     /// A code this build does not know (from a newer peer).
     Unknown(u8),
 }
@@ -110,6 +200,8 @@ impl ErrorCode {
             ErrorCode::InvalidSynopsis => 6,
             ErrorCode::FrameTooLarge => 7,
             ErrorCode::RequestLimit => 8,
+            ErrorCode::UnknownKey => 9,
+            ErrorCode::InvalidKey => 10,
             ErrorCode::Unknown(raw) => raw,
         }
     }
@@ -126,13 +218,16 @@ impl ErrorCode {
             6 => ErrorCode::InvalidSynopsis,
             7 => ErrorCode::FrameTooLarge,
             8 => ErrorCode::RequestLimit,
+            9 => ErrorCode::UnknownKey,
+            10 => ErrorCode::InvalidKey,
             other => ErrorCode::Unknown(other),
         }
     }
 }
 
-/// A server response. Every variant opens with the store epoch it was
-/// computed at.
+/// A server response. Every variant opens with the epoch it was computed at
+/// (the addressed key's epoch; store-wide kinds carry the largest per-key
+/// epoch).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Cdf values, in request order (raw IEEE-754 bits on the wire).
@@ -156,22 +251,55 @@ pub enum Response {
         /// One mass per requested range.
         masses: Vec<f64>,
     },
-    /// Store statistics.
+    /// Per-key statistics.
     Stats {
-        /// Current store epoch (0 before the first publish).
+        /// The addressed key's epoch (0 before its first publish).
         epoch: u64,
-        /// Summary of the served synopsis, or `None` for an empty store.
+        /// Summary of the key's served synopsis, or `None` if it serves
+        /// nothing.
         synopsis: Option<SynopsisStats>,
     },
-    /// A `Publish`/`UpdateMerge` landed; the store now serves this epoch.
+    /// Store-wide statistics. (v2 only.)
+    StoreStats {
+        /// Largest per-key epoch.
+        epoch: u64,
+        /// The summary.
+        stats: StoreWideStats,
+    },
+    /// The key listing, in canonical (ascending) order. (v2 only.)
+    KeyList {
+        /// Largest per-key epoch when the listing was taken.
+        epoch: u64,
+        /// Every key.
+        keys: Vec<String>,
+    },
+    /// The merged global view. (v2 only.)
+    MergedView {
+        /// Largest epoch among the contributing snapshots.
+        epoch: u64,
+        /// Number of keys that contributed a synopsis.
+        keys: u64,
+        /// The merged synopsis as a nested `AHISTSYN` container.
+        synopsis: Vec<u8>,
+    },
+    /// A `Publish`/`UpdateMerge` landed; the key's store now serves this
+    /// epoch.
     Updated {
         /// The new epoch.
         epoch: u64,
     },
+    /// A `DropKey` was processed. (v2 only.)
+    Dropped {
+        /// The dropped key's last epoch (0 if it was absent).
+        epoch: u64,
+        /// Whether the key existed.
+        existed: bool,
+    },
     /// Typed rejection. The connection stays usable unless the server also
     /// closed it (framing errors and exhausted request budgets close).
     Error {
-        /// Store epoch when the error was built.
+        /// Relevant epoch when the error was built (the addressed key's
+        /// epoch where one was decoded, otherwise the store-wide maximum).
         epoch: u64,
         /// The typed code.
         code: ErrorCode,
@@ -189,36 +317,100 @@ impl Response {
             Response::QuantileBatch { .. } => OP_QUANTILE_OK,
             Response::MassBatch { .. } => OP_MASS_OK,
             Response::Stats { .. } => OP_STATS_OK,
+            Response::StoreStats { .. } => OP_STORE_STATS_OK,
+            Response::KeyList { .. } => OP_LIST_KEYS_OK,
+            Response::MergedView { .. } => OP_MERGED_VIEW_OK,
             Response::Updated { .. } => OP_UPDATED,
+            Response::Dropped { .. } => OP_DROPPED,
             Response::Error { .. } => OP_ERROR,
         }
     }
 }
 
 // ---------------------------------------------------------------------------
+// Key helpers.
+// ---------------------------------------------------------------------------
+
+/// Writes a key section: u64 length prefix + UTF-8 bytes.
+fn put_key(out: &mut Vec<u8>, key: &str) {
+    put_u64(out, key.len() as u64);
+    out.extend_from_slice(key.as_bytes());
+}
+
+/// Reads and validates a key section: UTF-8, non-empty, within
+/// [`hist_persist::MAX_KEY_BYTES`].
+fn read_key(reader: &mut Reader<'_>) -> CodecResult<String> {
+    let bytes = reader.section("key")?;
+    let key = std::str::from_utf8(bytes)
+        .map_err(|_| CodecError::InvalidKey { reason: "key is not valid UTF-8" })?;
+    hist_persist::validate_key(key)?;
+    Ok(key.to_owned())
+}
+
+/// The typed error for a request that protocol v1 cannot express.
+fn v1_cannot_express() -> CodecError {
+    CodecError::UnsupportedVersion { found: 1, supported: PROTOCOL_VERSION }
+}
+
+// ---------------------------------------------------------------------------
 // Encoding.
 // ---------------------------------------------------------------------------
 
-/// Encodes a request into one complete wire message (length prefix
-/// included) — exactly the bytes a client writes to the socket.
+/// Encodes a request into one complete wire message (length prefix included)
+/// at the current [`PROTOCOL_VERSION`] — exactly the bytes a v2 client
+/// writes to the socket.
 pub fn encode_request(request: &Request) -> Vec<u8> {
+    encode_request_versioned(PROTOCOL_VERSION, request)
+        .expect("the current protocol version encodes every request")
+}
+
+/// Encodes a request at an explicit protocol version.
+///
+/// v1 is keyless single-store: requests addressing any key other than
+/// [`DEFAULT_KEY`], and the v2-only ops, return a typed error instead of
+/// silently dropping information.
+pub fn encode_request_versioned(version: u16, request: &Request) -> CodecResult<Vec<u8>> {
+    check_encodable_version(version)?;
+    let keyed = version >= 2;
+    let key_fits_v1 = |key: &str| {
+        if key == DEFAULT_KEY {
+            Ok(())
+        } else {
+            Err(CodecError::InvalidKey { reason: "protocol v1 addresses only the default key" })
+        }
+    };
     let mut payload = Vec::new();
     let op = match request {
-        Request::CdfBatch(xs) => {
+        Request::CdfBatch { key, xs } => {
+            if keyed {
+                put_key(&mut payload, key);
+            } else {
+                key_fits_v1(key)?;
+            }
             put_u64(&mut payload, xs.len() as u64);
             for &x in xs {
                 put_u64(&mut payload, x);
             }
             OP_CDF_BATCH
         }
-        Request::QuantileBatch(ps) => {
+        Request::QuantileBatch { key, ps } => {
+            if keyed {
+                put_key(&mut payload, key);
+            } else {
+                key_fits_v1(key)?;
+            }
             put_u64(&mut payload, ps.len() as u64);
             for &p in ps {
                 put_f64(&mut payload, p);
             }
             OP_QUANTILE_BATCH
         }
-        Request::MassBatch(ranges) => {
+        Request::MassBatch { key, ranges } => {
+            if keyed {
+                put_key(&mut payload, key);
+            } else {
+                key_fits_v1(key)?;
+            }
             put_u64(&mut payload, ranges.len() as u64);
             for &(start, end) in ranges {
                 put_u64(&mut payload, start);
@@ -226,25 +418,77 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             }
             OP_MASS_BATCH
         }
-        Request::Stats => OP_STATS,
-        Request::Publish(blob) => {
-            put_u64(&mut payload, blob.len() as u64);
-            payload.extend_from_slice(blob);
+        Request::Stats { key } => {
+            if keyed {
+                put_key(&mut payload, key);
+            } else {
+                key_fits_v1(key)?;
+            }
+            OP_STATS
+        }
+        Request::StoreStats => {
+            if !keyed {
+                return Err(v1_cannot_express());
+            }
+            OP_STORE_STATS
+        }
+        Request::ListKeys => {
+            if !keyed {
+                return Err(v1_cannot_express());
+            }
+            OP_LIST_KEYS
+        }
+        Request::MergedView { budget } => {
+            if !keyed {
+                return Err(v1_cannot_express());
+            }
+            put_u64(&mut payload, *budget);
+            OP_MERGED_VIEW
+        }
+        Request::Publish { key, synopsis } => {
+            if keyed {
+                put_key(&mut payload, key);
+            } else {
+                key_fits_v1(key)?;
+            }
+            put_u64(&mut payload, synopsis.len() as u64);
+            payload.extend_from_slice(synopsis);
             OP_PUBLISH
         }
-        Request::UpdateMerge { budget, synopsis } => {
+        Request::UpdateMerge { key, budget, synopsis } => {
+            if keyed {
+                put_key(&mut payload, key);
+            } else {
+                key_fits_v1(key)?;
+            }
             put_u64(&mut payload, *budget);
             put_u64(&mut payload, synopsis.len() as u64);
             payload.extend_from_slice(synopsis);
             OP_UPDATE_MERGE
         }
+        Request::DropKey { key } => {
+            if !keyed {
+                return Err(v1_cannot_express());
+            }
+            put_key(&mut payload, key);
+            OP_DROP_KEY
+        }
     };
-    seal_message(op, &payload)
+    Ok(seal_message_versioned(version, op, &payload))
 }
 
 /// Encodes a response into one complete wire message (length prefix
-/// included) — exactly the bytes a server writes to the socket.
+/// included) at the current [`PROTOCOL_VERSION`].
 pub fn encode_response(response: &Response) -> Vec<u8> {
+    encode_response_versioned(PROTOCOL_VERSION, response)
+        .expect("the current protocol version encodes every response")
+}
+
+/// Encodes a response at an explicit protocol version — how a server mirrors
+/// a v1 request with a v1 answer frame. The v2-only response kinds
+/// (`StoreStats`/`KeyList`/`MergedView`/`Dropped`) refuse to encode at v1.
+pub fn encode_response_versioned(version: u16, response: &Response) -> CodecResult<Vec<u8>> {
+    check_encodable_version(version)?;
     let mut payload = Vec::new();
     match response {
         Response::CdfBatch { epoch, values } => {
@@ -283,8 +527,45 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 }
             }
         }
+        Response::StoreStats { epoch, stats } => {
+            if version < 2 {
+                return Err(v1_cannot_express());
+            }
+            put_u64(&mut payload, *epoch);
+            put_u64(&mut payload, stats.keys);
+            put_u64(&mut payload, stats.served);
+            put_u64(&mut payload, stats.total_pieces);
+            put_u64(&mut payload, stats.min_epoch);
+            put_u64(&mut payload, stats.max_epoch);
+        }
+        Response::KeyList { epoch, keys } => {
+            if version < 2 {
+                return Err(v1_cannot_express());
+            }
+            put_u64(&mut payload, *epoch);
+            put_u64(&mut payload, keys.len() as u64);
+            for key in keys {
+                put_key(&mut payload, key);
+            }
+        }
+        Response::MergedView { epoch, keys, synopsis } => {
+            if version < 2 {
+                return Err(v1_cannot_express());
+            }
+            put_u64(&mut payload, *epoch);
+            put_u64(&mut payload, *keys);
+            put_u64(&mut payload, synopsis.len() as u64);
+            payload.extend_from_slice(synopsis);
+        }
         Response::Updated { epoch } => {
             put_u64(&mut payload, *epoch);
+        }
+        Response::Dropped { epoch, existed } => {
+            if version < 2 {
+                return Err(v1_cannot_express());
+            }
+            put_u64(&mut payload, *epoch);
+            payload.push(u8::from(*existed));
         }
         Response::Error { epoch, code, message } => {
             put_u64(&mut payload, *epoch);
@@ -293,35 +574,56 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             payload.extend_from_slice(message.as_bytes());
         }
     };
-    seal_message(response.op(), &payload)
+    Ok(seal_message_versioned(version, response.op(), &payload))
+}
+
+/// A version this build can *write*: same range it reads.
+fn check_encodable_version(version: u16) -> CodecResult<()> {
+    if !(crate::frame::MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion { found: version, supported: PROTOCOL_VERSION });
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
 // Decoding.
 // ---------------------------------------------------------------------------
 
-/// Decodes a request from a verified frame's op byte and payload (the shape
-/// [`crate::frame::check_envelope`] returns).
-pub fn decode_request_frame(op: u8, payload: &[u8]) -> CodecResult<Request> {
+/// Decodes a request from a verified frame's announced version, op byte and
+/// payload (the shape [`crate::frame::check_envelope`] returns). v1 payloads
+/// decode keyless and address [`DEFAULT_KEY`]; v2-only op bytes inside a v1
+/// frame are unknown ops.
+pub fn decode_request_frame(version: u16, op: u8, payload: &[u8]) -> CodecResult<Request> {
+    let keyed = version >= 2;
     let mut reader = Reader::new(payload);
+    let key_for = |reader: &mut Reader<'_>| -> CodecResult<String> {
+        if keyed {
+            read_key(reader)
+        } else {
+            Ok(DEFAULT_KEY.to_owned())
+        }
+    };
     let request = match op {
         OP_CDF_BATCH => {
+            let key = key_for(&mut reader)?;
             let count = reader.count("cdf indices", 8)?;
             let mut xs = Vec::with_capacity(count);
             for _ in 0..count {
                 xs.push(reader.u64()?);
             }
-            Request::CdfBatch(xs)
+            Request::CdfBatch { key, xs }
         }
         OP_QUANTILE_BATCH => {
+            let key = key_for(&mut reader)?;
             let count = reader.count("quantile fractions", 8)?;
             let mut ps = Vec::with_capacity(count);
             for _ in 0..count {
                 ps.push(reader.f64()?);
             }
-            Request::QuantileBatch(ps)
+            Request::QuantileBatch { key, ps }
         }
         OP_MASS_BATCH => {
+            let key = key_for(&mut reader)?;
             let count = reader.count("mass ranges", 16)?;
             let mut ranges = Vec::with_capacity(count);
             for _ in 0..count {
@@ -329,27 +631,43 @@ pub fn decode_request_frame(op: u8, payload: &[u8]) -> CodecResult<Request> {
                 let end = reader.u64()?;
                 ranges.push((start, end));
             }
-            Request::MassBatch(ranges)
+            Request::MassBatch { key, ranges }
         }
-        OP_STATS => Request::Stats,
-        OP_PUBLISH => Request::Publish(reader.section("synopsis blob")?.to_vec()),
+        OP_STATS => Request::Stats { key: key_for(&mut reader)? },
+        OP_STORE_STATS if keyed => Request::StoreStats,
+        OP_LIST_KEYS if keyed => Request::ListKeys,
+        OP_MERGED_VIEW if keyed => Request::MergedView { budget: reader.u64()? },
+        OP_PUBLISH => {
+            let key = key_for(&mut reader)?;
+            Request::Publish { key, synopsis: reader.section("synopsis blob")?.to_vec() }
+        }
         OP_UPDATE_MERGE => {
+            let key = key_for(&mut reader)?;
             let budget = reader.u64()?;
             let synopsis = reader.section("synopsis blob")?.to_vec();
-            Request::UpdateMerge { budget, synopsis }
+            Request::UpdateMerge { key, budget, synopsis }
         }
+        OP_DROP_KEY if keyed => Request::DropKey { key: read_key(&mut reader)? },
         found => return Err(CodecError::InvalidTag { what: "request op", found }),
     };
     reader.finish()?;
     Ok(request)
 }
 
-/// Decodes a response from a verified frame's op byte and payload.
-pub fn decode_response_frame(op: u8, payload: &[u8]) -> CodecResult<Response> {
+/// Decodes a response from a verified frame's announced version, op byte and
+/// payload. The v2-only response ops inside a v1 frame are unknown ops.
+pub fn decode_response_frame(version: u16, op: u8, payload: &[u8]) -> CodecResult<Response> {
+    let keyed = version >= 2;
     // The op is validated before the payload is touched, so an unknown op is
     // reported as such rather than as a truncation further in.
-    if !matches!(op, OP_CDF_OK | OP_QUANTILE_OK | OP_MASS_OK | OP_STATS_OK | OP_UPDATED | OP_ERROR)
-    {
+    let known =
+        matches!(op, OP_CDF_OK | OP_QUANTILE_OK | OP_MASS_OK | OP_STATS_OK | OP_UPDATED | OP_ERROR)
+            || (keyed
+                && matches!(
+                    op,
+                    OP_STORE_STATS_OK | OP_LIST_KEYS_OK | OP_MERGED_VIEW_OK | OP_DROPPED
+                ));
+    if !known {
         return Err(CodecError::InvalidTag { what: "response op", found: op });
     }
     let mut reader = Reader::new(payload);
@@ -398,7 +716,39 @@ pub fn decode_response_frame(op: u8, payload: &[u8]) -> CodecResult<Response> {
             };
             Response::Stats { epoch, synopsis }
         }
+        OP_STORE_STATS_OK => {
+            let stats = StoreWideStats {
+                keys: reader.u64()?,
+                served: reader.u64()?,
+                total_pieces: reader.u64()?,
+                min_epoch: reader.u64()?,
+                max_epoch: reader.u64()?,
+            };
+            Response::StoreStats { epoch, stats }
+        }
+        OP_LIST_KEYS_OK => {
+            // Smallest possible key section: 8-byte length + 1 byte.
+            let count = reader.count("keys", 9)?;
+            let mut keys = Vec::with_capacity(count);
+            for _ in 0..count {
+                keys.push(read_key(&mut reader)?);
+            }
+            Response::KeyList { epoch, keys }
+        }
+        OP_MERGED_VIEW_OK => {
+            let keys = reader.u64()?;
+            let synopsis = reader.section("merged synopsis blob")?.to_vec();
+            Response::MergedView { epoch, keys, synopsis }
+        }
         OP_UPDATED => Response::Updated { epoch },
+        OP_DROPPED => {
+            let existed = match reader.u8()? {
+                0 => false,
+                1 => true,
+                found => return Err(CodecError::InvalidTag { what: "dropped flag", found }),
+            };
+            Response::Dropped { epoch, existed }
+        }
         OP_ERROR => {
             let code = ErrorCode::from_u8(reader.u8()?);
             // Lossy on purpose: the message is display-only detail from the
@@ -413,21 +763,24 @@ pub fn decode_response_frame(op: u8, payload: &[u8]) -> CodecResult<Response> {
     Ok(response)
 }
 
-/// Decodes a complete wire message (length prefix included) as a request.
+/// Decodes a complete wire message (length prefix included) as a request,
+/// honouring the version its envelope announces.
 pub fn decode_request(message: &[u8]) -> CodecResult<Request> {
-    let (op, payload) = split_message(message)?;
-    decode_request_frame(op, payload)
+    let (version, op, payload) = split_message(message)?;
+    decode_request_frame(version, op, payload)
 }
 
-/// Decodes a complete wire message (length prefix included) as a response.
+/// Decodes a complete wire message (length prefix included) as a response,
+/// honouring the version its envelope announces.
 pub fn decode_response(message: &[u8]) -> CodecResult<Response> {
-    let (op, payload) = split_message(message)?;
-    decode_response_frame(op, payload)
+    let (version, op, payload) = split_message(message)?;
+    decode_response_frame(version, op, payload)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::seal_message;
 
     fn round_trip_request(request: Request) {
         let decoded = decode_request(&encode_request(&request)).unwrap();
@@ -441,13 +794,24 @@ mod tests {
 
     #[test]
     fn every_request_kind_round_trips() {
-        round_trip_request(Request::CdfBatch(vec![]));
-        round_trip_request(Request::CdfBatch(vec![0, 7, u64::MAX]));
-        round_trip_request(Request::QuantileBatch(vec![0.0, 0.5, 1.0]));
-        round_trip_request(Request::MassBatch(vec![(0, 0), (3, 99)]));
-        round_trip_request(Request::Stats);
-        round_trip_request(Request::Publish(b"AHISTSYN-ish bytes".to_vec()));
-        round_trip_request(Request::UpdateMerge { budget: 11, synopsis: vec![1, 2, 3] });
+        round_trip_request(Request::CdfBatch { key: "t".into(), xs: vec![] });
+        round_trip_request(Request::CdfBatch { key: "api/login".into(), xs: vec![0, 7, u64::MAX] });
+        round_trip_request(Request::QuantileBatch { key: "q".into(), ps: vec![0.0, 0.5, 1.0] });
+        round_trip_request(Request::MassBatch { key: "m".into(), ranges: vec![(0, 0), (3, 99)] });
+        round_trip_request(Request::Stats { key: DEFAULT_KEY.into() });
+        round_trip_request(Request::StoreStats);
+        round_trip_request(Request::ListKeys);
+        round_trip_request(Request::MergedView { budget: 12 });
+        round_trip_request(Request::Publish {
+            key: "p".into(),
+            synopsis: b"AHISTSYN-ish bytes".to_vec(),
+        });
+        round_trip_request(Request::UpdateMerge {
+            key: "u".into(),
+            budget: 11,
+            synopsis: vec![1, 2, 3],
+        });
+        round_trip_request(Request::DropKey { key: "gone".into() });
     }
 
     #[test]
@@ -466,12 +830,128 @@ mod tests {
                 estimator: "merging".into(),
             }),
         });
+        round_trip_response(Response::StoreStats {
+            epoch: 17,
+            stats: StoreWideStats {
+                keys: 100_000,
+                served: 99_999,
+                total_pieces: 1_234_567,
+                min_epoch: 0,
+                max_epoch: 17,
+            },
+        });
+        round_trip_response(Response::KeyList {
+            epoch: 2,
+            keys: vec!["a".into(), "b".into(), "c".into()],
+        });
+        round_trip_response(Response::KeyList { epoch: 0, keys: vec![] });
+        round_trip_response(Response::MergedView {
+            epoch: 8,
+            keys: 3,
+            synopsis: b"AHISTSYN-ish".to_vec(),
+        });
         round_trip_response(Response::Updated { epoch: 42 });
+        round_trip_response(Response::Dropped { epoch: 4, existed: true });
+        round_trip_response(Response::Dropped { epoch: 0, existed: false });
         round_trip_response(Response::Error {
             epoch: 7,
             code: ErrorCode::InvalidQuery,
             message: "index 900 out of domain 256".into(),
         });
+    }
+
+    #[test]
+    fn v1_round_trips_keyless_default_requests() {
+        let requests = [
+            Request::CdfBatch { key: DEFAULT_KEY.into(), xs: vec![1, 2] },
+            Request::QuantileBatch { key: DEFAULT_KEY.into(), ps: vec![0.5] },
+            Request::MassBatch { key: DEFAULT_KEY.into(), ranges: vec![(0, 9)] },
+            Request::Stats { key: DEFAULT_KEY.into() },
+            Request::Publish { key: DEFAULT_KEY.into(), synopsis: vec![1] },
+            Request::UpdateMerge { key: DEFAULT_KEY.into(), budget: 4, synopsis: vec![2] },
+        ];
+        for request in requests {
+            let v1 = encode_request_versioned(1, &request).unwrap();
+            let decoded = decode_request(&v1).unwrap();
+            assert_eq!(decoded, request, "v1 frames decode back with the default key");
+            // And the v1 bytes are strictly shorter than v2 (no key section).
+            assert!(v1.len() < encode_request(&request).len());
+        }
+    }
+
+    #[test]
+    fn v1_refuses_keys_and_keyed_ops() {
+        let keyed_request = Request::CdfBatch { key: "tenant".into(), xs: vec![1] };
+        assert!(matches!(
+            encode_request_versioned(1, &keyed_request),
+            Err(CodecError::InvalidKey { .. })
+        ));
+        for request in [Request::StoreStats, Request::ListKeys, Request::MergedView { budget: 4 }] {
+            assert!(matches!(
+                encode_request_versioned(1, &request),
+                Err(CodecError::UnsupportedVersion { found: 1, .. })
+            ));
+        }
+        assert!(matches!(
+            encode_request_versioned(1, &Request::DropKey { key: DEFAULT_KEY.into() }),
+            Err(CodecError::UnsupportedVersion { found: 1, .. })
+        ));
+        // The v2-only response kinds refuse v1 too.
+        let dropped = Response::Dropped { epoch: 1, existed: true };
+        assert!(encode_response_versioned(1, &dropped).is_err());
+        // Unknown versions refuse outright.
+        assert!(encode_request_versioned(0, &Request::ListKeys).is_err());
+        assert!(encode_request_versioned(3, &Request::ListKeys).is_err());
+    }
+
+    #[test]
+    fn v2_only_ops_in_a_v1_frame_are_unknown_ops() {
+        use crate::frame::seal_message_versioned;
+        for op in [0x05u8, 0x06, 0x07, 0x12] {
+            let message = seal_message_versioned(1, op, &[]);
+            assert!(
+                matches!(
+                    decode_request(&message),
+                    Err(CodecError::InvalidTag { what: "request op", .. })
+                ),
+                "op {op:#04x} must be unknown under v1"
+            );
+        }
+        for op in [0x85u8, 0x86, 0x87, 0x91] {
+            let mut payload = Vec::new();
+            put_u64(&mut payload, 1);
+            let message = seal_message_versioned(1, op, &payload);
+            assert!(
+                matches!(
+                    decode_response(&message),
+                    Err(CodecError::InvalidTag { what: "response op", .. })
+                ),
+                "op {op:#04x} must be unknown under v1"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_keys_are_typed_errors() {
+        // Empty key.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0);
+        let message = seal_message(OP_STATS, &payload);
+        assert!(matches!(decode_request(&message), Err(CodecError::InvalidKey { .. })));
+
+        // Non-UTF-8 key.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 2);
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        let message = seal_message(OP_STATS, &payload);
+        assert!(matches!(decode_request(&message), Err(CodecError::InvalidKey { .. })));
+
+        // Oversized key.
+        let long = "k".repeat(hist_persist::MAX_KEY_BYTES + 1);
+        let mut payload = Vec::new();
+        put_key(&mut payload, &long);
+        let message = seal_message(OP_STATS, &payload);
+        assert!(matches!(decode_request(&message), Err(CodecError::InvalidKey { .. })));
     }
 
     #[test]
@@ -494,12 +974,14 @@ mod tests {
         for raw in 0..=255u8 {
             assert_eq!(ErrorCode::from_u8(raw).to_u8(), raw);
         }
+        assert_eq!(ErrorCode::from_u8(9), ErrorCode::UnknownKey);
+        assert_eq!(ErrorCode::from_u8(10), ErrorCode::InvalidKey);
         assert_eq!(ErrorCode::from_u8(200), ErrorCode::Unknown(200));
     }
 
     #[test]
     fn request_and_response_ops_reject_each_other() {
-        let request = encode_request(&Request::Stats);
+        let request = encode_request(&Request::Stats { key: DEFAULT_KEY.into() });
         assert!(matches!(
             decode_response(&request),
             Err(CodecError::InvalidTag { what: "response op", .. })
@@ -515,10 +997,21 @@ mod tests {
     fn hostile_counts_are_rejected_before_allocation() {
         // A CdfBatch announcing u64::MAX indices inside a valid envelope.
         let mut payload = Vec::new();
+        put_key(&mut payload, DEFAULT_KEY);
         put_u64(&mut payload, u64::MAX);
         let message = seal_message(OP_CDF_BATCH, &payload);
         assert!(matches!(
             decode_request(&message),
+            Err(CodecError::CountOutOfBounds { count: u64::MAX, .. })
+        ));
+
+        // A KeyList announcing u64::MAX keys.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // epoch
+        put_u64(&mut payload, u64::MAX);
+        let message = seal_message(OP_LIST_KEYS_OK, &payload);
+        assert!(matches!(
+            decode_response(&message),
             Err(CodecError::CountOutOfBounds { count: u64::MAX, .. })
         ));
     }
@@ -526,6 +1019,7 @@ mod tests {
     #[test]
     fn trailing_payload_bytes_are_rejected() {
         let mut payload = Vec::new();
+        put_key(&mut payload, DEFAULT_KEY);
         put_u64(&mut payload, 0); // zero indices…
         payload.extend_from_slice(b"junk"); // …then junk
         let message = seal_message(OP_CDF_BATCH, &payload);

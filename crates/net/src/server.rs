@@ -1,13 +1,25 @@
-//! The serving side: a concurrent TCP accept loop over a shared
-//! [`SynopsisStore`].
+//! The serving side: a concurrent TCP accept loop over a shared keyed
+//! [`StoreMap`].
 //!
 //! [`HistServer::bind`] spawns one accept thread; each accepted connection is
 //! dispatched onto the crate-shared [`ThreadPool`] from `hist-serve`, where a
 //! handler loops over framed requests. Reads go through an epoch-stamped
-//! store snapshot (wait-free in practice), batch queries are sharded through
-//! a [`QueryExecutor`], and admin writes (`Publish`/`UpdateMerge`) serialize
-//! on the store's writer path — exactly the concurrency contract the
-//! in-process serving layer already guarantees, now over the wire.
+//! snapshot of the addressed key's store (wait-free in practice), batch
+//! queries are sharded through a [`QueryExecutor`], and admin writes
+//! (`Publish`/`UpdateMerge`) serialize on the addressed store's writer path —
+//! exactly the concurrency contract the in-process serving layer already
+//! guarantees, now over the wire and per key.
+//!
+//! ## Protocol versions
+//!
+//! The server speaks every version in
+//! [`MIN_PROTOCOL_VERSION`](crate::frame::MIN_PROTOCOL_VERSION)`..=`
+//! [`PROTOCOL_VERSION`](crate::frame::PROTOCOL_VERSION) and *mirrors* the
+//! request's announced version in its answer: a v1 (keyless) request decodes
+//! as addressing [`DEFAULT_KEY`] and is answered with a v1 frame, so
+//! unmodified v1 clients keep working against a keyed server. Frames whose
+//! version the envelope check rejects are answered at the minimum version —
+//! the one frame shape every client generation decodes.
 //!
 //! Hostile peers are contained at three layers: the frame length prefix is
 //! checked against [`ServerConfig::max_frame_bytes`] *before* any allocation,
@@ -27,12 +39,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hist_core::Interval;
-use hist_persist::{decode_synopsis, CodecError};
-use hist_serve::{QueryExecutor, Snapshot, SynopsisStore, ThreadPool};
+use hist_persist::{decode_synopsis, encode_synopsis, CodecError};
+use hist_serve::{QueryExecutor, Snapshot, StoreMap, ThreadPool, DEFAULT_KEY};
 
-use crate::frame::{check_envelope, write_message, ENVELOPE_BYTES, LENGTH_PREFIX_BYTES};
+use crate::frame::{
+    check_envelope, write_message, ENVELOPE_BYTES, LENGTH_PREFIX_BYTES, MIN_PROTOCOL_VERSION,
+};
 use crate::proto::{
-    decode_request_frame, encode_response, ErrorCode, Request, Response, SynopsisStats,
+    decode_request_frame, encode_response_versioned, ErrorCode, Request, Response, StoreWideStats,
+    SynopsisStats,
 };
 
 /// Tuning knobs of a [`HistServer`]. The defaults serve tests and examples;
@@ -72,8 +87,8 @@ impl Default for ServerConfig {
     }
 }
 
-/// A running synopsis server: accept loop + connection pool over a shared
-/// [`SynopsisStore`].
+/// A running multi-tenant synopsis server: accept loop + connection pool
+/// over a shared keyed [`StoreMap`].
 ///
 /// Dropping the server (or calling [`HistServer::shutdown`]) stops accepting,
 /// wakes every idle connection handler and joins all threads — no detached
@@ -82,11 +97,11 @@ impl Default for ServerConfig {
 /// ```no_run
 /// use std::sync::Arc;
 /// use hist_net::{HistServer, ServerConfig};
-/// use hist_serve::SynopsisStore;
+/// use hist_serve::StoreMap;
 ///
-/// let store = Arc::new(SynopsisStore::new());
+/// let map = Arc::new(StoreMap::new());
 /// let server =
-///     HistServer::bind("127.0.0.1:0", Arc::clone(&store), ServerConfig::default()).unwrap();
+///     HistServer::bind("127.0.0.1:0", Arc::clone(&map), ServerConfig::default()).unwrap();
 /// println!("serving on {}", server.local_addr());
 /// # drop(server);
 /// ```
@@ -95,14 +110,15 @@ pub struct HistServer {
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     pool: Option<Arc<ThreadPool>>,
-    store: Arc<SynopsisStore>,
+    map: Arc<StoreMap>,
 }
 
 impl std::fmt::Debug for HistServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HistServer")
             .field("local_addr", &self.local_addr)
-            .field("epoch", &self.store.epoch())
+            .field("keys", &self.map.len())
+            .field("max_epoch", &self.map.max_epoch())
             .field("shut_down", &self.shutdown.load(Ordering::Acquire))
             .finish()
     }
@@ -110,10 +126,10 @@ impl std::fmt::Debug for HistServer {
 
 impl HistServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `store` immediately.
+    /// `map` immediately.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        store: Arc<SynopsisStore>,
+        map: Arc<StoreMap>,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
@@ -124,7 +140,7 @@ impl HistServer {
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let pool = Arc::clone(&pool);
-            let store = Arc::clone(&store);
+            let map = Arc::clone(&map);
             std::thread::Builder::new().name("hist-net-accept".into()).spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::Acquire) {
@@ -138,16 +154,16 @@ impl HistServer {
                         continue;
                     };
                     let shutdown = Arc::clone(&shutdown);
-                    let store = Arc::clone(&store);
+                    let map = Arc::clone(&map);
                     let executor = Arc::clone(&executor);
                     let config = config.clone();
                     pool.execute(move || {
-                        Connection { stream, store, executor, config, shutdown }.run();
+                        Connection { stream, map, executor, config, shutdown }.run();
                     });
                 }
             })?
         };
-        Ok(Self { local_addr, shutdown, accept: Some(accept), pool: Some(pool), store })
+        Ok(Self { local_addr, shutdown, accept: Some(accept), pool: Some(pool), map })
     }
 
     /// The address the server is listening on (resolves ephemeral ports).
@@ -156,11 +172,11 @@ impl HistServer {
         self.local_addr
     }
 
-    /// The store this server serves; publish to it directly to seed the
-    /// server from the owning process.
+    /// The keyed store map this server serves; publish to it directly to
+    /// seed the server from the owning process.
     #[inline]
-    pub fn store(&self) -> &Arc<SynopsisStore> {
-        &self.store
+    pub fn store_map(&self) -> &Arc<StoreMap> {
+        &self.map
     }
 
     /// Graceful shutdown: stop accepting, let in-flight requests finish,
@@ -213,7 +229,7 @@ enum Fill {
 /// One accepted connection, running on a pool worker.
 struct Connection {
     stream: TcpStream,
-    store: Arc<SynopsisStore>,
+    map: Arc<StoreMap>,
     executor: Arc<QueryExecutor>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
@@ -230,8 +246,9 @@ impl Connection {
                 // Clean close, peer gone, or shutdown: nothing left to say.
                 Ok(None) => return,
                 // Framing errors desynchronize the stream: answer with a
-                // typed error frame, then close.
-                Err(response) => return self.send_and_close(&response),
+                // typed error frame, then close. The version is unknowable
+                // here, so the answer goes out at the minimum version.
+                Err(response) => return self.send_and_close(MIN_PROTOCOL_VERSION, &response),
             };
             if served >= self.config.max_requests_per_connection {
                 let response = self.error(
@@ -241,23 +258,27 @@ impl Connection {
                         self.config.max_requests_per_connection
                     ),
                 );
-                return self.send_and_close(&response);
+                return self.send_and_close(MIN_PROTOCOL_VERSION, &response);
             }
             served += 1;
-            let response = match check_envelope(&frame) {
-                Ok((op, payload)) => match decode_request_frame(op, payload) {
-                    Ok(request) => self.respond(request),
-                    Err(e) => self.error(decode_error_code(&e), e.to_string()),
+            let (version, response) = match check_envelope(&frame) {
+                Ok((version, op, payload)) => match decode_request_frame(version, op, payload) {
+                    Ok(request) => (version, self.respond(request)),
+                    Err(e) => (version, self.error(decode_error_code(&e), e.to_string())),
                 },
                 Err(e) => {
                     // The frame arrived whole (the length prefix was
                     // honoured) but its envelope is invalid — the stream
-                    // itself is still framed, so answer and continue.
-                    self.send(&self.error(decode_error_code(&e), e.to_string()));
+                    // itself is still framed, so answer and continue. The
+                    // announced version is untrusted (it may be the very
+                    // thing that was rejected), so the answer goes out at
+                    // the minimum version.
+                    let response = self.error(decode_error_code(&e), e.to_string());
+                    self.send(MIN_PROTOCOL_VERSION, &response);
                     continue;
                 }
             };
-            if !self.send(&response) {
+            if !self.send(version, &response) {
                 return;
             }
         }
@@ -332,9 +353,22 @@ impl Connection {
         Fill::Done
     }
 
-    /// Writes a response; `false` means the peer is gone.
-    fn send(&mut self, response: &Response) -> bool {
-        write_message(&mut self.stream, &encode_response(response)).is_ok()
+    /// Writes a response at the version the request announced (mirroring);
+    /// `false` means the peer is gone. A response kind the mirrored version
+    /// cannot express falls back to a malformed-frame error at that version
+    /// — unreachable by construction, since v2-only responses only answer
+    /// v2-only requests, but the fallback keeps the handler total.
+    fn send(&mut self, version: u16, response: &Response) -> bool {
+        let message = encode_response_versioned(version, response).unwrap_or_else(|e| {
+            let fallback = Response::Error {
+                epoch: 0,
+                code: ErrorCode::MalformedFrame,
+                message: e.to_string(),
+            };
+            encode_response_versioned(MIN_PROTOCOL_VERSION, &fallback)
+                .expect("an error frame encodes at every version")
+        });
+        write_message(&mut self.stream, &message).is_ok()
     }
 
     /// Sends a final response, then closes *gracefully*: half-close the
@@ -342,8 +376,8 @@ impl Connection {
     /// kernel delivers the last frame instead of clobbering it with an RST
     /// (closing a socket with unread bytes resets the connection and
     /// discards data the peer has not consumed yet).
-    fn send_and_close(mut self, response: &Response) {
-        let _ = self.send(response);
+    fn send_and_close(mut self, version: u16, response: &Response) {
+        let _ = self.send(version, response);
         let _ = self.stream.shutdown(Shutdown::Write);
         let deadline = Instant::now() + Duration::from_secs(2);
         let mut scratch = [0u8; 4096];
@@ -362,22 +396,42 @@ impl Connection {
         }
     }
 
+    /// An error frame with no key in scope, stamped with the store-wide
+    /// maximum epoch.
     fn error(&self, code: ErrorCode, message: String) -> Response {
-        Response::Error { epoch: self.store.epoch(), code, message }
+        Response::Error { epoch: self.map.max_epoch(), code, message }
     }
 
-    /// The snapshot queries answer from, or the typed empty-store error.
-    fn snapshot(&self) -> Result<Snapshot, Response> {
-        self.store.snapshot().ok_or_else(|| {
-            self.error(ErrorCode::EmptyStore, "no synopsis has been published yet".into())
-        })
+    /// An error frame about a specific key, stamped with that key's epoch.
+    fn keyed_error(&self, key: &str, code: ErrorCode, message: String) -> Response {
+        Response::Error { epoch: self.map.epoch(key), code, message }
+    }
+
+    /// The snapshot queries against `key` answer from, or the typed error:
+    /// an absent non-default key is [`ErrorCode::UnknownKey`]; a present but
+    /// never-published key (and the always-implied default key) is
+    /// [`ErrorCode::EmptyStore`].
+    fn snapshot(&self, key: &str) -> Result<Snapshot, Response> {
+        match self.map.snapshot(key) {
+            Some(snapshot) => Ok(snapshot),
+            None if key == DEFAULT_KEY || self.map.contains_key(key) => Err(self.keyed_error(
+                key,
+                ErrorCode::EmptyStore,
+                format!("no synopsis has been published at key {key:?} yet"),
+            )),
+            None => Err(self.keyed_error(
+                key,
+                ErrorCode::UnknownKey,
+                format!("key {key:?} is not present in the store map"),
+            )),
+        }
     }
 
     /// Maps one decoded request to its response. Total: every failure is a
     /// typed error frame, never a panic.
     fn respond(&self, request: Request) -> Response {
         match request {
-            Request::CdfBatch(xs) => match self.snapshot() {
+            Request::CdfBatch { key, xs } => match self.snapshot(&key) {
                 Err(e) => e,
                 Ok(snapshot) => {
                     let mut indices = Vec::with_capacity(xs.len());
@@ -385,7 +439,8 @@ impl Connection {
                         match usize::try_from(x) {
                             Ok(index) => indices.push(index),
                             Err(_) => {
-                                return self.error(
+                                return self.keyed_error(
+                                    &key,
                                     ErrorCode::InvalidQuery,
                                     format!("index {x} does not fit this platform's usize"),
                                 )
@@ -394,21 +449,21 @@ impl Connection {
                     }
                     match self.executor.cdf_batch(snapshot.synopsis(), &indices) {
                         Ok(values) => Response::CdfBatch { epoch: snapshot.epoch(), values },
-                        Err(e) => self.error(ErrorCode::InvalidQuery, e.to_string()),
+                        Err(e) => self.keyed_error(&key, ErrorCode::InvalidQuery, e.to_string()),
                     }
                 }
             },
-            Request::QuantileBatch(ps) => match self.snapshot() {
+            Request::QuantileBatch { key, ps } => match self.snapshot(&key) {
                 Err(e) => e,
                 Ok(snapshot) => match self.executor.quantile_batch(snapshot.synopsis(), &ps) {
                     Ok(indices) => Response::QuantileBatch {
                         epoch: snapshot.epoch(),
                         indices: indices.into_iter().map(|i| i as u64).collect(),
                     },
-                    Err(e) => self.error(ErrorCode::InvalidQuery, e.to_string()),
+                    Err(e) => self.keyed_error(&key, ErrorCode::InvalidQuery, e.to_string()),
                 },
             },
-            Request::MassBatch(raw) => match self.snapshot() {
+            Request::MassBatch { key, ranges: raw } => match self.snapshot(&key) {
                 Err(e) => e,
                 Ok(snapshot) => {
                     let mut ranges = Vec::with_capacity(raw.len());
@@ -420,7 +475,8 @@ impl Connection {
                         match interval {
                             Some(interval) => ranges.push(interval),
                             None => {
-                                return self.error(
+                                return self.keyed_error(
+                                    &key,
                                     ErrorCode::InvalidQuery,
                                     format!("[{start}, {end}] is not a valid index range"),
                                 )
@@ -429,14 +485,17 @@ impl Connection {
                     }
                     match self.executor.mass_batch(snapshot.synopsis(), &ranges) {
                         Ok(masses) => Response::MassBatch { epoch: snapshot.epoch(), masses },
-                        Err(e) => self.error(ErrorCode::InvalidQuery, e.to_string()),
+                        Err(e) => self.keyed_error(&key, ErrorCode::InvalidQuery, e.to_string()),
                     }
                 }
             },
-            Request::Stats => {
-                let snapshot = self.store.snapshot();
+            Request::Stats { key } => {
+                // Total even for absent keys: statistics are observability,
+                // so an unknown key reports epoch 0 / no synopsis rather
+                // than erroring.
+                let snapshot = self.map.snapshot(&key);
                 Response::Stats {
-                    epoch: snapshot.as_ref().map_or_else(|| self.store.epoch(), |s| s.epoch()),
+                    epoch: snapshot.as_ref().map_or_else(|| self.map.epoch(&key), |s| s.epoch()),
                     synopsis: snapshot.map(|s| SynopsisStats {
                         domain: s.domain() as u64,
                         pieces: s.num_pieces() as u64,
@@ -446,24 +505,71 @@ impl Connection {
                     }),
                 }
             }
-            Request::Publish(blob) => match decode_synopsis(&blob) {
-                Ok(synopsis) => Response::Updated { epoch: self.store.publish(synopsis) },
-                Err(e) => self.error(ErrorCode::InvalidSynopsis, e.to_string()),
-            },
-            Request::UpdateMerge { budget, synopsis } => {
+            Request::StoreStats => {
+                let stats = self.map.store_stats();
+                Response::StoreStats {
+                    epoch: stats.max_epoch,
+                    stats: StoreWideStats {
+                        keys: stats.keys,
+                        served: stats.served,
+                        total_pieces: stats.total_pieces,
+                        min_epoch: stats.min_epoch,
+                        max_epoch: stats.max_epoch,
+                    },
+                }
+            }
+            Request::ListKeys => {
+                Response::KeyList { epoch: self.map.max_epoch(), keys: self.map.keys() }
+            }
+            Request::MergedView { budget } => {
                 let Ok(budget) = usize::try_from(budget) else {
                     return self.error(
+                        ErrorCode::InvalidQuery,
+                        format!("budget {budget} does not fit this platform's usize"),
+                    );
+                };
+                match self.map.merged_view(budget) {
+                    Ok(Some(view)) => Response::MergedView {
+                        epoch: view.epoch,
+                        keys: view.keys,
+                        synopsis: encode_synopsis(&view.synopsis),
+                    },
+                    Ok(None) => self.error(
+                        ErrorCode::EmptyStore,
+                        "no key serves a synopsis to merge yet".into(),
+                    ),
+                    Err(e) => self.error(ErrorCode::InvalidQuery, e.to_string()),
+                }
+            }
+            Request::Publish { key, synopsis: blob } => match decode_synopsis(&blob) {
+                Ok(synopsis) => match self.map.publish(&key, synopsis) {
+                    Ok(epoch) => Response::Updated { epoch },
+                    Err(e) => self.keyed_error(&key, store_error_code(&e), e.to_string()),
+                },
+                Err(e) => self.keyed_error(&key, ErrorCode::InvalidSynopsis, e.to_string()),
+            },
+            Request::UpdateMerge { key, budget, synopsis } => {
+                let Ok(budget) = usize::try_from(budget) else {
+                    return self.keyed_error(
+                        &key,
                         ErrorCode::InvalidSynopsis,
                         format!("budget {budget} does not fit this platform's usize"),
                     );
                 };
                 match decode_synopsis(&synopsis) {
-                    Ok(chunk) => match self.store.update_merge(&chunk, budget) {
+                    Ok(chunk) => match self.map.update_merge(&key, &chunk, budget) {
                         Ok(epoch) => Response::Updated { epoch },
-                        Err(e) => self.error(ErrorCode::InvalidSynopsis, e.to_string()),
+                        Err(e) => self.keyed_error(&key, store_error_code(&e), e.to_string()),
                     },
-                    Err(e) => self.error(ErrorCode::InvalidSynopsis, e.to_string()),
+                    Err(e) => self.keyed_error(&key, ErrorCode::InvalidSynopsis, e.to_string()),
                 }
+            }
+            Request::DropKey { key } => {
+                // Capture the epoch before the drop so the answer reports
+                // the evicted store's last epoch, not the post-drop zero.
+                let epoch = self.map.epoch(&key);
+                let existed = self.map.drop_key(&key);
+                Response::Dropped { epoch, existed }
             }
         }
     }
@@ -474,6 +580,17 @@ fn decode_error_code(e: &CodecError) -> ErrorCode {
     match e {
         CodecError::UnsupportedVersion { .. } => ErrorCode::UnsupportedVersion,
         CodecError::InvalidTag { what: "request op", .. } => ErrorCode::UnknownOp,
+        CodecError::InvalidKey { .. } => ErrorCode::InvalidKey,
         _ => ErrorCode::MalformedFrame,
+    }
+}
+
+/// The typed error code a [`StoreMap`] write failure maps to: key-rule
+/// violations are [`ErrorCode::InvalidKey`], everything else (merge/budget
+/// failures) is about the shipped synopsis.
+fn store_error_code(e: &hist_core::Error) -> ErrorCode {
+    match e {
+        hist_core::Error::InvalidParameter { name: "key", .. } => ErrorCode::InvalidKey,
+        _ => ErrorCode::InvalidSynopsis,
     }
 }

@@ -11,12 +11,14 @@
 //!                             sections            before trailer
 //! ```
 //!
-//! Three container kinds share the frame, distinguished by their magic:
+//! Four container kinds share the frame, distinguished by their magic:
 //!
 //! * `AHISTSYN` — one [`Synopsis`] ([`encode_synopsis`]/[`decode_synopsis`]);
 //! * `AHISTSTO` — a [`StoreSnapshot`]: serving epoch plus optional synopsis;
 //! * `AHISTCKP` — a [`StreamCheckpoint`]: the resumable state of a one-pass
-//!   streaming build.
+//!   streaming build;
+//! * `AHISTMAP` — a [`StoreMapSnapshot`]: a whole keyed tenant map,
+//!   count-prefixed key/epoch/synopsis entries in canonical key order.
 //!
 //! Decoding is panic-free and allocation-bounded on arbitrary input: the CRC
 //! trailer is verified before the payload is parsed, every length/count
@@ -40,6 +42,13 @@ pub const SYNOPSIS_MAGIC: [u8; 8] = *b"AHISTSYN";
 pub const STORE_MAGIC: [u8; 8] = *b"AHISTSTO";
 /// Magic bytes opening a streaming-checkpoint container.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"AHISTCKP";
+/// Magic bytes opening a keyed store-map container (many keyed stores).
+pub const MAP_MAGIC: [u8; 8] = *b"AHISTMAP";
+
+/// Longest store-map key the codec accepts, in bytes of UTF-8. Keys are
+/// tenant/metric names; one length cap shared by the persistence container
+/// and the wire protocol keeps a key valid everywhere or nowhere.
+pub const MAX_KEY_BYTES: usize = 255;
 
 /// Newest format version this build reads and the only one it writes.
 pub const FORMAT_VERSION: u16 = 1;
@@ -314,6 +323,111 @@ pub fn decode_store_snapshot(bytes: &[u8]) -> CodecResult<StoreSnapshot> {
 }
 
 // ---------------------------------------------------------------------------
+// Keyed store-map container.
+// ---------------------------------------------------------------------------
+
+/// One keyed store inside an `AHISTMAP` container: the key, its last
+/// published epoch and, if the store was non-empty, the synopsis it served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMapEntry {
+    /// Tenant/metric key: non-empty UTF-8, at most [`MAX_KEY_BYTES`] bytes.
+    pub key: String,
+    /// Last published epoch of that key's store at save time.
+    pub epoch: u64,
+    /// The key's served synopsis, or `None` for a published-nothing store.
+    pub synopsis: Option<Synopsis>,
+}
+
+/// The persisted state of a whole keyed store map, entries in canonical
+/// (ascending key) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMapSnapshot {
+    /// One entry per key, sorted ascending by key, keys unique.
+    pub entries: Vec<StoreMapEntry>,
+}
+
+/// Checks a store-map key against the encoding rules shared by the
+/// persistence container and the wire protocol: non-empty UTF-8 of at most
+/// [`MAX_KEY_BYTES`] bytes. (UTF-8 validity is inherent for `&str` callers;
+/// the byte-level decoder checks it separately.)
+pub fn validate_key(key: &str) -> CodecResult<()> {
+    if key.is_empty() {
+        return Err(CodecError::InvalidKey { reason: "key is empty" });
+    }
+    if key.len() > MAX_KEY_BYTES {
+        return Err(CodecError::InvalidKey { reason: "key exceeds MAX_KEY_BYTES" });
+    }
+    Ok(())
+}
+
+/// Encodes a keyed store map into a self-contained `AHISTMAP` container.
+///
+/// Entries are written in canonical ascending-key order regardless of input
+/// order, so equal maps encode to equal bytes (save → open → save is
+/// bit-identical). Fails with a typed [`CodecError::InvalidKey`] if any key
+/// is empty, longer than [`MAX_KEY_BYTES`], or duplicated.
+pub fn encode_store_map(entries: &[StoreMapEntry]) -> CodecResult<Vec<u8>> {
+    let mut order: Vec<&StoreMapEntry> = entries.iter().collect();
+    order.sort_by(|a, b| a.key.cmp(&b.key));
+    for pair in order.windows(2) {
+        if pair[0].key == pair[1].key {
+            return Err(CodecError::InvalidKey { reason: "duplicate key" });
+        }
+    }
+    let mut out = open_frame(MAP_MAGIC);
+    put_u64(&mut out, order.len() as u64);
+    for entry in order {
+        validate_key(&entry.key)?;
+        put_u64(&mut out, entry.key.len() as u64);
+        out.extend_from_slice(entry.key.as_bytes());
+        put_u64(&mut out, entry.epoch);
+        match &entry.synopsis {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                let blob = encode_synopsis(s);
+                put_u64(&mut out, blob.len() as u64);
+                out.extend_from_slice(&blob);
+            }
+        }
+    }
+    Ok(seal(out))
+}
+
+/// Decodes an `AHISTMAP` container produced by [`encode_store_map`].
+///
+/// Total on arbitrary bytes, and strict about canonical form: keys must be
+/// valid UTF-8 within the length cap and strictly ascending (which also
+/// rules out duplicates), so any decoded map re-encodes to the same bytes.
+pub fn decode_store_map(bytes: &[u8]) -> CodecResult<StoreMapSnapshot> {
+    let payload = check_envelope(bytes, &MAP_MAGIC)?;
+    let mut reader = Reader::new(payload);
+    // Smallest possible entry: key section (8 + 1) + epoch (8) + presence (1).
+    let count = reader.count("store-map entries", 18)?;
+    let mut entries: Vec<StoreMapEntry> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key_bytes = reader.section("store-map key")?;
+        let key = std::str::from_utf8(key_bytes)
+            .map_err(|_| CodecError::InvalidKey { reason: "key is not valid UTF-8" })?;
+        validate_key(key)?;
+        if let Some(last) = entries.last() {
+            if last.key.as_str() >= key {
+                return Err(CodecError::InvalidKey { reason: "keys out of canonical order" });
+            }
+        }
+        let epoch = reader.u64()?;
+        let synopsis = match reader.u8()? {
+            0 => None,
+            1 => Some(decode_synopsis(reader.section("store-map synopsis")?)?),
+            found => return Err(CodecError::InvalidTag { what: "store-map presence", found }),
+        };
+        entries.push(StoreMapEntry { key: key.to_owned(), epoch, synopsis });
+    }
+    reader.finish()?;
+    Ok(StoreMapSnapshot { entries })
+}
+
+// ---------------------------------------------------------------------------
 // Streaming-checkpoint container.
 // ---------------------------------------------------------------------------
 
@@ -527,8 +641,55 @@ mod tests {
         let synopsis_bytes = encode_synopsis(&histogram_synopsis());
         assert!(matches!(decode_store_snapshot(&synopsis_bytes), Err(CodecError::BadMagic)));
         assert!(matches!(decode_stream_checkpoint(&synopsis_bytes), Err(CodecError::BadMagic)));
+        assert!(matches!(decode_store_map(&synopsis_bytes), Err(CodecError::BadMagic)));
         let store_bytes = encode_store_snapshot(1, None);
         assert!(matches!(decode_synopsis(&store_bytes), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn store_map_round_trips_in_canonical_order() {
+        let entries = vec![
+            StoreMapEntry { key: "zeta".into(), epoch: 9, synopsis: Some(histogram_synopsis()) },
+            StoreMapEntry { key: "alpha".into(), epoch: 0, synopsis: None },
+            StoreMapEntry { key: "mid".into(), epoch: 3, synopsis: Some(polynomial_synopsis()) },
+        ];
+        let bytes = encode_store_map(&entries).unwrap();
+        let decoded = decode_store_map(&bytes).unwrap();
+        let keys: Vec<&str> = decoded.entries.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, ["alpha", "mid", "zeta"], "entries come back in canonical order");
+        assert_eq!(decoded.entries[0].epoch, 0);
+        assert!(decoded.entries[0].synopsis.is_none());
+        assert_bit_identical(decoded.entries[2].synopsis.as_ref().unwrap(), &histogram_synopsis());
+        // Canonical form: re-encoding the decoded map reproduces the bytes.
+        assert_eq!(encode_store_map(&decoded.entries).unwrap(), bytes);
+    }
+
+    #[test]
+    fn store_map_rejects_rule_breaking_keys() {
+        let entry = |key: &str| StoreMapEntry { key: key.into(), epoch: 1, synopsis: None };
+        assert!(matches!(
+            encode_store_map(&[entry("")]),
+            Err(CodecError::InvalidKey { reason: "key is empty" })
+        ));
+        let long = "k".repeat(MAX_KEY_BYTES + 1);
+        assert!(matches!(
+            encode_store_map(&[entry(&long)]),
+            Err(CodecError::InvalidKey { reason: "key exceeds MAX_KEY_BYTES" })
+        ));
+        assert!(matches!(
+            encode_store_map(&[entry("dup"), entry("dup")]),
+            Err(CodecError::InvalidKey { reason: "duplicate key" })
+        ));
+        // The cap itself is fine.
+        let exact = "k".repeat(MAX_KEY_BYTES);
+        let bytes = encode_store_map(&[entry(&exact)]).unwrap();
+        assert_eq!(decode_store_map(&bytes).unwrap().entries[0].key, exact);
+    }
+
+    #[test]
+    fn empty_store_map_round_trips() {
+        let bytes = encode_store_map(&[]).unwrap();
+        assert!(decode_store_map(&bytes).unwrap().entries.is_empty());
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub enum CodecError {
     },
     /// The estimator-name section is not valid UTF-8.
     NonUtf8Name,
+    /// A store-map key violates the key-encoding rules (empty, longer than
+    /// `MAX_KEY_BYTES`, not valid UTF-8, duplicated, or out of canonical
+    /// sorted order).
+    InvalidKey {
+        /// Which rule the key broke.
+        reason: &'static str,
+    },
     /// A decoded floating-point field is NaN or infinite where the data
     /// model requires a finite value.
     NonFiniteValue {
@@ -103,6 +110,7 @@ impl fmt::Display for CodecError {
                 write!(f, "{what} does not fit this platform's usize")
             }
             CodecError::NonUtf8Name => write!(f, "estimator name is not valid UTF-8"),
+            CodecError::InvalidKey { reason } => write!(f, "invalid store-map key: {reason}"),
             CodecError::NonFiniteValue { what } => {
                 write!(f, "{what} is NaN or infinite")
             }

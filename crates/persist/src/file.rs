@@ -9,8 +9,9 @@ use std::path::{Path, PathBuf};
 use hist_core::Synopsis;
 
 use crate::codec::{
-    decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_store_snapshot,
-    encode_stream_checkpoint, encode_synopsis, StoreSnapshot, StreamCheckpoint,
+    decode_store_map, decode_store_snapshot, decode_stream_checkpoint, decode_synopsis,
+    encode_store_map, encode_store_snapshot, encode_stream_checkpoint, encode_synopsis,
+    StoreMapEntry, StoreMapSnapshot, StoreSnapshot, StreamCheckpoint,
 };
 use crate::error::PersistResult;
 
@@ -65,6 +66,18 @@ pub fn save_store_snapshot(
 /// Loads the store snapshot previously saved with [`save_store_snapshot`].
 pub fn load_store_snapshot(path: impl AsRef<Path>) -> PersistResult<StoreSnapshot> {
     Ok(decode_store_snapshot(&fs::read(path)?)?)
+}
+
+/// Saves a keyed store map to `path` as an `AHISTMAP` container (atomic
+/// replace). Entries land in canonical ascending-key order whatever the
+/// input order.
+pub fn save_store_map(path: impl AsRef<Path>, entries: &[StoreMapEntry]) -> PersistResult<()> {
+    write_atomic(path.as_ref(), &encode_store_map(entries)?)
+}
+
+/// Loads the keyed store map previously saved with [`save_store_map`].
+pub fn load_store_map(path: impl AsRef<Path>) -> PersistResult<StoreMapSnapshot> {
+    Ok(decode_store_map(&fs::read(path)?)?)
 }
 
 /// Saves a streaming checkpoint to `path` as an `AHISTCKP` container

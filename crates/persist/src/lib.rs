@@ -16,13 +16,14 @@
 //! ## Format
 //!
 //! Every container is `magic (8) | version (u16 LE) | payload | crc32 (u32
-//! LE)`, with three container kinds distinguished by magic:
+//! LE)`, with four container kinds distinguished by magic:
 //!
 //! | magic      | contents                                                 |
 //! |------------|----------------------------------------------------------|
 //! | `AHISTSYN` | one [`Synopsis`](hist_core::Synopsis)                    |
 //! | `AHISTSTO` | a [`StoreSnapshot`]: serving epoch + optional synopsis   |
 //! | `AHISTCKP` | a [`StreamCheckpoint`]: resumable streaming-build state  |
+//! | `AHISTMAP` | a [`StoreMapSnapshot`]: a whole keyed tenant map         |
 //!
 //! Payload fields are little-endian and sections are length-prefixed, so the
 //! format is stable across platforms and versions are free to append
@@ -67,13 +68,15 @@ pub mod file;
 pub mod wire;
 
 pub use codec::{
-    decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_store_snapshot,
-    encode_stream_checkpoint, encode_synopsis, StoreSnapshot, StreamCheckpoint, CHECKPOINT_MAGIC,
-    FALLBACK_NAME, FORMAT_VERSION, STORE_MAGIC, SYNOPSIS_MAGIC,
+    decode_store_map, decode_store_snapshot, decode_stream_checkpoint, decode_synopsis,
+    encode_store_map, encode_store_snapshot, encode_stream_checkpoint, encode_synopsis,
+    validate_key, StoreMapEntry, StoreMapSnapshot, StoreSnapshot, StreamCheckpoint,
+    CHECKPOINT_MAGIC, FALLBACK_NAME, FORMAT_VERSION, MAP_MAGIC, MAX_KEY_BYTES, STORE_MAGIC,
+    SYNOPSIS_MAGIC,
 };
 pub use crc32::crc32;
 pub use error::{CodecError, CodecResult, PersistError, PersistResult};
 pub use file::{
-    load_store_snapshot, load_stream_checkpoint, load_synopsis, save_store_snapshot,
-    save_stream_checkpoint, save_synopsis,
+    load_store_map, load_store_snapshot, load_stream_checkpoint, load_synopsis, save_store_map,
+    save_store_snapshot, save_stream_checkpoint, save_synopsis,
 };

@@ -3,7 +3,7 @@
 //! The concurrent serving layer of the workspace: keep one synopsis live
 //! under heavy read traffic while a background writer refreshes it.
 //!
-//! Two pieces, both `std`-only:
+//! Three pieces, all `std`-only:
 //!
 //! * [`SynopsisStore`] — an epoch/snapshot store. Readers clone an
 //!   `Arc<Synopsis>` snapshot (wait-free in practice: the read-side lock is
@@ -17,6 +17,12 @@
 //!   (via the `hist-persist` binary format) and [`SynopsisStore::open`]
 //!   warm-starts a store across a process restart with the epoch sequence
 //!   continuing monotonically.
+//! * [`StoreMap`] — the multi-tenant layer: many keyed [`SynopsisStore`]s
+//!   behind a shard-by-key-hash array of locks, with per-key
+//!   publish/update/snapshot, key listing and eviction, an on-demand merged
+//!   global view (`tree_merge` over every served key in canonical key
+//!   order), and whole-map persistence (`AHISTMAP`) with per-key epochs
+//!   monotone across restarts.
 //! * [`QueryExecutor`] — a fixed [`ThreadPool`] sharding
 //!   `mass_batch`/`quantile_batch` workloads into contiguous per-worker
 //!   shards and recombining the answers in input order, identical to the
@@ -68,7 +74,9 @@
 pub mod executor;
 pub mod pool;
 pub mod store;
+pub mod store_map;
 
 pub use executor::QueryExecutor;
 pub use pool::ThreadPool;
 pub use store::{Snapshot, SynopsisStore};
+pub use store_map::{validate_key, MergedView, StoreMap, StoreMapStats, DEFAULT_KEY};

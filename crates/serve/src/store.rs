@@ -165,13 +165,18 @@ impl SynopsisStore {
     /// writes its own uniquely named temp sibling before renaming, so
     /// concurrent saves to the same path each land whole.
     pub fn save(&self, path: impl AsRef<Path>) -> PersistResult<()> {
-        // Holding the writer mutex pins (epoch, synopsis) as a consistent
-        // pair: install/update_merge write both fields under this lock.
-        let (epoch, snapshot) = {
-            let last_epoch = self.writer.lock().expect("writer lock poisoned");
-            (*last_epoch, self.snapshot())
-        };
+        let (epoch, snapshot) = self.persisted_state();
         save_store_snapshot(path, epoch, snapshot.as_ref().map(|s| s.synopsis().as_ref()))
+    }
+
+    /// Captures the `(last published epoch, served snapshot)` pair that
+    /// [`SynopsisStore::save`] would persist, consistent even under
+    /// concurrent publishes: the writer mutex is held just long enough for
+    /// the capture (install/update_merge write both fields under that lock),
+    /// so callers can encode or ship the pair without stalling writers.
+    pub fn persisted_state(&self) -> (u64, Option<Snapshot>) {
+        let last_epoch = self.writer.lock().expect("writer lock poisoned");
+        (*last_epoch, self.snapshot())
     }
 
     /// Reopens a store previously [`SynopsisStore::save`]d: the returned
@@ -187,21 +192,29 @@ impl SynopsisStore {
     /// epochs jump backwards) after enough later publishes.
     pub fn open(path: impl AsRef<Path>) -> PersistResult<Self> {
         let persisted = load_store_snapshot(path)?;
-        if persisted.epoch > u64::MAX / 2 {
+        Self::resume(persisted.epoch, persisted.synopsis)
+    }
+
+    /// Rebuilds a store from persisted parts: serving `synopsis` (if any) at
+    /// `epoch`, with later publishes continuing the epoch sequence. This is
+    /// the validation funnel shared by [`SynopsisStore::open`] and the keyed
+    /// [`StoreMap`](crate::StoreMap): epochs in the upper half of the `u64`
+    /// range are rejected as forged — no real store publishes 2⁶³ times, and
+    /// accepting one would let the counter overflow (and epochs jump
+    /// backwards) after enough later publishes.
+    pub fn resume(epoch: u64, synopsis: Option<Synopsis>) -> PersistResult<Self> {
+        if epoch > u64::MAX / 2 {
             return Err(hist_persist::CodecError::Invalid(hist_core::Error::InvalidParameter {
                 name: "epoch",
-                reason: format!(
-                    "persisted epoch {} is beyond any reachable publish count",
-                    persisted.epoch
-                ),
+                reason: format!("persisted epoch {epoch} is beyond any reachable publish count"),
             })
             .into());
         }
         let store = Self::new();
-        *store.writer.lock().expect("writer lock poisoned") = persisted.epoch;
-        if let Some(synopsis) = persisted.synopsis {
+        *store.writer.lock().expect("writer lock poisoned") = epoch;
+        if let Some(synopsis) = synopsis {
             *store.current.write().expect("store lock poisoned") =
-                Some(Snapshot { epoch: persisted.epoch, synopsis: synopsis.into_shared() });
+                Some(Snapshot { epoch, synopsis: synopsis.into_shared() });
         }
         Ok(store)
     }

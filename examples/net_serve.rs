@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use approx_hist::{
     Estimator, EstimatorBuilder, EstimatorKind, GreedyMerging, HistClient, HistServer, Interval,
-    ServerConfig, Signal, SynopsisStore,
+    ServerConfig, Signal, StoreMap, DEFAULT_KEY,
 };
 
 fn signal(lo: usize, n: usize) -> Signal {
@@ -23,9 +23,9 @@ fn main() {
     let k = 12;
     let n = 1 << 14;
 
-    // --- Spawn: an empty store behind an ephemeral loopback port.
-    let store = Arc::new(SynopsisStore::new());
-    let server = HistServer::bind("127.0.0.1:0", Arc::clone(&store), ServerConfig::default())
+    // --- Spawn: an empty keyed store map behind an ephemeral loopback port.
+    let map = Arc::new(StoreMap::new());
+    let server = HistServer::bind("127.0.0.1:0", Arc::clone(&map), ServerConfig::default())
         .expect("ephemeral loopback bind");
     println!("server:    listening on {}", server.local_addr());
 
@@ -70,10 +70,11 @@ fn main() {
         stats.synopsis.as_ref().expect("published").pieces,
     );
 
-    // --- The owning process shares the same store: the wire updates are
-    //     visible locally, epoch included.
-    assert_eq!(store.epoch(), stats.epoch);
-    println!("store:     in-process view agrees: epoch {}", store.epoch());
+    // --- The owning process shares the same store map: the wire updates
+    //     are visible locally, epoch included. (This keyless client lives at
+    //     the default key; `examples/multi_tenant.rs` shows many keys.)
+    assert_eq!(map.epoch(DEFAULT_KEY), stats.epoch);
+    println!("store:     in-process view agrees: epoch {}", map.epoch(DEFAULT_KEY));
     drop(client);
     // Graceful shutdown on drop: accept loop and handlers join here.
 }

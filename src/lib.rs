@@ -75,19 +75,24 @@
 //!   built on [`Synopsis::merge`](hist_core::Synopsis::merge);
 //! * [`serve`] (`hist-serve`) — the concurrent serving layer:
 //!   [`SynopsisStore`] (epoch/snapshot store with wait-free reads under a
-//!   background refitter, durable via `save`/`open`) and [`QueryExecutor`]
-//!   (batched queries sharded over a fixed thread pool);
+//!   background refitter, durable via `save`/`open`), the multi-tenant
+//!   [`StoreMap`] (many keyed stores behind sharded locks, with key
+//!   listing/eviction, an on-demand tree-merged global view and whole-map
+//!   persistence) and [`QueryExecutor`] (batched queries sharded over a
+//!   fixed thread pool);
 //! * [`persist`] (`hist-persist`) — the persistent synopsis format: a
 //!   versioned, CRC-checked binary codec ([`encode_synopsis`] /
 //!   [`decode_synopsis`], panic-free on arbitrary bytes) with file helpers
 //!   ([`save_synopsis`] / [`load_synopsis`]), powering store snapshots on
-//!   disk and streaming checkpoint/resume;
+//!   disk, the keyed `AHISTMAP` store-map container and streaming
+//!   checkpoint/resume;
 //! * [`net`] (`hist-net`) — the network serving layer: a length-prefixed,
-//!   CRC-trailed binary TCP protocol over the synopsis store
-//!   ([`HistServer`] / [`HistClient`]), with batch query ops, admin
-//!   publish/merge ops shipping synopses in the `AHISTSYN` encoding, typed
-//!   error frames, and hostile-peer bounds (max frame size, per-connection
-//!   request budgets).
+//!   CRC-trailed binary TCP protocol (v2, with keyless v1 compat) over the
+//!   keyed store map ([`HistServer`] / [`HistClient`]), with per-key batch
+//!   query ops, store-wide admin ops (key listing/eviction, merged global
+//!   view, store stats), admin publish/merge ops shipping synopses in the
+//!   `AHISTSYN` encoding, typed error frames, and hostile-peer bounds (max
+//!   frame size, per-connection request budgets).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every table and figure of the paper.
@@ -109,16 +114,20 @@ pub use hist_core::{
     Synopsis,
 };
 pub use hist_net::{
-    ErrorCode, HistClient, HistServer, NetError, ServerConfig, Stamped, StoreStats, SynopsisStats,
+    ErrorCode, HistClient, HistServer, NetError, ServerConfig, Stamped, StoreStats, StoreWideStats,
+    SynopsisStats,
 };
 pub use hist_persist::{
-    decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_store_snapshot,
-    encode_stream_checkpoint, encode_synopsis, load_synopsis, save_synopsis, CodecError,
-    PersistError, StoreSnapshot, StreamCheckpoint,
+    decode_store_map, decode_store_snapshot, decode_stream_checkpoint, decode_synopsis,
+    encode_store_map, encode_store_snapshot, encode_stream_checkpoint, encode_synopsis,
+    load_store_map, load_synopsis, save_store_map, save_synopsis, CodecError, PersistError,
+    StoreMapEntry, StoreMapSnapshot, StoreSnapshot, StreamCheckpoint,
 };
 pub use hist_poly::PiecewisePoly;
 pub use hist_sampling::SampleLearner;
-pub use hist_serve::{QueryExecutor, Snapshot, SynopsisStore};
+pub use hist_serve::{
+    MergedView, QueryExecutor, Snapshot, StoreMap, StoreMapStats, SynopsisStore, DEFAULT_KEY,
+};
 pub use hist_stream::{
     ChunkedFitter, ParallelChunkedFitter, SlidingWindow, StreamingBuilder, StreamingMerging,
 };

@@ -25,7 +25,7 @@ use approx_hist::net::{
 use approx_hist::persist::crc32;
 use approx_hist::{
     Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, NetError, ServerConfig,
-    Signal, SynopsisStore,
+    Signal, StoreMap, DEFAULT_KEY,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,13 +39,16 @@ fn served_synopsis() -> approx_hist::Synopsis {
 }
 
 fn spawn_server() -> HistServer {
-    let store = Arc::new(SynopsisStore::with_initial(served_synopsis()));
-    HistServer::bind("127.0.0.1:0", store, ServerConfig::default()).expect("ephemeral bind")
+    let map = Arc::new(StoreMap::with_initial(served_synopsis()));
+    HistServer::bind("127.0.0.1:0", map, ServerConfig::default()).expect("ephemeral bind")
 }
 
 /// A benign request whose answer proves the server is still alive.
 fn health_probe() -> Vec<u8> {
-    approx_hist::net::encode_request(&Request::QuantileBatch(vec![0.5]))
+    approx_hist::net::encode_request(&Request::QuantileBatch {
+        key: DEFAULT_KEY.into(),
+        ps: vec![0.5],
+    })
 }
 
 /// Writes `bytes` to a fresh connection, closes the write side, and collects
@@ -106,8 +109,14 @@ fn assert_all_errors(responses: &[Response], context: &str) {
 fn truncation_at_every_prefix_length_closes_cleanly_or_errors() {
     let mut server = spawn_server();
     let requests = [
-        approx_hist::net::encode_request(&Request::CdfBatch(vec![0, 7, 128, 255])),
-        approx_hist::net::encode_request(&Request::MassBatch(vec![(0, 63), (64, 255)])),
+        approx_hist::net::encode_request(&Request::CdfBatch {
+            key: DEFAULT_KEY.into(),
+            xs: vec![0, 7, 128, 255],
+        }),
+        approx_hist::net::encode_request(&Request::MassBatch {
+            key: DEFAULT_KEY.into(),
+            ranges: vec![(0, 63), (64, 255)],
+        }),
     ];
     for message in &requests {
         for len in 0..message.len() {
@@ -127,7 +136,10 @@ fn truncation_at_every_prefix_length_closes_cleanly_or_errors() {
 #[test]
 fn single_byte_flips_at_every_offset_are_contained() {
     let mut server = spawn_server();
-    let message = approx_hist::net::encode_request(&Request::CdfBatch(vec![3, 200]));
+    let message = approx_hist::net::encode_request(&Request::CdfBatch {
+        key: DEFAULT_KEY.into(),
+        xs: vec![3, 200],
+    });
     for offset in 0..message.len() {
         for mask in [0x01u8, 0x80, 0xFF] {
             let mut corrupted = message.clone();
@@ -209,11 +221,14 @@ fn forged_lengths_counts_ops_and_versions_are_typed_errors() {
     // A server configured with a small frame limit enforces *its* limit.
     let small = HistServer::bind(
         "127.0.0.1:0",
-        Arc::new(SynopsisStore::with_initial(served_synopsis())),
+        Arc::new(StoreMap::with_initial(served_synopsis())),
         ServerConfig { max_frame_bytes: 256, ..ServerConfig::default() },
     )
     .unwrap();
-    let big_batch = approx_hist::net::encode_request(&Request::CdfBatch(vec![1; 4096]));
+    let big_batch = approx_hist::net::encode_request(&Request::CdfBatch {
+        key: DEFAULT_KEY.into(),
+        xs: vec![1; 4096],
+    });
     assert!(big_batch.len() > 256);
     let responses = poke(&small, &big_batch);
     assert_eq!(responses.len(), 1);
@@ -241,7 +256,10 @@ fn invalid_queries_and_synopses_are_typed_errors_on_a_live_connection() {
     // A Publish whose blob is not an AHISTSYN container.
     let responses = poke(
         &server,
-        &approx_hist::net::encode_request(&Request::Publish(b"definitely not a synopsis".to_vec())),
+        &approx_hist::net::encode_request(&Request::Publish {
+            key: DEFAULT_KEY.into(),
+            synopsis: b"definitely not a synopsis".to_vec(),
+        }),
     );
     assert_eq!(responses.len(), 1);
     assert!(matches!(&responses[0], Response::Error { code: ErrorCode::InvalidSynopsis, .. }));
@@ -250,7 +268,11 @@ fn invalid_queries_and_synopses_are_typed_errors_on_a_live_connection() {
     let blob = approx_hist::encode_synopsis(&served_synopsis());
     let responses = poke(
         &server,
-        &approx_hist::net::encode_request(&Request::UpdateMerge { budget: 0, synopsis: blob }),
+        &approx_hist::net::encode_request(&Request::UpdateMerge {
+            key: DEFAULT_KEY.into(),
+            budget: 0,
+            synopsis: blob,
+        }),
     );
     assert_eq!(responses.len(), 1);
     assert!(matches!(&responses[0], Response::Error { code: ErrorCode::InvalidSynopsis, .. }));
@@ -264,7 +286,7 @@ fn invalid_queries_and_synopses_are_typed_errors_on_a_live_connection() {
 #[test]
 fn queries_against_an_empty_store_get_typed_empty_store_errors() {
     let mut server =
-        HistServer::bind("127.0.0.1:0", Arc::new(SynopsisStore::new()), ServerConfig::default())
+        HistServer::bind("127.0.0.1:0", Arc::new(StoreMap::new()), ServerConfig::default())
             .unwrap();
     let mut client = HistClient::connect(server.local_addr()).unwrap();
     for result in [

@@ -1,14 +1,25 @@
 //! Golden *binary* fixtures for the wire protocol: canonical request and
-//! response messages committed under `tests/fixtures/net_*_v1.bin`, decoded
-//! and checked against their construction values — so any accidental change
-//! to the on-wire format (field order, widths, endianness, opcode values,
-//! CRC parameterization, length-prefix semantics) fails CI even while
-//! encode/decode still round-trip each other.
+//! response messages committed under `tests/fixtures/net_*_v{1,2}.bin`,
+//! decoded and checked against their construction values — so any
+//! accidental change to the on-wire format (field order, widths,
+//! endianness, opcode values, CRC parameterization, length-prefix
+//! semantics, key sections) fails CI even while encode/decode still
+//! round-trip each other.
+//!
+//! Two generations are pinned:
+//!
+//! * the `*_v1.bin` set froze protocol v1 (keyless single-store) — a v2
+//!   build must keep decoding those exact bytes (to [`DEFAULT_KEY`]) *and*
+//!   keep producing them bit for bit through the versioned encoder, since
+//!   that is what "v1 clients still work" means;
+//! * the `*_v2.bin` set freezes protocol v2 (keyed multi-tenant), covering
+//!   every op including the v2-only `StoreStats`/`ListKeys`/`MergedView`/
+//!   `DropKey` family.
 //!
 //! The publish/update fixtures nest the *committed persist fixture*
 //! (`synopsis_merging_steps_v1.bin`) as their synopsis blob, pinning the
-//! protocol-version ↔ persist-format coupling in bytes: protocol v1 frames
-//! carry format v1 containers.
+//! protocol-version ↔ persist-format coupling in bytes: both protocol
+//! generations carry format v1 containers.
 //!
 //! If one of these fails after an *intentional* format change, bump
 //! `PROTOCOL_VERSION`, regenerate with
@@ -18,10 +29,12 @@
 use std::path::PathBuf;
 
 use approx_hist::net::{
-    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
-    SynopsisStats, PROTOCOL_VERSION,
+    decode_request, decode_response, encode_request, encode_request_versioned, encode_response,
+    encode_response_versioned, ErrorCode, Request, Response, StoreWideStats, SynopsisStats,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use approx_hist::persist::FORMAT_VERSION;
+use approx_hist::DEFAULT_KEY;
 
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
@@ -34,23 +47,32 @@ fn synopsis_blob() -> Vec<u8> {
         .expect("the persist golden fixture is committed")
 }
 
-/// Every request fixture: deterministic construction values.
-fn golden_requests() -> Vec<(&'static str, Request)> {
+/// The v1 request fixtures: the keyless layout, frozen when v1 was current.
+/// Construction values are unchanged from that release; under v2 they
+/// decode as addressing [`DEFAULT_KEY`].
+fn golden_requests_v1() -> Vec<(&'static str, Request)> {
+    let key = || DEFAULT_KEY.to_string();
     vec![
-        ("net_cdf_request_v1.bin", Request::CdfBatch(vec![0, 7, 128, 255])),
-        ("net_quantile_request_v1.bin", Request::QuantileBatch(vec![0.0, 0.25, 0.5, 0.75, 1.0])),
-        ("net_mass_request_v1.bin", Request::MassBatch(vec![(0, 63), (64, 255), (10, 10)])),
-        ("net_stats_request_v1.bin", Request::Stats),
-        ("net_publish_request_v1.bin", Request::Publish(synopsis_blob())),
+        ("net_cdf_request_v1.bin", Request::CdfBatch { key: key(), xs: vec![0, 7, 128, 255] }),
+        (
+            "net_quantile_request_v1.bin",
+            Request::QuantileBatch { key: key(), ps: vec![0.0, 0.25, 0.5, 0.75, 1.0] },
+        ),
+        (
+            "net_mass_request_v1.bin",
+            Request::MassBatch { key: key(), ranges: vec![(0, 63), (64, 255), (10, 10)] },
+        ),
+        ("net_stats_request_v1.bin", Request::Stats { key: key() }),
+        ("net_publish_request_v1.bin", Request::Publish { key: key(), synopsis: synopsis_blob() }),
         (
             "net_update_request_v1.bin",
-            Request::UpdateMerge { budget: 11, synopsis: synopsis_blob() },
+            Request::UpdateMerge { key: key(), budget: 11, synopsis: synopsis_blob() },
         ),
     ]
 }
 
-/// Every response fixture: deterministic construction values.
-fn golden_responses() -> Vec<(&'static str, Response)> {
+/// The v1 response fixtures (every response kind v1 could express).
+fn golden_responses_v1() -> Vec<(&'static str, Response)> {
     vec![
         (
             "net_cdf_response_v1.bin",
@@ -89,15 +111,120 @@ fn golden_responses() -> Vec<(&'static str, Response)> {
     ]
 }
 
+/// The v2 request fixtures: the keyed layout plus the v2-only ops.
+fn golden_requests_v2() -> Vec<(&'static str, Request)> {
+    let key = || "tenants/api-login".to_string();
+    vec![
+        ("net_cdf_request_v2.bin", Request::CdfBatch { key: key(), xs: vec![0, 7, 128, 255] }),
+        (
+            "net_quantile_request_v2.bin",
+            Request::QuantileBatch { key: key(), ps: vec![0.0, 0.25, 0.5, 0.75, 1.0] },
+        ),
+        (
+            "net_mass_request_v2.bin",
+            Request::MassBatch { key: key(), ranges: vec![(0, 63), (64, 255), (10, 10)] },
+        ),
+        ("net_stats_request_v2.bin", Request::Stats { key: key() }),
+        ("net_store_stats_request_v2.bin", Request::StoreStats),
+        ("net_list_keys_request_v2.bin", Request::ListKeys),
+        ("net_merged_view_request_v2.bin", Request::MergedView { budget: 11 }),
+        ("net_publish_request_v2.bin", Request::Publish { key: key(), synopsis: synopsis_blob() }),
+        (
+            "net_update_request_v2.bin",
+            Request::UpdateMerge { key: key(), budget: 11, synopsis: synopsis_blob() },
+        ),
+        ("net_drop_key_request_v2.bin", Request::DropKey { key: key() }),
+    ]
+}
+
+/// The v2 response fixtures: every response kind, v2-only ones included.
+fn golden_responses_v2() -> Vec<(&'static str, Response)> {
+    vec![
+        (
+            "net_cdf_response_v2.bin",
+            Response::CdfBatch { epoch: 7, values: vec![0.0, 0.109375, 0.6015625, 1.0] },
+        ),
+        (
+            "net_quantile_response_v2.bin",
+            Response::QuantileBatch { epoch: 7, indices: vec![0, 79, 114, 207, 236] },
+        ),
+        (
+            "net_mass_response_v2.bin",
+            Response::MassBatch { epoch: 7, masses: vec![135.0, 825.0, 1.5] },
+        ),
+        (
+            "net_stats_response_v2.bin",
+            Response::Stats {
+                epoch: 7,
+                synopsis: Some(SynopsisStats {
+                    domain: 256,
+                    pieces: 13,
+                    target_k: 5,
+                    total_mass: 960.0,
+                    estimator: "merging".into(),
+                }),
+            },
+        ),
+        (
+            "net_store_stats_response_v2.bin",
+            Response::StoreStats {
+                epoch: 9,
+                stats: StoreWideStats {
+                    keys: 3,
+                    served: 2,
+                    total_pieces: 26,
+                    min_epoch: 0,
+                    max_epoch: 9,
+                },
+            },
+        ),
+        (
+            "net_list_keys_response_v2.bin",
+            Response::KeyList {
+                epoch: 9,
+                keys: vec![
+                    "default".into(),
+                    "tenants/api-login".into(),
+                    "tenants/api-search".into(),
+                ],
+            },
+        ),
+        (
+            "net_merged_view_response_v2.bin",
+            Response::MergedView { epoch: 9, keys: 2, synopsis: synopsis_blob() },
+        ),
+        ("net_updated_response_v2.bin", Response::Updated { epoch: 8 }),
+        ("net_dropped_response_v2.bin", Response::Dropped { epoch: 8, existed: true }),
+        (
+            "net_error_response_v2.bin",
+            Response::Error {
+                epoch: 7,
+                code: ErrorCode::UnknownKey,
+                message: "key \"tenants/api-logout\" is not present in the store map".into(),
+            },
+        ),
+    ]
+}
+
 #[test]
 #[ignore = "fixture-regeneration helper, not a regression test"]
 fn regenerate_net_fixtures() {
-    for (name, request) in golden_requests() {
+    for (name, request) in golden_requests_v1() {
+        let bytes = encode_request_versioned(1, &request).expect("v1-expressible request");
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        println!("{name}: {} bytes", bytes.len());
+    }
+    for (name, response) in golden_responses_v1() {
+        let bytes = encode_response_versioned(1, &response).expect("v1-expressible response");
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        println!("{name}: {} bytes", bytes.len());
+    }
+    for (name, request) in golden_requests_v2() {
         let bytes = encode_request(&request);
         std::fs::write(fixture_path(name), &bytes).expect("write fixture");
         println!("{name}: {} bytes", bytes.len());
     }
-    for (name, response) in golden_responses() {
+    for (name, response) in golden_responses_v2() {
         let bytes = encode_response(&response);
         std::fs::write(fixture_path(name), &bytes).expect("write fixture");
         println!("{name}: {} bytes", bytes.len());
@@ -105,8 +232,40 @@ fn regenerate_net_fixtures() {
 }
 
 #[test]
-fn committed_request_frames_still_decode_and_reencode_bit_for_bit() {
-    for (name, expected) in golden_requests() {
+fn committed_v1_request_frames_still_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_requests_v1() {
+        let committed = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+        let decoded = decode_request(&committed)
+            .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
+        assert_eq!(decoded, expected, "{name}: decoded request changed");
+        assert_eq!(
+            encode_request_versioned(1, &expected).expect("v1-expressible request"),
+            committed,
+            "{name}: re-encoded v1 bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn committed_v1_response_frames_still_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_responses_v1() {
+        let committed = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+        let decoded = decode_response(&committed)
+            .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
+        assert_eq!(decoded, expected, "{name}: decoded response changed");
+        assert_eq!(
+            encode_response_versioned(1, &expected).expect("v1-expressible response"),
+            committed,
+            "{name}: re-encoded v1 bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn committed_v2_request_frames_still_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_requests_v2() {
         let committed = std::fs::read(fixture_path(name))
             .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
         let decoded = decode_request(&committed)
@@ -117,8 +276,8 @@ fn committed_request_frames_still_decode_and_reencode_bit_for_bit() {
 }
 
 #[test]
-fn committed_response_frames_still_decode_and_reencode_bit_for_bit() {
-    for (name, expected) in golden_responses() {
+fn committed_v2_response_frames_still_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_responses_v2() {
         let committed = std::fs::read(fixture_path(name))
             .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
         let decoded = decode_response(&committed)
@@ -129,20 +288,38 @@ fn committed_response_frames_still_decode_and_reencode_bit_for_bit() {
 }
 
 #[test]
-fn protocol_version_is_tied_to_the_persist_format_version() {
-    // Protocol frames carry AHISTSYN blobs: v1 of the protocol pins v1 of
-    // the persist format. Bump the fixture file names with either version.
-    assert_eq!(PROTOCOL_VERSION, 1, "bump the net fixture file names with the protocol version");
-    assert_eq!(
-        PROTOCOL_VERSION, FORMAT_VERSION,
-        "the wire protocol and the persist format version must move together"
-    );
-    // The committed publish fixture begins, after its frame header, with a
-    // nested AHISTSYN container — the coupling is visible in the bytes.
-    let publish = std::fs::read(fixture_path("net_publish_request_v1.bin")).unwrap();
-    let needle = b"AHISTSYN";
+fn protocol_versions_are_pinned_to_the_persist_format_version() {
+    // Protocol frames carry AHISTSYN blobs: the (format, protocol) version
+    // pair is pinned — both protocol generations this build speaks ship
+    // format-v1 containers. Bump the fixture file names with either version.
+    assert_eq!(PROTOCOL_VERSION, 2, "bump the net fixture file names with the protocol version");
+    assert_eq!(MIN_PROTOCOL_VERSION, 1, "v1 compat decode is part of the v2 contract");
+    assert_eq!(FORMAT_VERSION, 1, "both protocol generations pin persist format v1");
+    // The committed publish fixtures begin, after their frame headers, with
+    // a nested AHISTSYN container — the coupling is visible in the bytes of
+    // both generations.
+    for name in ["net_publish_request_v1.bin", "net_publish_request_v2.bin"] {
+        let publish = std::fs::read(fixture_path(name)).unwrap();
+        let needle = b"AHISTSYN";
+        assert!(
+            publish.windows(needle.len()).any(|w| w == needle),
+            "{name} must nest an AHISTSYN container"
+        );
+    }
+}
+
+#[test]
+fn the_v2_key_section_is_visible_in_the_bytes() {
+    // The keyed layout is not an abstraction detail: the key's UTF-8 bytes
+    // sit verbatim in the frame, after a u64 length prefix.
+    let committed = std::fs::read(fixture_path("net_stats_request_v2.bin")).unwrap();
+    let needle = b"tenants/api-login";
     assert!(
-        publish.windows(needle.len()).any(|w| w == needle),
-        "the publish fixture must nest an AHISTSYN container"
+        committed.windows(needle.len()).any(|w| w == needle),
+        "the key bytes must appear verbatim in the v2 frame"
     );
+    // And the v1 frame of the same op has no key section at all: it is
+    // exactly one envelope with an empty payload.
+    let v1 = std::fs::read(fixture_path("net_stats_request_v1.bin")).unwrap();
+    assert!(v1.len() < committed.len(), "the v1 stats frame must be smaller than the keyed v2 one");
 }

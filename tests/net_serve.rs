@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use approx_hist::{
     ErrorCode, Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, Interval,
-    NetError, ServerConfig, Signal, Synopsis, SynopsisStore,
+    NetError, ServerConfig, Signal, StoreMap, Synopsis, DEFAULT_KEY,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,9 +41,9 @@ fn chunk(seed: u64) -> Synopsis {
     estimator.fit(&Signal::from_dense(values).unwrap()).unwrap()
 }
 
-fn spawn_server(store: Arc<SynopsisStore>, connection_threads: usize) -> HistServer {
+fn spawn_server(map: Arc<StoreMap>, connection_threads: usize) -> HistServer {
     let config = ServerConfig { connection_threads, ..ServerConfig::default() };
-    HistServer::bind("127.0.0.1:0", store, config).expect("ephemeral bind")
+    HistServer::bind("127.0.0.1:0", map, config).expect("ephemeral bind")
 }
 
 fn bits(values: &[f64]) -> Vec<u64> {
@@ -52,7 +52,7 @@ fn bits(values: &[f64]) -> Vec<u64> {
 
 #[test]
 fn loopback_round_trip_is_bit_identical_for_every_estimator_kind() {
-    let mut server = spawn_server(Arc::new(SynopsisStore::new()), 2);
+    let mut server = spawn_server(Arc::new(StoreMap::new()), 2);
     let mut client = HistClient::connect(server.local_addr()).unwrap();
     let mut rng = StdRng::seed_from_u64(0x2015_0BEE);
 
@@ -123,10 +123,10 @@ fn empty_and_singleton_batches_work_through_the_network_path() {
     // Regression companion to the QueryExecutor empty-slice fix: the server
     // routes batch queries through the executor, so the degenerate batches
     // must round-trip the wire too.
-    let store = Arc::new(SynopsisStore::with_initial(chunk(1)));
-    let mut server = spawn_server(store, 2);
+    let map = Arc::new(StoreMap::with_initial(chunk(1)));
+    let mut server = spawn_server(map, 2);
     let mut client = HistClient::connect(server.local_addr()).unwrap();
-    let local = server.store().snapshot().unwrap();
+    let local = server.store_map().snapshot(DEFAULT_KEY).unwrap();
 
     let empty = client.cdf_batch(&[]).unwrap();
     assert_eq!(empty.value, Vec::<f64>::new());
@@ -149,13 +149,13 @@ fn empty_and_singleton_batches_work_through_the_network_path() {
 
 #[test]
 fn per_connection_request_limits_are_enforced() {
-    let store = Arc::new(SynopsisStore::with_initial(chunk(2)));
+    let map = Arc::new(StoreMap::with_initial(chunk(2)));
     let config = ServerConfig {
         max_requests_per_connection: 3,
         connection_threads: 2,
         ..ServerConfig::default()
     };
-    let mut server = HistServer::bind("127.0.0.1:0", store, config).unwrap();
+    let mut server = HistServer::bind("127.0.0.1:0", map, config).unwrap();
 
     let mut client = HistClient::connect(server.local_addr()).unwrap();
     for _ in 0..3 {
@@ -177,8 +177,8 @@ fn per_connection_request_limits_are_enforced() {
 
 #[test]
 fn shutdown_is_graceful_and_idempotent() {
-    let store = Arc::new(SynopsisStore::with_initial(chunk(3)));
-    let mut server = spawn_server(store, 2);
+    let map = Arc::new(StoreMap::with_initial(chunk(3)));
+    let mut server = spawn_server(map, 2);
     let addr = server.local_addr();
 
     // An idle connection is open while the server shuts down; shutdown must
@@ -200,12 +200,12 @@ fn shutdown_is_graceful_and_idempotent() {
 #[test]
 fn loopback_queries_ride_over_live_merge_updates() {
     let _gate = common::stress_gate();
-    let store = Arc::new(SynopsisStore::with_initial(chunk(100)));
-    let initial_epoch = store.epoch();
-    let initial_domain = store.snapshot().unwrap().domain();
+    let map = Arc::new(StoreMap::with_initial(chunk(100)));
+    let initial_epoch = map.epoch(DEFAULT_KEY);
+    let initial_domain = map.snapshot(DEFAULT_KEY).unwrap().domain();
     // Enough connection workers for every reader + the writer + health room:
     // a connection holds its worker for its lifetime.
-    let mut server = spawn_server(Arc::clone(&store), READERS + 2);
+    let mut server = spawn_server(Arc::clone(&map), READERS + 2);
     let addr = server.local_addr();
 
     let done = Arc::new(AtomicBool::new(false));
@@ -219,7 +219,7 @@ fn loopback_queries_ride_over_live_merge_updates() {
         let writer = {
             scope.spawn(move || {
                 let mut client = HistClient::connect(addr).expect("writer connect");
-                let mut mirror = store.snapshot().unwrap().synopsis().as_ref().clone();
+                let mut mirror = map.snapshot(DEFAULT_KEY).unwrap().synopsis().as_ref().clone();
                 let mut merges = 0usize;
                 let mut last_epoch = initial_epoch;
                 while Instant::now() < deadline || merges < MIN_MERGES {

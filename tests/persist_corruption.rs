@@ -10,8 +10,8 @@
 //! exercised, not just the checksum), and seeded random byte soup.
 
 use approx_hist::persist::{
-    crc32, decode_store_snapshot, decode_stream_checkpoint, decode_synopsis, encode_synopsis,
-    CodecError, FORMAT_VERSION, SYNOPSIS_MAGIC,
+    crc32, decode_store_map, decode_store_snapshot, decode_stream_checkpoint, decode_synopsis,
+    encode_synopsis, CodecError, FORMAT_VERSION, SYNOPSIS_MAGIC,
 };
 use approx_hist::{FittedModel, Histogram, Interval, PiecewisePolynomial, Synopsis};
 use hist_core::PolynomialPiece;
@@ -87,6 +87,7 @@ fn empty_and_wrong_magic_buffers_produce_distinct_typed_errors() {
     // A different container kind is also a wrong magic for this decoder.
     assert!(matches!(decode_store_snapshot(&histogram_fixture()), Err(CodecError::BadMagic)));
     assert!(matches!(decode_stream_checkpoint(&histogram_fixture()), Err(CodecError::BadMagic)));
+    assert!(matches!(decode_store_map(&histogram_fixture()), Err(CodecError::BadMagic)));
 
     // Short garbage that never was a container: BadMagic, not Truncated.
     assert!(matches!(decode_synopsis(b"zzz"), Err(CodecError::BadMagic)));
@@ -239,6 +240,7 @@ fn seeded_random_byte_soup_never_panics() {
         let _ = decode_synopsis(&bytes);
         let _ = decode_store_snapshot(&bytes);
         let _ = decode_stream_checkpoint(&bytes);
+        let _ = decode_store_map(&bytes);
 
         // Same soup behind a correct frame, so it reaches the payload parser.
         let framed = forge_synopsis_container(&bytes);
