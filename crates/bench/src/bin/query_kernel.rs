@@ -1,0 +1,217 @@
+//! Flat-vs-reference query-kernel microbench, written as JSON to
+//! `BENCH_query.json` at the workspace root (override with
+//! `HIST_BENCH_QUERY_OUT`).
+//!
+//! Measures single-thread batch query throughput of the flat
+//! structure-of-arrays kernels (`cdf_batch`/`quantile_batch`/`mass_batch`)
+//! against the retained pre-flat reference kernels (`cdf_ref` mapped over the
+//! batch, `quantile_batch_ref`, `mass_batch_ref`) on a merged histogram
+//! synopsis — the shape every serving snapshot has, since merges always
+//! produce histograms. The synopsis is fitted by `GreedyMerging` on a seeded
+//! `n = 2^20` step signal at `k = 64`, queried in batches of 4096 (the
+//! serving layer's bulk shape).
+//!
+//! Before any timing, every op's flat output is checked bit-for-bit against
+//! its reference output over the full query set — the run aborts (after
+//! writing nothing) on the first divergence, so a reported speedup always
+//! describes a kernel that answers identically.
+
+use std::io::Write as _;
+
+use approx_hist::{Estimator, EstimatorBuilder, GreedyMerging, Interval, Signal, Synopsis};
+use hist_bench::timing::time_algorithm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1 << 20;
+const K: usize = 64;
+const SEED: u64 = 2015;
+const BATCH: usize = 4096;
+const BATCHES: usize = 16;
+/// Widest mass-query range: `N/64` indices, ≈1.6 % selectivity. Range-count
+/// estimates are selective in practice; near-full-domain ranges would spend
+/// both kernels' time in the (shared, bit-identical) per-piece overlap walk
+/// and measure the signal fit instead of the query kernel.
+const MAX_RANGE_WIDTH: usize = N / 64;
+
+fn seeded_signal() -> Signal {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let values: Vec<f64> = (0..N)
+        .map(|i| ((i / (N / 32)) % 4) as f64 * 3.0 + 1.0 + rng.gen_range(0.0..0.25))
+        .collect();
+    Signal::from_dense(values).expect("finite signal")
+}
+
+const ROUNDS: usize = 7;
+
+/// One op's measurement: queries/s for both kernels over the same batches.
+struct OpResult {
+    op: &'static str,
+    ref_qps: f64,
+    flat_qps: f64,
+}
+
+impl OpResult {
+    fn speedup(&self) -> f64 {
+        self.flat_qps / self.ref_qps
+    }
+}
+
+fn measure(op: &'static str, mut reference: impl FnMut(), mut flat: impl FnMut()) -> OpResult {
+    let queries = (BATCH * BATCHES) as f64;
+    // Interleave the kernels round by round and keep each side's best: on a
+    // shared single-CPU box the clock and the neighbours drift on the scale
+    // of one measurement window, so back-to-back rounds — not two disjoint
+    // blocks — is what makes the pair comparable.
+    let (mut ref_s, mut flat_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        ref_s = ref_s.min(time_algorithm(&mut reference).1);
+        flat_s = flat_s.min(time_algorithm(&mut flat).1);
+    }
+    let result = OpResult { op, ref_qps: queries / ref_s, flat_qps: queries / flat_s };
+    println!(
+        "{op}: ref {:.2} Mq/s | flat {:.2} Mq/s | speedup {:.2}x",
+        result.ref_qps / 1e6,
+        result.flat_qps / 1e6,
+        result.speedup()
+    );
+    result
+}
+
+fn main() {
+    let signal = seeded_signal();
+    let estimator = GreedyMerging::new(EstimatorBuilder::new(K));
+    let synopsis: Synopsis = estimator.fit(&signal).expect("seeded fit");
+    let pieces = synopsis.num_pieces();
+    println!("query_kernel: n = {N}, k = {K} ({pieces} pieces), {BATCHES} batches of {BATCH}");
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x9E3779B97F4A7C15);
+    let xs_batches: Vec<Vec<usize>> =
+        (0..BATCHES).map(|_| (0..BATCH).map(|_| rng.gen_range(0..N)).collect()).collect();
+    let ps_batches: Vec<Vec<f64>> =
+        (0..BATCHES).map(|_| (0..BATCH).map(|_| rng.gen_range(0.0..=1.0)).collect()).collect();
+    let range_batches: Vec<Vec<Interval>> = (0..BATCHES)
+        .map(|_| {
+            (0..BATCH)
+                .map(|_| {
+                    let start = rng.gen_range(0..N);
+                    let end = (start + rng.gen_range(0..=MAX_RANGE_WIDTH)).min(N - 1);
+                    Interval::new(start, end).expect("ordered ends")
+                })
+                .collect()
+        })
+        .collect();
+
+    // --- Bit-identity gate: flat answers must equal reference answers
+    // exactly before a speedup over them means anything.
+    for xs in &xs_batches {
+        let flat = synopsis.cdf_batch(xs).unwrap();
+        for (&x, got) in xs.iter().zip(&flat) {
+            assert_eq!(
+                got.to_bits(),
+                synopsis.cdf_ref(x).unwrap().to_bits(),
+                "cdf diverged at x = {x}"
+            );
+        }
+    }
+    for ps in &ps_batches {
+        assert_eq!(
+            synopsis.quantile_batch(ps).unwrap(),
+            synopsis.quantile_batch_ref(ps).unwrap(),
+            "quantile_batch diverged"
+        );
+    }
+    for ranges in &range_batches {
+        let flat = synopsis.mass_batch(ranges).unwrap();
+        let reference = synopsis.mass_batch_ref(ranges).unwrap();
+        for ((range, a), b) in ranges.iter().zip(&flat).zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits(), "mass diverged on {range}");
+        }
+    }
+    println!("bit-identity gate: all ops identical over {} queries/op", BATCH * BATCHES);
+
+    // --- Throughput: whole batches per call, summed over the batch set.
+    let results = [
+        measure(
+            "cdf_batch",
+            || {
+                for xs in &xs_batches {
+                    let out: Result<Vec<f64>, _> =
+                        xs.iter().map(|&x| synopsis.cdf_ref(x)).collect();
+                    std::hint::black_box(out.unwrap());
+                }
+            },
+            || {
+                for xs in &xs_batches {
+                    std::hint::black_box(synopsis.cdf_batch(xs).unwrap());
+                }
+            },
+        ),
+        measure(
+            "quantile_batch",
+            || {
+                for ps in &ps_batches {
+                    std::hint::black_box(synopsis.quantile_batch_ref(ps).unwrap());
+                }
+            },
+            || {
+                for ps in &ps_batches {
+                    std::hint::black_box(synopsis.quantile_batch(ps).unwrap());
+                }
+            },
+        ),
+        measure(
+            "mass_batch",
+            || {
+                for ranges in &range_batches {
+                    std::hint::black_box(synopsis.mass_batch_ref(ranges).unwrap());
+                }
+            },
+            || {
+                for ranges in &range_batches {
+                    std::hint::black_box(synopsis.mass_batch(ranges).unwrap());
+                }
+            },
+        ),
+    ];
+
+    // Geometric mean across ops: the headline batch-kernel speedup.
+    let batch_speedup =
+        (results.iter().map(|r| r.speedup().ln()).sum::<f64>() / results.len() as f64).exp();
+    println!("batch speedup (geomean over ops): {batch_speedup:.2}x");
+
+    let ops_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"op\": \"{}\", \"ref_qps\": {:.1}, \"flat_qps\": {:.1}, \"speedup\": {:.4} }}",
+                r.op, r.ref_qps, r.flat_qps, r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "bench": "query_kernel",
+  "model": "histogram",
+  "n": {N},
+  "k": {K},
+  "pieces": {pieces},
+  "seed": {SEED},
+  "batch": {BATCH},
+  "batches": {BATCHES},
+  "max_range_width": {MAX_RANGE_WIDTH},
+  "bit_identical": true,
+  "ops": [
+{ops}
+  ],
+  "batch_speedup_geomean": {batch_speedup:.4}
+}}
+"#,
+        ops = ops_json.join(",\n"),
+    );
+
+    let path = std::env::var("HIST_BENCH_QUERY_OUT").unwrap_or_else(|_| "BENCH_query.json".into());
+    let mut file = std::fs::File::create(&path).expect("writable output path");
+    file.write_all(json.as_bytes()).expect("write BENCH_query.json");
+    println!("json written to {path}");
+}

@@ -87,6 +87,38 @@ impl Partition {
         Ok(Self { domain, intervals })
     }
 
+    /// Builds a partition from the flat array of inclusive piece ends — the
+    /// shape the persistence codec decodes into and the query kernels serve
+    /// from. `ends` must be strictly increasing with the last entry equal to
+    /// `domain - 1`; each piece `j` then covers `[ends[j-1] + 1, ends[j]]`
+    /// (the first starts at 0). One validating `O(k)` pass, no intermediate
+    /// per-piece allocation.
+    pub fn from_piece_ends(domain: usize, ends: &[usize]) -> Result<Self> {
+        if domain == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        if ends.is_empty() {
+            return Err(Error::InvalidPartition { reason: "no piece ends supplied".into() });
+        }
+        let mut intervals = Vec::with_capacity(ends.len());
+        let mut start = 0usize;
+        for (idx, &end) in ends.iter().enumerate() {
+            if end < start || end >= domain {
+                return Err(Error::InvalidPartition {
+                    reason: format!("piece #{idx} end {end} is not inside [{start}, {domain})"),
+                });
+            }
+            intervals.push(Interval::new_unchecked(start, end));
+            start = end + 1;
+        }
+        if start != domain {
+            return Err(Error::InvalidPartition {
+                reason: format!("pieces cover [0, {start}) but the domain is [0, {domain})"),
+            });
+        }
+        Ok(Self { domain, intervals })
+    }
+
     /// A partition into `pieces` intervals of (nearly) equal width.
     ///
     /// When `domain` is not divisible by `pieces` the first `domain % pieces`
@@ -272,6 +304,19 @@ mod tests {
         assert!(Partition::from_breakpoints(12, &[0]).is_err());
         assert!(Partition::from_breakpoints(12, &[12]).is_err());
         assert!(Partition::from_breakpoints(12, &[5, 5]).is_err());
+    }
+
+    #[test]
+    fn piece_ends_roundtrip() {
+        let p = Partition::from_piece_ends(12, &[2, 6, 8, 11]).unwrap();
+        assert_eq!(p, Partition::from_breakpoints(12, &[3, 7, 9]).unwrap());
+        assert_eq!(Partition::from_piece_ends(12, &[11]).unwrap(), Partition::trivial(12).unwrap());
+        // Last end must close the domain exactly; ends must strictly ascend.
+        assert!(Partition::from_piece_ends(12, &[2, 6]).is_err());
+        assert!(Partition::from_piece_ends(12, &[2, 12]).is_err());
+        assert!(Partition::from_piece_ends(12, &[2, 2, 11]).is_err());
+        assert!(Partition::from_piece_ends(12, &[]).is_err());
+        assert!(Partition::from_piece_ends(0, &[0]).is_err());
     }
 
     #[test]

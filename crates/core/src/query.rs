@@ -50,6 +50,12 @@ impl Histogram {
     ///
     /// Returns an error if the histogram has negative pieces or no mass.
     pub fn approx_quantile(&self, fraction: f64) -> Result<usize> {
+        if !fraction.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "fraction",
+                reason: format!("quantile fractions must be finite, got {fraction}"),
+            });
+        }
         if !(0.0..=1.0).contains(&fraction) {
             return Err(Error::InvalidParameter {
                 name: "fraction",
@@ -140,6 +146,10 @@ mod tests {
         let h = synopsis();
         assert!(h.approx_quantile(-0.1).is_err());
         assert!(h.approx_quantile(1.5).is_err());
+        for p in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = h.approx_quantile(p).unwrap_err();
+            assert!(err.to_string().contains("finite"), "p = {p}: got `{err}`");
+        }
         let negative = Histogram::constant(4, -1.0).unwrap();
         assert!(negative.approx_quantile(0.5).is_err());
         let empty = Histogram::constant(4, 0.0).unwrap();

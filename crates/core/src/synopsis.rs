@@ -5,14 +5,29 @@
 //! masses, turning it into the object a query engine actually serves:
 //! range-mass estimates, a cumulative distribution function, approximate
 //! quantiles, and error evaluation against the original signal — all in
-//! `O(log k)` or `O(piece)` time, never touching the raw data again.
+//! `O(1)` expected (`O(piece)` inside polynomial pieces) without touching
+//! the raw data again.
 //!
 //! Synopses are also *mergeable*: [`Synopsis::merge`] concatenates two
 //! synopses fitted on adjacent chunks of a signal and re-merges the result
 //! down to a piece budget, which is what the `hist-stream` crate builds its
 //! chunked/streaming/sliding-window fitters on. For serving-style workloads,
-//! [`Synopsis::mass_batch`] and [`Synopsis::quantile_batch`] answer many
-//! queries in one amortized pass over the pieces.
+//! [`Synopsis::mass_batch`], [`Synopsis::quantile_batch`] and
+//! [`Synopsis::cdf_batch`] answer many queries per call.
+//!
+//! # Query kernels
+//!
+//! Every public query runs on a flat structure-of-arrays serving state
+//! (`FlatKernel`, built once at construction): piece starts, piece ends,
+//! and — for histograms — raw and clamped per-piece values, each in its own
+//! contiguous array. Piece location reads a small block lookup table and
+//! settles with a short exact scan (`O(1)` expected instead of a binary
+//! search per query), and a second table does the same for quantile mass
+//! targets. The pre-flat implementations are retained as `*_ref` reference
+//! kernels
+//! ([`Synopsis::cdf_ref`] and friends); the flat kernels perform the same
+//! arithmetic operations in the same order, so every answer is bit-identical
+//! — a guarantee enforced per estimator × fixture by `tests/prop_harness.rs`.
 
 use std::sync::Arc;
 
@@ -376,14 +391,152 @@ impl FittedModel {
     }
 }
 
+/// Branch-free lower bound: the smallest index `i` with `!pred(&xs[i])`,
+/// clamped to `xs.len() - 1` — `xs.partition_point(pred).min(xs.len() - 1)`
+/// for a monotone (true-prefix) predicate.
+///
+/// The search itself is `slice::partition_point`, whose core loop runs a
+/// fixed `⌈log₂ len⌉` iterations of a bounds-check-free probe and a
+/// conditional move — no data-dependent branches, so consecutive queries'
+/// load chains overlap in the pipeline regardless of the probe pattern.
+/// (Safe hand-rolled equivalents measure ~3× slower here: the optimizer
+/// keeps a per-iteration bounds check that std elides internally.) What the
+/// flat kernels change is the *data* under the search: contiguous primitive
+/// arrays instead of `Vec<Piece>` structs. The `.min()` clamp keeps the
+/// result a valid piece index even for probes past the last boundary, which
+/// is exactly the clamp the quantile kernels applied before.
+#[inline]
+fn lower_bound_clamped<T>(xs: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    debug_assert!(!xs.is_empty());
+    xs.partition_point(pred).min(xs.len() - 1)
+}
+
+/// Validates a quantile fraction at the API boundary: finite *and* in
+/// `[0, 1]`. The explicit finiteness arm is load-bearing — NaN compares
+/// false against every bound, so a bare range check cannot tell "out of
+/// range" from "not a number", and anything that slips past lands in the
+/// `c < target - MASS_EPS` mass comparisons where every probe is false and
+/// the query would silently answer index 0.
+fn validate_fraction(name: &'static str, p: f64) -> Result<()> {
+    if !p.is_finite() {
+        return Err(Error::InvalidParameter {
+            name,
+            reason: format!("quantile fractions must be finite, got {p}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(Error::InvalidParameter {
+            name,
+            reason: format!("quantile fractions must lie in [0, 1], got {p}"),
+        });
+    }
+    Ok(())
+}
+
+/// Target number of entries in a [`FlatKernel`] position lookup table. The
+/// actual table holds `⌈domain / block⌉` entries for the smallest
+/// power-of-two block with at most this many — ≤ 8 KiB of `u32`s, sized so a
+/// hot synopsis keeps it resident in L1/L2.
+const POSITION_LUT_TARGET: usize = 2048;
+
+/// The flat structure-of-arrays serving state every public query kernel runs
+/// on: the fitted model's piece extents — and, for histograms, its raw and
+/// clamped per-piece values — unzipped into contiguous parallel arrays,
+/// plus a block lookup table that turns piece location into `O(1)` work.
+///
+/// Searches over `Vec<Piece>`-shaped data pay a pointer chase and an
+/// unpredictable branch per probe; over these arrays the same piece lookup
+/// is one table read and a short exact scan, and the batch kernels become
+/// tight loops over primitive slices. Every arithmetic operation the flat
+/// kernels perform is the operation the reference kernels perform, on the
+/// same operands in the same order, which is what keeps every answer
+/// bit-identical (asserted by the differential harness in
+/// `tests/prop_harness.rs`).
+#[derive(Debug, Clone, PartialEq)]
+struct FlatKernel {
+    /// `starts[j]`: first domain index of piece `j` (`starts[0] == 0`).
+    starts: Vec<usize>,
+    /// `ends[j]`: last domain index of piece `j`, strictly increasing, with
+    /// `ends[k − 1] == domain − 1`.
+    ends: Vec<usize>,
+    /// Histogram models: the raw (possibly negative) per-piece value. Empty
+    /// for polynomial models, whose per-piece parameters stay in the model —
+    /// the flat kernels delegate within-piece polynomial arithmetic to the
+    /// shared tiered code so the exactness tiers (and the bits) cannot
+    /// diverge.
+    values: Vec<f64>,
+    /// Histogram models: `values[j].max(0.0)`, the clamped value the
+    /// cdf/quantile measure uses. Empty for polynomial models.
+    clamped: Vec<f64>,
+    /// `lut[b]`: index of the piece containing domain index `b << shift` —
+    /// a starting guess for [`FlatKernel::locate`] that is never past the
+    /// answer, so a forward scan from it is exact.
+    lut: Vec<u32>,
+    /// Log₂ of the lookup-table block size.
+    shift: u32,
+}
+
+impl FlatKernel {
+    fn build(model: &FittedModel) -> Self {
+        let k = model.num_pieces();
+        let mut starts = Vec::with_capacity(k);
+        let mut ends = Vec::with_capacity(k);
+        for j in 0..k {
+            let interval = model.piece_interval(j);
+            starts.push(interval.start());
+            ends.push(interval.end());
+        }
+        let (values, clamped) = match model {
+            FittedModel::Histogram(h) => {
+                let values = h.values().to_vec();
+                let clamped = values.iter().map(|v| v.max(0.0)).collect();
+                (values, clamped)
+            }
+            FittedModel::Polynomial(_) => (Vec::new(), Vec::new()),
+        };
+        let domain = model.domain();
+        let shift = domain.div_ceil(POSITION_LUT_TARGET).next_power_of_two().trailing_zeros();
+        let lut_len = ((domain - 1) >> shift) + 1;
+        let mut lut = Vec::with_capacity(lut_len);
+        let mut j = 0usize;
+        for b in 0..lut_len {
+            while ends[j] < b << shift {
+                j += 1;
+            }
+            lut.push(j as u32);
+        }
+        Self { starts, ends, values, clamped, lut, shift }
+    }
+
+    /// Index of the piece containing domain index `x` (`x` must be inside
+    /// the domain) — equal to [`FittedModel::locate`] for every such `x`.
+    ///
+    /// One table read gives the piece holding `x`'s block start; since piece
+    /// ends ascend and `x` is at or past that block start (integer
+    /// arithmetic, exact), the containing piece is found by scanning
+    /// forward, usually zero or one step: blocks are sized so that at the
+    /// fitted piece count most blocks contain no boundary at all. `O(1)`
+    /// expected, `O(k)` only if every boundary crowds into one block — and
+    /// exact in all cases, unlike interpolation guesses.
+    #[inline]
+    fn locate(&self, x: usize) -> usize {
+        let mut j = self.lut[x >> self.shift] as usize;
+        while self.ends[j] < x {
+            j += 1;
+        }
+        j
+    }
+}
+
 /// A fitted, query-ready synopsis: the output of every
 /// [`Estimator`](crate::Estimator).
 ///
 /// Construction precomputes the cumulative clamped mass at the `k + 1` piece
-/// boundaries, so [`Synopsis::cdf`] and [`Synopsis::quantile`] run in
-/// `O(log k)` time for histograms (plus `O(d²·log |piece|)` inside a
-/// polynomial piece, via closed-form power sums) and [`Synopsis::mass`] in
-/// `O(log k + #overlapping pieces)`.
+/// boundaries plus position and quantile lookup tables, so
+/// [`Synopsis::cdf`] and [`Synopsis::quantile`] run in `O(1)` expected time
+/// for histograms (plus `O(d²·log |piece|)` inside a polynomial piece, via
+/// closed-form power sums) and [`Synopsis::mass`] in
+/// `O(#overlapping pieces)` expected.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Synopsis {
     estimator: &'static str,
@@ -394,7 +547,21 @@ pub struct Synopsis {
     boundary_cdf: Vec<f64>,
     /// Raw total mass (negative values included).
     raw_mass: f64,
+    /// Flat structure-of-arrays mirror of the model's piece structure — the
+    /// state the query kernels actually read. Always consistent with
+    /// `model` (derived at construction, immutable afterwards).
+    flat: FlatKernel,
+    /// `qlut[i]`: the piece [`Synopsis::quantile_piece`] answers for a mass
+    /// target of `i / qlut_scale` — a starting guess the quantile kernel
+    /// settles to the exact piece from. Empty when the synopsis carries no
+    /// positive mass (every quantile query then errors before piece lookup).
+    qlut: Vec<u32>,
+    /// Grid density of `qlut`: entries per unit of clamped mass.
+    qlut_scale: f64,
 }
+
+/// Number of entries in a [`Synopsis`] quantile lookup table.
+const QUANTILE_LUT_LEN: usize = 512;
 
 impl Synopsis {
     /// Wraps a fitted model, recording which estimator produced it and the
@@ -410,7 +577,21 @@ impl Synopsis {
             raw_mass += model.piece_mass(j);
             boundary_cdf.push(clamped);
         }
-        Self { estimator, target_k, model, boundary_cdf, raw_mass }
+        let flat = FlatKernel::build(&model);
+        let total = *boundary_cdf.last().expect("boundary cdf is non-empty");
+        let (qlut, qlut_scale) = if total > 0.0 && total.is_finite() {
+            let scale = QUANTILE_LUT_LEN as f64 / total;
+            let qlut = (0..QUANTILE_LUT_LEN)
+                .map(|i| {
+                    let threshold = i as f64 / scale - MASS_EPS;
+                    lower_bound_clamped(&boundary_cdf[1..], |&c| c < threshold) as u32
+                })
+                .collect();
+            (qlut, scale)
+        } else {
+            (Vec::new(), 0.0)
+        };
+        Self { estimator, target_k, model, boundary_cdf, raw_mass, flat, qlut, qlut_scale }
     }
 
     /// Reconstructs a synopsis from validated raw parts — the decode path of
@@ -548,18 +729,68 @@ impl Synopsis {
     /// Estimated mass `Σ_{i ∈ R} h(i)` over an index range — the classical
     /// range-count estimate of a database synopsis.
     pub fn mass(&self, range: Interval) -> Result<f64> {
+        self.validate_range(range)?;
+        Ok(self.mass_flat(range))
+    }
+
+    /// Shared query-range validation for [`Synopsis::mass`],
+    /// [`Synopsis::mass_batch`] and the reference kernels: the range must end
+    /// inside the domain and must not be inverted. An inverted interval is
+    /// unconstructible through [`Interval::new`], but
+    /// [`Interval::new_unchecked`] only debug-asserts, so a release-mode
+    /// caller could otherwise smuggle `start > end` into the piece walk —
+    /// where locating `start` past the last piece panics instead of erroring.
+    /// Pointwise, batch, flat and reference paths all answer such a range
+    /// with the same typed error.
+    #[inline]
+    fn validate_range(&self, range: Interval) -> Result<()> {
         if range.end() >= self.domain() {
             return Err(Error::IndexOutOfRange { index: range.end(), domain: self.domain() });
         }
-        let first = self.model.locate(range.start());
-        let mut total = 0.0;
-        for j in first..self.num_pieces() {
-            if self.model.piece_interval(j).start() > range.end() {
-                break;
-            }
-            total += self.model.piece_overlap_mass(j, range);
+        if range.start() > range.end() {
+            return Err(Error::InvalidParameter {
+                name: "range",
+                reason: format!(
+                    "mass ranges must satisfy start <= end, got [{}, {}]",
+                    range.start(),
+                    range.end()
+                ),
+            });
         }
-        Ok(total)
+        Ok(())
+    }
+
+    /// The flat mass kernel: table-assisted location of the first overlapping
+    /// piece, then a tight clip-and-accumulate loop over the flat arrays.
+    /// The histogram term `(hi − lo + 1) · value` is the same product
+    /// [`FittedModel::piece_overlap_mass`] computes for a non-empty overlap
+    /// (every piece the loop visits overlaps the range), and the sum starts
+    /// from the same `0.0` seed in the same order — so the result matches
+    /// [`Synopsis::mass_ref`] bit-for-bit. Polynomial within-piece terms
+    /// delegate to the shared closed-form code.
+    #[inline(always)]
+    fn mass_flat(&self, range: Interval) -> f64 {
+        let first = self.flat.locate(range.start());
+        let mut total = 0.0;
+        if self.flat.values.is_empty() {
+            for j in first..self.num_pieces() {
+                if self.flat.starts[j] > range.end() {
+                    break;
+                }
+                total += self.model.piece_overlap_mass(j, range);
+            }
+        } else {
+            for j in first..self.flat.values.len() {
+                let start = self.flat.starts[j];
+                if start > range.end() {
+                    break;
+                }
+                let lo = range.start().max(start);
+                let hi = range.end().min(self.flat.ends[j]);
+                total += (hi - lo + 1) as f64 * self.flat.values[j];
+            }
+        }
+        total
     }
 
     /// The normalized cumulative distribution function at index `x`: the
@@ -570,9 +801,44 @@ impl Synopsis {
             return Err(Error::IndexOutOfRange { index: x, domain: self.domain() });
         }
         let total = self.clamped_total()?;
-        let j = self.model.locate(x);
-        let cumulative = self.boundary_cdf[j] + self.model.piece_clamped_prefix(j, x);
+        let j = self.flat.locate(x);
+        let cumulative = self.boundary_cdf[j] + self.clamped_prefix(j, x);
         Ok((cumulative / total).min(1.0))
+    }
+
+    /// Clamped prefix mass of piece `j` up to `x`: for histograms the product
+    /// `(x − start + 1) · max(v, 0)` read straight off the flat arrays — the
+    /// identical operation [`FittedModel::piece_clamped_prefix`] performs,
+    /// with the clamp precomputed — and for polynomials a delegation to the
+    /// shared tiered code.
+    #[inline]
+    fn clamped_prefix(&self, j: usize, x: usize) -> f64 {
+        if self.flat.clamped.is_empty() {
+            self.model.piece_clamped_prefix(j, x)
+        } else {
+            (x - self.flat.starts[j] + 1) as f64 * self.flat.clamped[j]
+        }
+    }
+
+    /// Answers a batch of cdf queries in one pass over the flat arrays.
+    ///
+    /// Returns exactly what mapping [`Synopsis::cdf`] over `xs` would return
+    /// — bit-identical values and the same stop-at-first-error semantics —
+    /// but as one tight loop: per element an `O(1)`-expected table-assisted
+    /// piece lookup, one multiply-add and one division, with the invariant
+    /// total-mass check hoisted out of the hot path by the compiler.
+    pub fn cdf_batch(&self, xs: &[usize]) -> Result<Vec<f64>> {
+        let domain = self.domain();
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            if x >= domain {
+                return Err(Error::IndexOutOfRange { index: x, domain });
+            }
+            let total = self.clamped_total()?;
+            let j = self.flat.locate(x);
+            out.push(((self.boundary_cdf[j] + self.clamped_prefix(j, x)) / total).min(1.0));
+        }
+        Ok(out)
     }
 
     /// The smallest index `x` with `cdf(x) ≥ p`, for `p ∈ [0, 1]` — an
@@ -583,20 +849,73 @@ impl Synopsis {
     /// support* — the smallest `x` with `cdf(x) = 1`, which excludes any
     /// trailing zero-mass pieces rather than returning `n − 1` blindly.
     pub fn quantile(&self, p: f64) -> Result<usize> {
-        if !(0.0..=1.0).contains(&p) {
-            return Err(Error::InvalidParameter {
-                name: "p",
-                reason: format!("quantile fractions must lie in [0, 1], got {p}"),
-            });
-        }
+        validate_fraction("p", p)?;
         let total = self.clamped_total()?;
         let target = p * total;
-        // First piece whose boundary cumulative reaches the target — binary
-        // search over the non-decreasing cumulative masses.
-        let j = self.boundary_cdf[1..]
-            .partition_point(|&c| c < target - MASS_EPS)
-            .min(self.num_pieces() - 1);
-        Ok(self.quantile_within(j, target))
+        let j = self.quantile_piece(target);
+        Ok(self.quantile_within_flat(j, target))
+    }
+
+    /// First piece whose boundary cumulative reaches `target`, clamped to
+    /// the last piece — exactly the reference kernel's
+    /// `partition_point(|&c| c < target - MASS_EPS).min(num_pieces() - 1)`,
+    /// reached through the quantile lookup table instead of a binary search.
+    ///
+    /// The table gives the answer for the nearest grid target below
+    /// `target`; the two scans then settle to the exact clamped partition
+    /// point of the monotone predicate *from any starting index*, so even a
+    /// grid guess perturbed by floating-point rounding cannot change the
+    /// result — it only changes how many settle steps run (almost always
+    /// zero or one).
+    #[inline]
+    fn quantile_piece(&self, target: f64) -> usize {
+        let threshold = target - MASS_EPS;
+        if self.qlut.is_empty() {
+            return lower_bound_clamped(&self.boundary_cdf[1..], |&c| c < threshold);
+        }
+        let cell = ((target * self.qlut_scale) as usize).min(self.qlut.len() - 1);
+        let mut j = self.qlut[cell] as usize;
+        while j > 0 && self.boundary_cdf[j] >= threshold {
+            j -= 1;
+        }
+        let last = self.num_pieces() - 1;
+        while j < last && self.boundary_cdf[j + 1] < threshold {
+            j += 1;
+        }
+        j
+    }
+
+    /// [`Synopsis::quantile_within`] reading the flat arrays: for histograms
+    /// the identical offset arithmetic on the identical values — `clamped[j]`
+    /// *is* `values()[j].max(0.0)`, and `ends[j] − starts[j]` *is*
+    /// `interval.len() − 1` — just without the model-enum match and the
+    /// `Vec<Interval>` chase per query. Polynomial models delegate to the
+    /// shared binary search unchanged.
+    #[inline(always)]
+    fn quantile_within_flat(&self, j: usize, target: f64) -> usize {
+        if self.flat.clamped.is_empty() {
+            return self.quantile_within(j, target);
+        }
+        let start = self.flat.starts[j];
+        let remaining = (target - self.boundary_cdf[j]).max(0.0);
+        let v = self.flat.clamped[j];
+        if v <= 0.0 {
+            return start;
+        }
+        // Smallest offset c ≥ 1 with v·c ≥ remaining — the reference
+        // kernel's `.ceil()`, computed by truncating through i64 instead:
+        // on baseline x86-64 `f64::ceil` is a libm call, and this whole
+        // function is otherwise a handful of arithmetic ops. The cast is an
+        // exact trunc for |x| < 2⁵³; above that (or on i64 saturation) the
+        // two ceilings can differ, but both are then ≥ 2⁵² − 1, far past any
+        // piece length, so the `.min(piece len − 1)` clamp erases the
+        // difference and the returned index stays identical — which is what
+        // the differential harness asserts.
+        let x = remaining / v - MASS_EPS;
+        let t = x as i64 as f64;
+        let ceiling = if t < x { t + 1.0 } else { t };
+        let count = ceiling.max(1.0) as usize;
+        start + (count - 1).min(self.flat.ends[j] - start)
     }
 
     /// The within-piece half of [`Synopsis::quantile`]: the smallest index of
@@ -632,18 +951,111 @@ impl Synopsis {
         }
     }
 
-    /// Answers a batch of range-mass queries in one amortized pass.
+    /// Answers a batch of range-mass queries in one pass over the flat
+    /// arrays.
     ///
-    /// Returns exactly what [`Synopsis::mass`] would return for each range,
-    /// but sorts the queries by their left endpoint and sweeps the pieces with
-    /// a forward cursor, so a batch of `q` queries costs
-    /// `O(q·log q + k + Σ overlaps)` instead of `q` independent `O(log k)`
-    /// searches — the serving-friendly shape for bulk workloads.
+    /// Returns exactly what [`Synopsis::mass`] would return for each range —
+    /// bit-identical masses, validate-everything-first error semantics — by
+    /// running the flat kernel per query in input order: an
+    /// `O(1)`-expected table-assisted locate plus the overlap walk,
+    /// `O(q + Σ overlaps)` expected total. The sorted-sweep reference
+    /// implementation survives as
+    /// [`Synopsis::mass_batch_ref`]; dropping the sort (and its permutation
+    /// buffers) is most of the flat kernel's batch speedup.
     pub fn mass_batch(&self, ranges: &[Interval]) -> Result<Vec<f64>> {
-        for range in ranges {
-            if range.end() >= self.domain() {
-                return Err(Error::IndexOutOfRange { index: range.end(), domain: self.domain() });
+        for &range in ranges {
+            self.validate_range(range)?;
+        }
+        let mut out = Vec::with_capacity(ranges.len());
+        for &range in ranges {
+            out.push(self.mass_flat(range));
+        }
+        Ok(out)
+    }
+
+    /// Answers a batch of quantile queries in one pass over the flat arrays.
+    ///
+    /// Returns exactly what [`Synopsis::quantile`] would return for each
+    /// fraction — bit-identical indices, validate-everything-first error
+    /// semantics — by running the table-assisted piece lookup per query in
+    /// input order, `O(q)` expected total. The sort-and-sweep reference
+    /// implementation survives as [`Synopsis::quantile_batch_ref`]; skipping
+    /// the `f64` comparator sort is most of the flat kernel's batch speedup.
+    pub fn quantile_batch(&self, ps: &[f64]) -> Result<Vec<usize>> {
+        for &p in ps {
+            validate_fraction("ps", p)?;
+        }
+        let total = self.clamped_total()?;
+        let mut out = Vec::with_capacity(ps.len());
+        for &p in ps {
+            let target = p * total;
+            let j = self.quantile_piece(target);
+            out.push(self.quantile_within_flat(j, target));
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Reference kernels
+    //
+    // The pre-flat implementations, retained as the oracle the differential
+    // harness (`tests/prop_harness.rs`) diffs bit-for-bit against the flat
+    // kernels for every estimator × fixture, and as the baseline the
+    // `query_kernel` bench measures speedups against. They share input
+    // validation and the within-piece arithmetic with the flat kernels —
+    // what differs is exactly the thing under test: the data layout and the
+    // search strategy.
+    // ------------------------------------------------------------------
+
+    /// Reference cdf kernel: piece location through the model's own
+    /// (branching) binary search instead of the flat arrays. Same answers,
+    /// same errors as [`Synopsis::cdf`], bit-for-bit.
+    pub fn cdf_ref(&self, x: usize) -> Result<f64> {
+        if x >= self.domain() {
+            return Err(Error::IndexOutOfRange { index: x, domain: self.domain() });
+        }
+        let total = self.clamped_total()?;
+        let j = self.model.locate(x);
+        let cumulative = self.boundary_cdf[j] + self.model.piece_clamped_prefix(j, x);
+        Ok((cumulative / total).min(1.0))
+    }
+
+    /// Reference quantile kernel: `partition_point` over the boundary
+    /// cumulatives instead of the quantile lookup table. Same answers,
+    /// same errors as [`Synopsis::quantile`], bit-for-bit.
+    pub fn quantile_ref(&self, p: f64) -> Result<usize> {
+        validate_fraction("p", p)?;
+        let total = self.clamped_total()?;
+        let target = p * total;
+        let j = self.boundary_cdf[1..]
+            .partition_point(|&c| c < target - MASS_EPS)
+            .min(self.num_pieces() - 1);
+        Ok(self.quantile_within(j, target))
+    }
+
+    /// Reference mass kernel: piece walk through the model's piece structure
+    /// instead of the flat arrays. Same answers, same errors as
+    /// [`Synopsis::mass`], bit-for-bit.
+    pub fn mass_ref(&self, range: Interval) -> Result<f64> {
+        self.validate_range(range)?;
+        let first = self.model.locate(range.start());
+        let mut total = 0.0;
+        for j in first..self.num_pieces() {
+            if self.model.piece_interval(j).start() > range.end() {
+                break;
             }
+            total += self.model.piece_overlap_mass(j, range);
+        }
+        Ok(total)
+    }
+
+    /// Reference batch-mass kernel: sorts the queries by left endpoint and
+    /// sweeps the pieces with a forward cursor (`O(q·log q + k + Σ
+    /// overlaps)`). Same answers, same errors as [`Synopsis::mass_batch`],
+    /// bit-for-bit.
+    pub fn mass_batch_ref(&self, ranges: &[Interval]) -> Result<Vec<f64>> {
+        for &range in ranges {
+            self.validate_range(range)?;
         }
         let mut order: Vec<usize> = (0..ranges.len()).collect();
         order.sort_by_key(|&i| ranges[i].start());
@@ -667,21 +1079,13 @@ impl Synopsis {
         Ok(out)
     }
 
-    /// Answers a batch of quantile queries in one amortized pass.
-    ///
-    /// Returns exactly what [`Synopsis::quantile`] would return for each
-    /// fraction, but sorts the fractions and advances a single piece cursor
-    /// over the cumulative boundary masses, so a batch of `q` queries costs
-    /// `O(q·log q + k)` piece-location work instead of `q` independent
-    /// `O(log k)` binary searches.
-    pub fn quantile_batch(&self, ps: &[f64]) -> Result<Vec<usize>> {
+    /// Reference batch-quantile kernel: sorts the fractions and advances a
+    /// single piece cursor over the cumulative boundary masses
+    /// (`O(q·log q + k)`). Same answers, same errors as
+    /// [`Synopsis::quantile_batch`], bit-for-bit.
+    pub fn quantile_batch_ref(&self, ps: &[f64]) -> Result<Vec<usize>> {
         for &p in ps {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(Error::InvalidParameter {
-                    name: "ps",
-                    reason: format!("quantile fractions must lie in [0, 1], got {p}"),
-                });
-            }
+            validate_fraction("ps", p)?;
         }
         let total = self.clamped_total()?;
         let mut order: Vec<usize> = (0..ps.len()).collect();
@@ -690,8 +1094,8 @@ impl Synopsis {
         let mut j = 0usize;
         for &qi in &order {
             let target = ps[qi] * total;
-            // Same piece as quantile()'s partition_point, reached by a
-            // monotone forward walk over the ascending targets.
+            // Same piece as quantile()'s search, reached by a monotone
+            // forward walk over the ascending targets.
             while j < self.num_pieces() - 1 && self.boundary_cdf[j + 1] < target - MASS_EPS {
                 j += 1;
             }
@@ -950,6 +1354,12 @@ mod tests {
             for (p, got) in ps.iter().zip(&batch) {
                 assert_eq!(*got, synopsis.quantile(*p).unwrap(), "p = {p}");
             }
+
+            let xs = [n - 1, 0, n / 2, 3, n / 2];
+            let batch = synopsis.cdf_batch(&xs).unwrap();
+            for (x, got) in xs.iter().zip(&batch) {
+                assert_eq!(got.to_bits(), synopsis.cdf(*x).unwrap().to_bits(), "x = {x}");
+            }
         }
     }
 
@@ -960,8 +1370,109 @@ mod tests {
         assert!(synopsis.mass_batch(&[Interval::new(0, n).unwrap()]).is_err());
         assert!(synopsis.quantile_batch(&[0.5, 1.2]).is_err());
         assert!(synopsis.quantile_batch(&[f64::NAN]).is_err());
+        assert!(synopsis.cdf_batch(&[0, n]).is_err());
         assert_eq!(synopsis.mass_batch(&[]).unwrap(), Vec::<f64>::new());
         assert_eq!(synopsis.quantile_batch(&[]).unwrap(), Vec::<usize>::new());
+        assert_eq!(synopsis.cdf_batch(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn lower_bound_matches_partition_point() {
+        // The branch-free search must equal partition_point(pred).min(len-1)
+        // for every monotone predicate over every length, including repeats.
+        let mut xs = Vec::new();
+        let mut value = 0u64;
+        let mut state = 2015u64;
+        for len in 1usize..=64 {
+            xs.clear();
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                value += state >> 61; // step by 0..8, producing runs of equals
+                xs.push(value);
+            }
+            for probe in 0..=value + 1 {
+                let expected = xs.partition_point(|&x| x < probe).min(len - 1);
+                assert_eq!(
+                    lower_bound_clamped(&xs, |&x| x < probe),
+                    expected,
+                    "len {len}, probe {probe}, xs {xs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_fractions_get_a_dedicated_error() {
+        // Regression: non-finite fractions must be rejected by an explicit
+        // finiteness check, not fall through the negated range check with a
+        // misleading "must lie in [0, 1]" diagnosis (or worse, reach the
+        // mass comparisons where NaN answers index 0).
+        let synopsis = histogram_synopsis();
+        for p in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for err in [
+                synopsis.quantile(p).unwrap_err(),
+                synopsis.quantile_batch(&[0.5, p]).unwrap_err(),
+                synopsis.quantile_ref(p).unwrap_err(),
+                synopsis.quantile_batch_ref(&[0.5, p]).unwrap_err(),
+            ] {
+                let message = err.to_string();
+                assert!(message.contains("finite"), "p = {p}: got `{message}`");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_and_reference_kernels_agree_bit_for_bit() {
+        for synopsis in [histogram_synopsis(), polynomial_synopsis()] {
+            let n = synopsis.domain();
+            for x in 0..n {
+                let flat = synopsis.cdf(x).unwrap();
+                let reference = synopsis.cdf_ref(x).unwrap();
+                assert_eq!(flat.to_bits(), reference.to_bits(), "cdf({x})");
+            }
+            let ps: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+            for &p in &ps {
+                assert_eq!(synopsis.quantile(p).unwrap(), synopsis.quantile_ref(p).unwrap());
+            }
+            assert_eq!(
+                synopsis.quantile_batch(&ps).unwrap(),
+                synopsis.quantile_batch_ref(&ps).unwrap()
+            );
+            let ranges: Vec<Interval> = [(0, n - 1), (0, 0), (n - 1, n - 1), (n / 3, 2 * n / 3)]
+                .iter()
+                .map(|&(a, b)| Interval::new(a, b).unwrap())
+                .collect();
+            for &range in &ranges {
+                let flat = synopsis.mass(range).unwrap();
+                let reference = synopsis.mass_ref(range).unwrap();
+                assert_eq!(flat.to_bits(), reference.to_bits(), "mass({range})");
+            }
+            let flat: Vec<u64> =
+                synopsis.mass_batch(&ranges).unwrap().iter().map(|m| m.to_bits()).collect();
+            let reference: Vec<u64> =
+                synopsis.mass_batch_ref(&ranges).unwrap().iter().map(|m| m.to_bits()).collect();
+            assert_eq!(flat, reference);
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn inverted_ranges_error_instead_of_panicking() {
+        // Interval::new_unchecked only debug-asserts, so a release-mode
+        // caller can hand the mass kernels an inverted range; every path
+        // must answer it with the same typed error rather than walking the
+        // pieces. (Release-only: in debug builds the interval itself is
+        // unconstructible.)
+        let synopsis = histogram_synopsis();
+        let inverted = Interval::new_unchecked(9, 2);
+        for err in [
+            synopsis.mass(inverted).unwrap_err(),
+            synopsis.mass_ref(inverted).unwrap_err(),
+            synopsis.mass_batch(&[inverted]).unwrap_err(),
+            synopsis.mass_batch_ref(&[inverted]).unwrap_err(),
+        ] {
+            assert!(err.to_string().contains("start <= end"), "got `{err}`");
+        }
     }
 
     #[test]

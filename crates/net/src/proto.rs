@@ -206,6 +206,30 @@ impl ErrorCode {
         }
     }
 
+    /// The oldest protocol version whose peers know this code: the
+    /// `UnknownKey`/`InvalidKey` pair shipped with the keyed v2 layout;
+    /// everything else is v1-era. [`ErrorCode::Unknown`] reports v1 because
+    /// it is a passthrough of a foreign peer's byte, not a code this build
+    /// mints — downgrading it would mangle a code we do not understand.
+    fn min_version(self) -> u16 {
+        match self {
+            ErrorCode::UnknownKey | ErrorCode::InvalidKey => 2,
+            _ => 1,
+        }
+    }
+
+    /// The code an error frame may carry when answering at `version`: codes
+    /// newer than the mirrored version downgrade to the v1-era
+    /// [`ErrorCode::InvalidQuery`], so a v1 client is never handed a byte its
+    /// protocol never defined (the human-readable message keeps the detail).
+    pub fn for_version(self, version: u16) -> Self {
+        if version < self.min_version() {
+            ErrorCode::InvalidQuery
+        } else {
+            self
+        }
+    }
+
     /// The code a wire byte names (never fails: unknown bytes are preserved
     /// as [`ErrorCode::Unknown`]).
     pub fn from_u8(raw: u8) -> Self {
@@ -486,7 +510,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 
 /// Encodes a response at an explicit protocol version — how a server mirrors
 /// a v1 request with a v1 answer frame. The v2-only response kinds
-/// (`StoreStats`/`KeyList`/`MergedView`/`Dropped`) refuse to encode at v1.
+/// (`StoreStats`/`KeyList`/`MergedView`/`Dropped`) refuse to encode at v1,
+/// and v2-only error codes ([`ErrorCode::UnknownKey`]/[`ErrorCode::InvalidKey`])
+/// downgrade to [`ErrorCode::InvalidQuery`] inside a v1 error frame
+/// ([`ErrorCode::for_version`]) rather than leaking a byte v1 never defined.
 pub fn encode_response_versioned(version: u16, response: &Response) -> CodecResult<Vec<u8>> {
     check_encodable_version(version)?;
     let mut payload = Vec::new();
@@ -569,7 +596,9 @@ pub fn encode_response_versioned(version: u16, response: &Response) -> CodecResu
         }
         Response::Error { epoch, code, message } => {
             put_u64(&mut payload, *epoch);
-            payload.push(code.to_u8());
+            // Mirroring a v1 request must not leak a v2-only code byte into
+            // the v1 frame — old clients have no decoding for it.
+            payload.push(code.for_version(version).to_u8());
             put_u64(&mut payload, message.len() as u64);
             payload.extend_from_slice(message.as_bytes());
         }
@@ -977,6 +1006,45 @@ mod tests {
         assert_eq!(ErrorCode::from_u8(9), ErrorCode::UnknownKey);
         assert_eq!(ErrorCode::from_u8(10), ErrorCode::InvalidKey);
         assert_eq!(ErrorCode::from_u8(200), ErrorCode::Unknown(200));
+    }
+
+    #[test]
+    fn v1_error_frames_never_carry_v2_only_codes() {
+        use crate::frame::check_envelope;
+        // Regression: mirroring a v1 request's version used to stamp the
+        // v2-only UnknownKey/InvalidKey bytes into v1 error frames, which v1
+        // clients have no decoding for. At v1 they downgrade to InvalidQuery;
+        // at v2 they pass through untouched.
+        for code in [ErrorCode::UnknownKey, ErrorCode::InvalidKey] {
+            let response =
+                Response::Error { epoch: 3, code, message: "no such key `api/login`".into() };
+            let message = encode_response_versioned(1, &response).unwrap();
+            let (version, op, payload) = check_envelope(&message[4..]).unwrap();
+            assert_eq!(version, 1);
+            match decode_response_frame(version, op, payload).unwrap() {
+                Response::Error { epoch, code, message } => {
+                    assert_eq!(epoch, 3);
+                    assert_eq!(code, ErrorCode::InvalidQuery, "v1 must get a v1-era code");
+                    assert_eq!(message, "no such key `api/login`");
+                }
+                other => panic!("expected an error frame, got {other:?}"),
+            }
+
+            // v2 frames keep the precise code.
+            let message = encode_response_versioned(2, &response).unwrap();
+            let (version, op, payload) = check_envelope(&message[4..]).unwrap();
+            match decode_response_frame(version, op, payload).unwrap() {
+                Response::Error { code: decoded, .. } => assert_eq!(decoded, code),
+                other => panic!("expected an error frame, got {other:?}"),
+            }
+        }
+
+        // v1-era codes and foreign (Unknown) passthrough bytes are untouched
+        // at both versions.
+        for code in [ErrorCode::MalformedFrame, ErrorCode::EmptyStore, ErrorCode::Unknown(200)] {
+            assert_eq!(code.for_version(1), code);
+            assert_eq!(code.for_version(2), code);
+        }
     }
 
     #[test]

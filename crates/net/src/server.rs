@@ -19,7 +19,10 @@
 //! as addressing [`DEFAULT_KEY`] and is answered with a v1 frame, so
 //! unmodified v1 clients keep working against a keyed server. Frames whose
 //! version the envelope check rejects are answered at the minimum version —
-//! the one frame shape every client generation decodes.
+//! the one frame shape every client generation decodes. Mirroring never
+//! leaks v2-only error codes into a v1 frame: the encoder downgrades
+//! `UnknownKey`/`InvalidKey` to `InvalidQuery` at v1 (see
+//! [`ErrorCode::for_version`](crate::proto::ErrorCode::for_version)).
 //!
 //! Hostile peers are contained at three layers: the frame length prefix is
 //! checked against [`ServerConfig::max_frame_bytes`] *before* any allocation,

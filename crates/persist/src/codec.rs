@@ -224,11 +224,13 @@ fn read_synopsis_payload(reader: &mut Reader<'_>) -> CodecResult<Synopsis> {
     }
     let domain = reader.usize64("domain")?;
     let model = if tag == TAG_HISTOGRAM {
-        // Each piece is end (8) + value (8).
+        // Each piece is end (8) + value (8), decoded straight into the flat
+        // parallel arrays the query kernel serves from; one validating pass
+        // (`Partition::from_piece_ends`) then rebuilds the piece structure
+        // without any per-piece intermediate.
         let pieces = reader.count("histogram pieces", 16)?;
-        let mut intervals = Vec::with_capacity(pieces);
+        let mut ends = Vec::with_capacity(pieces);
         let mut values = Vec::with_capacity(pieces);
-        let mut start = 0usize;
         for _ in 0..pieces {
             let end = reader.usize64("piece end")?;
             if end >= domain {
@@ -237,11 +239,10 @@ fn read_synopsis_payload(reader: &mut Reader<'_>) -> CodecResult<Synopsis> {
                     domain,
                 }));
             }
-            intervals.push(Interval::new(start, end)?);
-            start = end + 1;
+            ends.push(end);
             values.push(reader.f64()?);
         }
-        let partition = Partition::new(domain, intervals)?;
+        let partition = Partition::from_piece_ends(domain, &ends)?;
         FittedModel::Histogram(Histogram::new(partition, values)?)
     } else {
         // Each piece is at least end (8) + coefficient count (4).

@@ -1,12 +1,15 @@
 //! Sharded batch-query execution over a fixed thread pool.
 //!
-//! [`QueryExecutor`] splits a `mass_batch`/`quantile_batch` workload into
-//! contiguous shards, runs every shard on the pool against a shared
-//! `Arc<Synopsis>` snapshot and concatenates the shard results back in input
-//! order. Sharding is pure scheduling: each query is answered by exactly the
-//! same `Synopsis` method the direct call would use, so the combined output
+//! [`QueryExecutor`] splits a `mass_batch`/`quantile_batch`/`cdf_batch`
+//! workload into contiguous shards, runs every shard on the pool against a
+//! shared `Arc<Synopsis>` snapshot and concatenates the shard results back
+//! in input order. The `Arc` shares the synopsis' flat serving state (the
+//! structure-of-arrays query kernel) across all workers without copying.
+//! Sharding is pure scheduling: each query is answered by exactly the same
+//! `Synopsis` batch kernel the direct call would use, so the combined output
 //! is identical to the unsharded batch (and the batches are themselves
-//! pointwise-identical to `mass`/`quantile` — see the property harness).
+//! pointwise-identical to `mass`/`quantile`/`cdf` — see the property
+//! harness).
 
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -66,13 +69,11 @@ impl QueryExecutor {
         self.run_sharded(synopsis, ps, |synopsis, shard| synopsis.quantile_batch(shard))
     }
 
-    /// Pointwise [`Synopsis::cdf`] over an index batch, sharded across the
-    /// pool: same results, same input order, same error on the first
-    /// out-of-domain index.
+    /// [`Synopsis::cdf_batch`] sharded across the pool: same results, same
+    /// input order, same error on the first out-of-domain index (the batch
+    /// kernel itself is bit-identical to mapping [`Synopsis::cdf`]).
     pub fn cdf_batch(&self, synopsis: &Arc<Synopsis>, xs: &[usize]) -> Result<Vec<f64>> {
-        self.run_sharded(synopsis, xs, |synopsis, shard| {
-            shard.iter().map(|&x| synopsis.cdf(x)).collect()
-        })
+        self.run_sharded(synopsis, xs, |synopsis, shard| synopsis.cdf_batch(shard))
     }
 
     /// Splits `queries` into one contiguous shard per worker, runs `run` on

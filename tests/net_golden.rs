@@ -206,9 +206,31 @@ fn golden_responses_v2() -> Vec<(&'static str, Response)> {
     ]
 }
 
+/// The construction value and committed file of the v1 *downgrade* fixture:
+/// a response built with the v2-only [`ErrorCode::UnknownKey`] but encoded
+/// at v1, where the code must leave the encoder as `InvalidQuery`. Kept out
+/// of [`golden_responses_v1`] on purpose — the downgrade makes the frame
+/// decode differently from its construction value, which is the point.
+fn downgraded_error_fixture() -> (&'static str, Response) {
+    (
+        "net_error_downgraded_response_v1.bin",
+        Response::Error {
+            epoch: 7,
+            code: ErrorCode::UnknownKey,
+            message: "key \"tenants/api-logout\" is not present in the store map".into(),
+        },
+    )
+}
+
 #[test]
 #[ignore = "fixture-regeneration helper, not a regression test"]
 fn regenerate_net_fixtures() {
+    {
+        let (name, response) = downgraded_error_fixture();
+        let bytes = encode_response_versioned(1, &response).expect("error frames encode at v1");
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        println!("{name}: {} bytes", bytes.len());
+    }
     for (name, request) in golden_requests_v1() {
         let bytes = encode_request_versioned(1, &request).expect("v1-expressible request");
         std::fs::write(fixture_path(name), &bytes).expect("write fixture");
@@ -284,6 +306,36 @@ fn committed_v2_response_frames_still_decode_and_reencode_bit_for_bit() {
             .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
         assert_eq!(decoded, expected, "{name}: decoded response changed");
         assert_eq!(encode_response(&expected), committed, "{name}: re-encoded bytes diverged");
+    }
+}
+
+#[test]
+fn v1_error_frames_downgrade_v2_only_codes_bit_for_bit() {
+    // Regression: a v2 server mirroring a v1 request used to stamp the
+    // v2-only UnknownKey byte (9) straight into the v1 error frame. The
+    // committed fixture pins the fixed behavior in bytes: encoding an
+    // UnknownKey error at v1 produces a frame whose code byte is the v1-era
+    // InvalidQuery (4), and that is what a v1 client decodes.
+    let (name, response) = downgraded_error_fixture();
+    let committed = std::fs::read(fixture_path(name))
+        .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+    let encoded = encode_response_versioned(1, &response).expect("error frames encode at v1");
+    assert_eq!(encoded, committed, "{name}: re-encoded v1 bytes diverged");
+
+    // The code byte sits at a fixed offset: length prefix (4) + magic (8) +
+    // version (2) + op (1) + epoch (8).
+    let code_offset = 4 + 8 + 2 + 1 + 8;
+    assert_eq!(committed[code_offset], ErrorCode::InvalidQuery.to_u8(), "code byte must be v1-era");
+    assert_ne!(committed[code_offset], ErrorCode::UnknownKey.to_u8());
+
+    let decoded = decode_response(&committed).expect("v1 clients must decode the frame");
+    match decoded {
+        Response::Error { epoch, code, message } => {
+            assert_eq!(epoch, 7);
+            assert_eq!(code, ErrorCode::InvalidQuery);
+            assert!(message.contains("tenants/api-logout"), "detail stays in the message");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
     }
 }
 

@@ -148,6 +148,33 @@ fn empty_and_singleton_batches_work_through_the_network_path() {
 }
 
 #[test]
+fn non_finite_fractions_come_back_as_invalid_query_errors() {
+    // Regression companion to the Synopsis finiteness fix: a hostile client
+    // shipping NaN/±inf fractions must get the typed InvalidQuery error over
+    // the wire — with the finiteness diagnosis in the message — and the
+    // connection must stay usable afterwards.
+    let map = Arc::new(StoreMap::with_initial(chunk(3)));
+    let mut server = spawn_server(map, 2);
+    let mut client = HistClient::connect(server.local_addr()).unwrap();
+
+    for p in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        match client.quantile_batch(&[0.5, p]) {
+            Err(NetError::Remote { code, message, .. }) => {
+                assert_eq!(code, ErrorCode::InvalidQuery, "p = {p}");
+                assert!(message.contains("finite"), "p = {p}: got `{message}`");
+            }
+            other => panic!("p = {p}: expected a remote InvalidQuery error, got {other:?}"),
+        }
+        // The error is per-request, not per-connection.
+        let healthy = client.quantile_batch(&[0.5]).unwrap();
+        assert_eq!(healthy.value.len(), 1);
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
 fn per_connection_request_limits_are_enforced() {
     let map = Arc::new(StoreMap::with_initial(chunk(2)));
     let config = ServerConfig {

@@ -384,3 +384,158 @@ fn merge_is_associative_within_tolerance() {
         }
     }
 }
+
+#[test]
+fn flat_kernels_are_bit_identical_to_reference_kernels_everywhere() {
+    // The tentpole gate of the flat structure-of-arrays query kernel: for
+    // every estimator × fixture, the flat cdf/quantile/mass/batch kernels
+    // must reproduce the retained `*_ref` reference kernels bit for bit —
+    // exhaustively over the domain for cdf, and over seeded plus adversarial
+    // (boundary-exact, duplicate, unsorted) query sets for the rest.
+    let mut rng = StdRng::seed_from_u64(0xF1A7_2015);
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            let synopsis = estimator.fit(&signal).unwrap();
+            let name = estimator.name();
+
+            for x in 0..n {
+                assert_eq!(
+                    synopsis.cdf(x).unwrap().to_bits(),
+                    synopsis.cdf_ref(x).unwrap().to_bits(),
+                    "{fixture}/{name}: cdf({x})"
+                );
+            }
+            let xs: Vec<usize> = (0..64).map(|_| rng.gen_range(0..n)).collect();
+            let batch = synopsis.cdf_batch(&xs).unwrap();
+            for (x, got) in xs.iter().zip(&batch) {
+                assert_eq!(
+                    got.to_bits(),
+                    synopsis.cdf_ref(*x).unwrap().to_bits(),
+                    "{fixture}/{name}: cdf_batch at {x}"
+                );
+            }
+
+            // Fractions: seeded sweep + exact piece-boundary fractions (the
+            // handover points a random sweep almost never hits) + ends.
+            let boundaries = synopsis.boundary_masses();
+            let total = *boundaries.last().unwrap();
+            let mut ps: Vec<f64> = (0..48).map(|_| rng.gen_range(0.0..=1.0)).collect();
+            ps.extend([0.0, 1.0, 0.5, 0.5]);
+            if total > 0.0 {
+                ps.extend(boundaries.iter().map(|m| (m / total).min(1.0)));
+            }
+            for &p in &ps {
+                assert_eq!(
+                    synopsis.quantile(p).unwrap(),
+                    synopsis.quantile_ref(p).unwrap(),
+                    "{fixture}/{name}: quantile({p})"
+                );
+            }
+            assert_eq!(
+                synopsis.quantile_batch(&ps).unwrap(),
+                synopsis.quantile_batch_ref(&ps).unwrap(),
+                "{fixture}/{name}: quantile_batch"
+            );
+
+            // Ranges: seeded, plus degenerate single-point and full-domain.
+            let mut ranges: Vec<Interval> = (0..48)
+                .map(|_| {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(a..n);
+                    Interval::new(a, b).unwrap()
+                })
+                .collect();
+            ranges.extend(
+                [(0, n - 1), (0, 0), (n - 1, n - 1), (n / 2, n / 2)]
+                    .iter()
+                    .map(|&(a, b)| Interval::new(a, b).unwrap()),
+            );
+            for &range in &ranges {
+                assert_eq!(
+                    synopsis.mass(range).unwrap().to_bits(),
+                    synopsis.mass_ref(range).unwrap().to_bits(),
+                    "{fixture}/{name}: mass({range})"
+                );
+            }
+            let flat: Vec<u64> =
+                synopsis.mass_batch(&ranges).unwrap().iter().map(|m| m.to_bits()).collect();
+            let reference: Vec<u64> =
+                synopsis.mass_batch_ref(&ranges).unwrap().iter().map(|m| m.to_bits()).collect();
+            assert_eq!(flat, reference, "{fixture}/{name}: mass_batch bits");
+        }
+    }
+}
+
+#[test]
+fn hostile_probes_are_rejected_identically_by_flat_and_reference_kernels() {
+    // Hostile-input sweep: non-finite, negative, just-past-one and signed-zero
+    // fractions, plus out-of-domain indices and ranges. Flat and reference
+    // kernels must answer each probe with the same outcome — the same value
+    // when the probe is legal, the same typed error message when it is not —
+    // for every estimator × fixture.
+    let hostile_ps = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -1.0,
+        -f64::MIN_POSITIVE,
+        1.0 + f64::EPSILON,
+        1.5,
+        f64::MAX,
+        -0.0,
+        f64::MIN_POSITIVE,
+        0.0,
+        1.0,
+    ];
+    for (fixture, signal) in fixture_signals() {
+        let n = signal.domain();
+        for estimator in fixture_fleet() {
+            let synopsis = estimator.fit(&signal).unwrap();
+            let name = estimator.name();
+
+            for &p in &hostile_ps {
+                let flat = synopsis.quantile(p).map_err(|e| e.to_string());
+                let reference = synopsis.quantile_ref(p).map_err(|e| e.to_string());
+                assert_eq!(flat, reference, "{fixture}/{name}: quantile({p})");
+                let flat = synopsis.quantile_batch(&[0.5, p]).map_err(|e| e.to_string());
+                let reference = synopsis.quantile_batch_ref(&[0.5, p]).map_err(|e| e.to_string());
+                assert_eq!(flat, reference, "{fixture}/{name}: quantile_batch([0.5, {p}])");
+                if !p.is_finite() {
+                    assert!(
+                        flat.as_ref().unwrap_err().contains("finite"),
+                        "{fixture}/{name}: p = {p} must be diagnosed as non-finite"
+                    );
+                }
+            }
+
+            // A batch whose tail is hostile must reject the whole batch (the
+            // validate-everything-first contract) in both kernels.
+            let mixed = [0.0, 0.25, f64::NAN];
+            assert_eq!(
+                synopsis.quantile_batch(&mixed).map_err(|e| e.to_string()),
+                synopsis.quantile_batch_ref(&mixed).map_err(|e| e.to_string()),
+                "{fixture}/{name}: mixed hostile batch"
+            );
+
+            // Out-of-domain indices and ranges: same typed errors everywhere.
+            for x in [n, n + 1, usize::MAX] {
+                assert_eq!(
+                    synopsis.cdf(x).map_err(|e| e.to_string()),
+                    synopsis.cdf_ref(x).map_err(|e| e.to_string()),
+                    "{fixture}/{name}: cdf({x})"
+                );
+                assert!(synopsis.cdf_batch(&[0, x]).is_err(), "{fixture}/{name}: cdf_batch");
+            }
+            for range in [Interval::new(0, n).unwrap(), Interval::new(n, usize::MAX).unwrap()] {
+                let flat = synopsis.mass(range).map_err(|e| e.to_string());
+                let reference = synopsis.mass_ref(range).map_err(|e| e.to_string());
+                assert_eq!(flat, reference, "{fixture}/{name}: mass({range})");
+                assert!(flat.is_err(), "{fixture}/{name}: out-of-domain must error");
+                let flat = synopsis.mass_batch(&[range]).map_err(|e| e.to_string());
+                let reference = synopsis.mass_batch_ref(&[range]).map_err(|e| e.to_string());
+                assert_eq!(flat, reference, "{fixture}/{name}: mass_batch([{range}])");
+            }
+        }
+    }
+}
