@@ -1,8 +1,9 @@
 //! Seeded loopback benchmark for the network serving layer, written as JSON
 //! to `BENCH_net.json` at the workspace root (override with
-//! `HIST_BENCH_NET_OUT`).
+//! `HIST_BENCH_NET_OUT`). Set `HIST_BENCH_NET_FAST=1` for a seconds-long
+//! smoke run (CI) with shrunken request counts and connection fleets.
 //!
-//! Two sweeps share one seeded workload generator:
+//! Three sweeps share one seeded workload generator:
 //!
 //! * **Batch sweep** — one `HistServer` on an ephemeral loopback port serves
 //!   an `n = 2^16` seeded step synopsis at the default key; one blocking
@@ -15,17 +16,26 @@
 //!   key before every request. The spread across key counts isolates the
 //!   cost of the keyed lookup path (shard hash + HashMap probe + key section
 //!   on the wire) from the query itself.
+//! * **Connection sweep** — fleets of 1, 64 and 1024 concurrent pipelined
+//!   connections against BOTH server modes (thread-per-connection blocking
+//!   vs the evented readiness loop). Every connection ships 32 batch-1
+//!   quantile requests per write and drains 32 in-order responses, so the
+//!   sweep measures aggregate request throughput when per-request syscalls
+//!   are amortized away — the workload the evented mode exists for. Latency
+//!   columns report amortized per-request time inside a pipelined wave.
 //!
 //! A correctness gate cross-checks every batch against the local synopsis
 //! bit for bit before timing starts.
 
-use std::io::Write as _;
-use std::sync::Arc;
-use std::time::Instant;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
+use approx_hist::net::{encode_request, read_message, Request, Response, DEFAULT_MAX_FRAME_BYTES};
 use approx_hist::{
     Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, Interval, ServerConfig,
-    Signal, StoreMap, Synopsis,
+    ServerMode, Signal, StoreMap, Synopsis, DEFAULT_KEY,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,13 +47,47 @@ const BATCH_SIZES: [usize; 3] = [1, 64, 4096];
 const KEY_COUNTS: [usize; 3] = [1, 1_000, 100_000];
 /// Batch size of every keyed-sweep request (small: the lookup is the point).
 const KEYED_BATCH: usize = 16;
+/// Connection-fleet sizes of the connection sweep.
+const CONN_COUNTS: [usize; 3] = [1, 64, 1024];
+/// Requests per write syscall in the connection sweep.
+const PIPELINE_DEPTH: usize = 32;
+/// Driver threads multiplexing the connection fleet.
+const CONN_SWEEP_THREADS: usize = 8;
+
+/// Smoke mode: shrink every sweep to seconds for CI.
+fn fast_mode() -> bool {
+    std::env::var("HIST_BENCH_NET_FAST").is_ok()
+}
 
 /// Requests per (op, batch size) measurement, scaled down for big batches.
 fn requests_for(batch: usize) -> usize {
-    match batch {
+    let full = match batch {
         0..=1 => 2_000,
         2..=64 => 1_000,
         _ => 150,
+    };
+    if fast_mode() {
+        (full / 10).max(30)
+    } else {
+        full
+    }
+}
+
+/// Pipelined rounds per connection in the connection sweep: bigger fleets
+/// carry proportionally fewer rounds so every leg moves a similar volume.
+fn rounds_for(conns: usize) -> usize {
+    if fast_mode() {
+        if conns == 1 {
+            100
+        } else {
+            20
+        }
+    } else {
+        match conns {
+            1 => 3_000,
+            2..=64 => 150,
+            _ => 32,
+        }
     }
 }
 
@@ -76,6 +120,8 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 struct Measurement {
     op: String,
+    mode: &'static str,
+    conns: usize,
     keys: usize,
     batch: usize,
     requests: usize,
@@ -83,6 +129,13 @@ struct Measurement {
     queries_per_s: f64,
     p50_us: f64,
     p99_us: f64,
+}
+
+fn mode_name(mode: ServerMode) -> &'static str {
+    match mode {
+        ServerMode::Blocking => "blocking",
+        ServerMode::Evented => "evented",
+    }
 }
 
 fn measure(
@@ -109,6 +162,8 @@ fn measure(
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let m = Measurement {
         op: op.to_string(),
+        mode: "blocking",
+        conns: 1,
         keys,
         batch,
         requests,
@@ -182,6 +237,9 @@ fn keyed_sweep(results: &mut Vec<Measurement>) {
     let local = synopsis.quantile_batch(&ps).expect("local keyed quantiles");
 
     for keys in KEY_COUNTS {
+        if fast_mode() && keys > 1_000 {
+            continue;
+        }
         // Populate in-process: the sweep measures serving, not ingest.
         let map = Arc::new(StoreMap::new());
         for i in 0..keys {
@@ -196,7 +254,7 @@ fn keyed_sweep(results: &mut Vec<Measurement>) {
         assert_eq!(client.quantile_batch(&ps).expect("keyed gate").value, local, "keyed gate");
 
         let mut rng = StdRng::seed_from_u64(SEED ^ keys as u64);
-        let requests = 1_000;
+        let requests = if fast_mode() { 100 } else { 1_000 };
         results.push(measure("keyed_quantile", keys, KEYED_BATCH, requests, || {
             let key = format!("tenant/{:06}", rng.gen_range(0..keys));
             client.set_key(&key).expect("valid key");
@@ -205,10 +263,188 @@ fn keyed_sweep(results: &mut Vec<Measurement>) {
     }
 }
 
+/// Connects with retries: a 1024-connection burst can overflow the accept
+/// backlog, and the bench should ride out dropped SYNs instead of dying.
+fn connect_retrying(addr: SocketAddr) -> TcpStream {
+    let mut tries = 0;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("socket read timeout");
+                let _ = stream.set_nodelay(true);
+                return stream;
+            }
+            Err(_) if tries < 50 => {
+                tries += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("conn-sweep connect failed: {e}"),
+        }
+    }
+}
+
+/// The connection sweep: pipelined fleets of growing size against both
+/// server modes. Every connection writes `PIPELINE_DEPTH` identical batch-1
+/// quantile requests in one syscall and drains the (fixed-size, in-order)
+/// responses; driver threads multiplex the fleet in waves so up to
+/// `conns * PIPELINE_DEPTH` requests are in flight at once.
+fn conn_sweep(results: &mut Vec<Measurement>) {
+    let synopsis = seeded_synopsis();
+    let conn_counts: Vec<usize> = if fast_mode() { vec![1, 8] } else { CONN_COUNTS.to_vec() };
+
+    let p = StdRng::seed_from_u64(SEED ^ 0xC0).gen_range(0.0..=1.0);
+    let expected = synopsis.quantile(p).expect("local quantile") as u64;
+    let request = encode_request(&Request::QuantileBatch { key: DEFAULT_KEY.into(), ps: vec![p] });
+    let wire: Vec<u8> =
+        std::iter::repeat_with(|| request.clone()).take(PIPELINE_DEPTH).flatten().collect();
+
+    for mode in [ServerMode::Blocking, ServerMode::Evented] {
+        for &conns in &conn_counts {
+            let map = Arc::new(StoreMap::with_initial(synopsis.clone()));
+            let config = ServerConfig {
+                mode,
+                // Blocking mode parks one worker on every live connection;
+                // evented mode needs only a small batch-worker pool (this
+                // box has one core — more workers just thrash it).
+                connection_threads: if mode == ServerMode::Blocking { conns + 1 } else { 2 },
+                ..ServerConfig::default()
+            };
+            let server =
+                HistServer::bind("127.0.0.1:0", map, config).expect("ephemeral loopback bind");
+            let addr = server.local_addr();
+
+            // Correctness gate + frame-size probe: one fully decoded
+            // pipelined round. Identical requests yield identical-length
+            // responses, so the timed loop can drain by exact byte count.
+            let mut response_len = 0usize;
+            let mut probe = connect_retrying(addr);
+            probe.write_all(&wire).expect("probe pipeline");
+            for _ in 0..PIPELINE_DEPTH {
+                let frame = read_message(&mut probe, DEFAULT_MAX_FRAME_BYTES)
+                    .expect("probe read")
+                    .expect("probe response");
+                let mut message = (frame.len() as u32).to_le_bytes().to_vec();
+                message.extend_from_slice(&frame);
+                match approx_hist::net::decode_response(&message).expect("probe decode") {
+                    Response::QuantileBatch { indices, .. } => {
+                        assert_eq!(indices, vec![expected], "conn-sweep correctness gate")
+                    }
+                    other => panic!("conn-sweep gate: unexpected {other:?}"),
+                }
+                response_len = 4 + frame.len();
+            }
+            drop(probe);
+
+            let threads = conns.min(CONN_SWEEP_THREADS);
+            let rounds = rounds_for(conns);
+            let barrier = Barrier::new(threads + 1);
+            let total_requests = conns * rounds * PIPELINE_DEPTH;
+            let mut latencies: Vec<f64> = Vec::with_capacity(threads * rounds);
+            let mut elapsed = 0.0f64;
+
+            std::thread::scope(|scope| {
+                let barrier = &barrier;
+                let wire = &wire;
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            let my_conns = conns / threads + usize::from(t < conns % threads);
+                            let mut sockets: Vec<TcpStream> =
+                                (0..my_conns).map(|_| connect_retrying(addr)).collect();
+                            let mut buf = vec![0u8; response_len * PIPELINE_DEPTH];
+                            // Untimed warm-up waves: grow every buffer on
+                            // both sides to its steady-state capacity before
+                            // the clock starts.
+                            for _ in 0..2 {
+                                for socket in &mut sockets {
+                                    socket.write_all(wire).expect("warmup write");
+                                }
+                                for socket in &mut sockets {
+                                    socket.read_exact(&mut buf).expect("warmup drain");
+                                }
+                            }
+                            barrier.wait();
+                            // One wave per round: write every pipeline, then
+                            // drain every connection in order. Latency is
+                            // amortized per request inside the wave.
+                            let mut wave_latencies = Vec::with_capacity(rounds);
+                            for _ in 0..rounds {
+                                let t0 = Instant::now();
+                                for socket in &mut sockets {
+                                    socket.write_all(wire).expect("pipeline write");
+                                }
+                                for socket in &mut sockets {
+                                    socket.read_exact(&mut buf).expect("pipeline drain");
+                                }
+                                let per_request = t0.elapsed().as_secs_f64() * 1e6
+                                    / (my_conns * PIPELINE_DEPTH) as f64;
+                                wave_latencies.push(per_request);
+                                // Cheap integrity check: the first frame in
+                                // the wave still has the probed length.
+                                let announced =
+                                    u32::from_le_bytes(buf[0..4].try_into().expect("prefix"));
+                                assert_eq!(announced as usize, response_len - 4, "frame drift");
+                            }
+                            wave_latencies
+                        })
+                    })
+                    .collect();
+                barrier.wait();
+                let t0 = Instant::now();
+                for handle in handles {
+                    latencies.extend(handle.join().expect("driver thread"));
+                }
+                elapsed = t0.elapsed().as_secs_f64();
+            });
+
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let m = Measurement {
+                op: "pipelined_quantile".to_string(),
+                mode: mode_name(mode),
+                conns,
+                keys: 1,
+                batch: 1,
+                requests: total_requests,
+                requests_per_s: total_requests as f64 / elapsed,
+                queries_per_s: total_requests as f64 / elapsed,
+                p50_us: percentile(&latencies, 0.50),
+                p99_us: percentile(&latencies, 0.99),
+            };
+            println!(
+                "{:>14} {:>9} conns {:>5}: {:>9.0} req/s | amortized p50 {:>7.2}us p99 {:>7.2}us",
+                m.op, m.mode, m.conns, m.requests_per_s, m.p50_us, m.p99_us
+            );
+            results.push(m);
+        }
+    }
+}
+
 fn main() {
     let mut results = Vec::new();
     batch_sweep(&mut results);
     keyed_sweep(&mut results);
+    conn_sweep(&mut results);
+
+    // The ISSUE's headline ratio: aggregate pipelined throughput at the
+    // largest evented fleet over the classic one-connection synchronous
+    // baseline measured in the same run.
+    let baseline =
+        results.iter().find(|m| m.op == "quantile" && m.batch == 1).map(|m| m.requests_per_s);
+    let peak = results
+        .iter()
+        .filter(|m| m.op == "pipelined_quantile" && m.mode == "evented")
+        .max_by_key(|m| m.conns)
+        .map(|m| (m.conns, m.requests_per_s));
+    if let (Some(baseline), Some((conns, peak))) = (baseline, peak) {
+        println!(
+            "evented {conns}-conn aggregate vs 1-conn sync baseline: {:.1}x ({:.0} vs {:.0} req/s)",
+            peak / baseline,
+            peak,
+            baseline
+        );
+    }
 
     let entries: Vec<String> = results
         .iter()
@@ -216,6 +452,8 @@ fn main() {
             format!(
                 r#"    {{
       "op": "{}",
+      "mode": "{}",
+      "conns": {},
       "keys": {},
       "batch": {},
       "requests": {},
@@ -225,6 +463,8 @@ fn main() {
       "p99_latency_us": {:.2}
     }}"#,
                 m.op,
+                m.mode,
+                m.conns,
                 m.keys,
                 m.batch,
                 m.requests,
@@ -241,9 +481,11 @@ fn main() {
   "n": {N},
   "k": {K},
   "seed": {SEED},
-  "transport": "tcp loopback, one blocking connection",
+  "transport": "tcp loopback; batch/keyed sweeps: one synchronous connection; conn sweep: pipelined fleets vs both server modes",
   "batch_sizes": [1, 64, 4096],
   "key_counts": [1, 1000, 100000],
+  "conn_counts": [1, 64, 1024],
+  "pipeline_depth": {PIPELINE_DEPTH},
   "measurements": [
 {}
   ]

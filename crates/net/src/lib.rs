@@ -7,10 +7,13 @@
 //! The ROADMAP's north star is serving heavy traffic from many users; every
 //! layer below this one (fit, merge, stream, parallel build, concurrent
 //! store, durable codec) lives inside a single process. This crate closes
-//! the loop: a [`HistServer`] runs a concurrent accept loop over the keyed
+//! the loop: a [`HistServer`] serves the keyed
 //! [`StoreMap`](hist_serve::StoreMap) (one epoch/snapshot store per
 //! tenant/metric key — reads wait-free, writes serialized per key, every
-//! response stamped with the snapshot epoch), and a blocking [`HistClient`]
+//! response stamped with the snapshot epoch) in either of two I/O modes
+//! behind one API — thread-per-connection blocking I/O
+//! ([`ServerMode::Blocking`]) or a pipelining epoll/poll readiness loop
+//! ([`ServerMode::Evented`], see [`evented`]) — and a blocking [`HistClient`]
 //! exposes batch helpers whose answers are **bit-identical** to querying the
 //! local [`Synopsis`](hist_core::Synopsis) directly — `f64`s travel as raw
 //! IEEE-754 bits, and published synopses ship in the `hist-persist`
@@ -94,6 +97,7 @@
 
 pub mod client;
 pub mod error;
+pub mod evented;
 pub mod frame;
 pub mod proto;
 pub mod server;
@@ -108,6 +112,7 @@ pub use frame::{
 pub use hist_serve::MergedView;
 pub use proto::{
     decode_request, decode_response, encode_request, encode_request_versioned, encode_response,
-    encode_response_versioned, ErrorCode, Request, Response, StoreWideStats, SynopsisStats,
+    encode_response_into, encode_response_versioned, ErrorCode, Request, Response, StoreWideStats,
+    SynopsisStats,
 };
-pub use server::{HistServer, ServerConfig};
+pub use server::{HistServer, ServerConfig, ServerMode};

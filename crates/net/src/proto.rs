@@ -33,7 +33,11 @@ use hist_persist::wire::{put_f64, put_u64, Reader};
 use hist_persist::{CodecError, CodecResult};
 use hist_serve::DEFAULT_KEY;
 
-use crate::frame::{seal_message_versioned, split_message, PROTOCOL_VERSION};
+use hist_persist::crc32::crc32;
+
+use crate::frame::{
+    seal_message_versioned, split_message, LENGTH_PREFIX_BYTES, NET_MAGIC, PROTOCOL_VERSION,
+};
 
 // Request opcodes.
 const OP_CDF_BATCH: u8 = 0x01;
@@ -515,41 +519,79 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 /// downgrade to [`ErrorCode::InvalidQuery`] inside a v1 error frame
 /// ([`ErrorCode::for_version`]) rather than leaking a byte v1 never defined.
 pub fn encode_response_versioned(version: u16, response: &Response) -> CodecResult<Vec<u8>> {
+    let mut out = Vec::new();
+    encode_response_into(version, response, &mut out)?;
+    Ok(out)
+}
+
+/// Appends a complete response wire message (length prefix included) onto
+/// `out`, building the frame in place: no intermediate payload `Vec`, and no
+/// allocation at all once `out` has warmed-up capacity. This is the evented
+/// server's steady-state write path; [`encode_response_versioned`] delegates
+/// here, so both server modes emit byte-identical frames by construction.
+/// On error `out` is restored to its original length.
+pub fn encode_response_into(
+    version: u16,
+    response: &Response,
+    out: &mut Vec<u8>,
+) -> CodecResult<()> {
     check_encodable_version(version)?;
-    let mut payload = Vec::new();
+    let start = out.len();
+    // Placeholder length prefix, patched once the payload size is known.
+    out.extend_from_slice(&[0u8; LENGTH_PREFIX_BYTES]);
+    out.extend_from_slice(&NET_MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.push(response.op());
+    if let Err(err) = write_response_payload(version, response, out) {
+        out.truncate(start);
+        return Err(err);
+    }
+    // frame = magic + version + op + payload + the 4-byte CRC trailer below.
+    let frame_len = out.len() - start - LENGTH_PREFIX_BYTES + 4;
+    out[start..start + LENGTH_PREFIX_BYTES].copy_from_slice(&(frame_len as u32).to_le_bytes());
+    let crc = crc32(&out[start + LENGTH_PREFIX_BYTES..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+fn write_response_payload(
+    version: u16,
+    response: &Response,
+    payload: &mut Vec<u8>,
+) -> CodecResult<()> {
     match response {
         Response::CdfBatch { epoch, values } => {
-            put_u64(&mut payload, *epoch);
-            put_u64(&mut payload, values.len() as u64);
+            put_u64(payload, *epoch);
+            put_u64(payload, values.len() as u64);
             for &v in values {
-                put_f64(&mut payload, v);
+                put_f64(payload, v);
             }
         }
         Response::QuantileBatch { epoch, indices } => {
-            put_u64(&mut payload, *epoch);
-            put_u64(&mut payload, indices.len() as u64);
+            put_u64(payload, *epoch);
+            put_u64(payload, indices.len() as u64);
             for &i in indices {
-                put_u64(&mut payload, i);
+                put_u64(payload, i);
             }
         }
         Response::MassBatch { epoch, masses } => {
-            put_u64(&mut payload, *epoch);
-            put_u64(&mut payload, masses.len() as u64);
+            put_u64(payload, *epoch);
+            put_u64(payload, masses.len() as u64);
             for &m in masses {
-                put_f64(&mut payload, m);
+                put_f64(payload, m);
             }
         }
         Response::Stats { epoch, synopsis } => {
-            put_u64(&mut payload, *epoch);
+            put_u64(payload, *epoch);
             match synopsis {
                 None => payload.push(0),
                 Some(stats) => {
                     payload.push(1);
-                    put_u64(&mut payload, stats.domain);
-                    put_u64(&mut payload, stats.pieces);
-                    put_u64(&mut payload, stats.target_k);
-                    put_f64(&mut payload, stats.total_mass);
-                    put_u64(&mut payload, stats.estimator.len() as u64);
+                    put_u64(payload, stats.domain);
+                    put_u64(payload, stats.pieces);
+                    put_u64(payload, stats.target_k);
+                    put_f64(payload, stats.total_mass);
+                    put_u64(payload, stats.estimator.len() as u64);
                     payload.extend_from_slice(stats.estimator.as_bytes());
                 }
             }
@@ -558,52 +600,52 @@ pub fn encode_response_versioned(version: u16, response: &Response) -> CodecResu
             if version < 2 {
                 return Err(v1_cannot_express());
             }
-            put_u64(&mut payload, *epoch);
-            put_u64(&mut payload, stats.keys);
-            put_u64(&mut payload, stats.served);
-            put_u64(&mut payload, stats.total_pieces);
-            put_u64(&mut payload, stats.min_epoch);
-            put_u64(&mut payload, stats.max_epoch);
+            put_u64(payload, *epoch);
+            put_u64(payload, stats.keys);
+            put_u64(payload, stats.served);
+            put_u64(payload, stats.total_pieces);
+            put_u64(payload, stats.min_epoch);
+            put_u64(payload, stats.max_epoch);
         }
         Response::KeyList { epoch, keys } => {
             if version < 2 {
                 return Err(v1_cannot_express());
             }
-            put_u64(&mut payload, *epoch);
-            put_u64(&mut payload, keys.len() as u64);
+            put_u64(payload, *epoch);
+            put_u64(payload, keys.len() as u64);
             for key in keys {
-                put_key(&mut payload, key);
+                put_key(payload, key);
             }
         }
         Response::MergedView { epoch, keys, synopsis } => {
             if version < 2 {
                 return Err(v1_cannot_express());
             }
-            put_u64(&mut payload, *epoch);
-            put_u64(&mut payload, *keys);
-            put_u64(&mut payload, synopsis.len() as u64);
+            put_u64(payload, *epoch);
+            put_u64(payload, *keys);
+            put_u64(payload, synopsis.len() as u64);
             payload.extend_from_slice(synopsis);
         }
         Response::Updated { epoch } => {
-            put_u64(&mut payload, *epoch);
+            put_u64(payload, *epoch);
         }
         Response::Dropped { epoch, existed } => {
             if version < 2 {
                 return Err(v1_cannot_express());
             }
-            put_u64(&mut payload, *epoch);
+            put_u64(payload, *epoch);
             payload.push(u8::from(*existed));
         }
         Response::Error { epoch, code, message } => {
-            put_u64(&mut payload, *epoch);
+            put_u64(payload, *epoch);
             // Mirroring a v1 request must not leak a v2-only code byte into
             // the v1 frame — old clients have no decoding for it.
             payload.push(code.for_version(version).to_u8());
-            put_u64(&mut payload, message.len() as u64);
+            put_u64(payload, message.len() as u64);
             payload.extend_from_slice(message.as_bytes());
         }
     };
-    Ok(seal_message_versioned(version, response.op(), &payload))
+    Ok(())
 }
 
 /// A version this build can *write*: same range it reads.

@@ -1,14 +1,24 @@
-//! The serving side: a concurrent TCP accept loop over a shared keyed
-//! [`StoreMap`].
+//! The serving side: a TCP server over a shared keyed [`StoreMap`], in one
+//! of two I/O modes behind the same [`HistServer`] API.
 //!
-//! [`HistServer::bind`] spawns one accept thread; each accepted connection is
-//! dispatched onto the crate-shared [`ThreadPool`] from `hist-serve`, where a
-//! handler loops over framed requests. Reads go through an epoch-stamped
-//! snapshot of the addressed key's store (wait-free in practice), batch
-//! queries are sharded through a [`QueryExecutor`], and admin writes
-//! (`Publish`/`UpdateMerge`) serialize on the addressed store's writer path —
-//! exactly the concurrency contract the in-process serving layer already
-//! guarantees, now over the wire and per key.
+//! * [`ServerMode::Blocking`] (the default): one accept thread; each
+//!   accepted connection is dispatched onto the crate-shared [`ThreadPool`]
+//!   from `hist-serve`, where a handler loops over framed requests with
+//!   blocking reads.
+//! * [`ServerMode::Evented`]: a single readiness loop (epoll(7) on Linux,
+//!   portable poll(2) fallback) multiplexes every connection over
+//!   non-blocking sockets with request pipelining and reused write buffers;
+//!   request batches still execute on the `hist-serve` [`ThreadPool`]. See
+//!   [`crate::evented`].
+//!
+//! In either mode, reads go through an epoch-stamped snapshot of the
+//! addressed key's store (wait-free in practice), batch queries are sharded
+//! through a [`QueryExecutor`], and admin writes (`Publish`/`UpdateMerge`)
+//! serialize on the addressed store's writer path — exactly the concurrency
+//! contract the in-process serving layer already guarantees, now over the
+//! wire and per key. Both modes answer every byte stream with byte-identical
+//! frames: they share one request→response core ([`Responder`] +
+//! `answer_frame`) and one in-place frame encoder.
 //!
 //! ## Protocol versions
 //!
@@ -36,7 +46,7 @@
 
 use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,11 +63,35 @@ use crate::proto::{
     SynopsisStats,
 };
 
+/// How a [`HistServer`] drives its sockets. Both modes speak the identical
+/// wire protocol through the same request→response core, so clients cannot
+/// tell them apart byte-for-byte; the dual-mode integration suites assert
+/// exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// Thread-per-connection blocking I/O: each connection owns one
+    /// [`ServerConfig::connection_threads`] pool worker for its lifetime.
+    /// Simple, portable, and the conservative default.
+    #[default]
+    Blocking,
+    /// One evented readiness loop (epoll(7) on Linux, poll(2) fallback)
+    /// multiplexing every connection over non-blocking sockets: request
+    /// pipelining, vectored writes, reused response buffers. Scales to
+    /// thousands of connections; Unix only.
+    Evented,
+}
+
 /// Tuning knobs of a [`HistServer`]. The defaults serve tests and examples;
 /// production deployments mostly care about `max_frame_bytes` (hostile-peer
 /// allocation bound) and the two thread counts.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// Socket-driving strategy; see [`ServerMode`].
+    pub mode: ServerMode,
+    /// Evented mode only: force the portable poll(2) backend even where a
+    /// better platform backend (epoll) exists. Exists so tests can cover the
+    /// fallback path on any host.
+    pub force_poll_backend: bool,
     /// Largest frame accepted from a peer; larger announcements are rejected
     /// before any allocation. (Response frames the server *builds* are not
     /// checked against this: a client mirroring the limit should allow the
@@ -66,10 +100,11 @@ pub struct ServerConfig {
     /// Requests a single connection may issue before the server answers a
     /// typed [`ErrorCode::RequestLimit`] frame and closes it.
     pub max_requests_per_connection: u64,
-    /// Workers in the connection pool (= connections served concurrently).
-    /// A connection holds its worker for its whole lifetime; connections
-    /// beyond this count queue until a worker frees up, so size it to the
-    /// expected number of simultaneous clients.
+    /// Workers in the connection pool. Blocking mode: a connection holds its
+    /// worker for its whole lifetime (= connections served concurrently), so
+    /// size it to the expected number of simultaneous clients. Evented mode:
+    /// these workers execute pipelined request batches handed off by the
+    /// event loop, so a handful serve thousands of connections.
     pub connection_threads: usize,
     /// Workers in the batch-query executor shared by all connections.
     pub query_threads: usize,
@@ -81,6 +116,8 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
+            mode: ServerMode::default(),
+            force_poll_backend: false,
             max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
             max_requests_per_connection: u64::MAX,
             connection_threads: 4,
@@ -114,6 +151,8 @@ pub struct HistServer {
     accept: Option<JoinHandle<()>>,
     pool: Option<Arc<ThreadPool>>,
     map: Arc<StoreMap>,
+    mode: ServerMode,
+    write_allocs: Option<Arc<AtomicU64>>,
 }
 
 impl std::fmt::Debug for HistServer {
@@ -129,7 +168,7 @@ impl std::fmt::Debug for HistServer {
 
 impl HistServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `map` immediately.
+    /// `map` immediately, in the I/O mode `config.mode` selects.
     pub fn bind(
         addr: impl ToSocketAddrs,
         map: Arc<StoreMap>,
@@ -140,33 +179,75 @@ impl HistServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(ThreadPool::new(config.connection_threads));
         let executor = Arc::new(QueryExecutor::new(config.query_threads));
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let pool = Arc::clone(&pool);
-            let map = Arc::clone(&map);
-            std::thread::Builder::new().name("hist-net-accept".into()).spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = stream else {
-                        // Persistent accept errors (EMFILE under fd
-                        // exhaustion) return immediately: back off instead
-                        // of hot-looping exactly when the host is starved.
-                        std::thread::sleep(Duration::from_millis(10));
-                        continue;
-                    };
-                    let shutdown = Arc::clone(&shutdown);
-                    let map = Arc::clone(&map);
-                    let executor = Arc::clone(&executor);
-                    let config = config.clone();
-                    pool.execute(move || {
-                        Connection { stream, map, executor, config, shutdown }.run();
-                    });
-                }
-            })?
+        let responder = Arc::new(Responder { map: Arc::clone(&map), executor });
+        let mode = config.mode;
+        let (accept, write_allocs) = match mode {
+            ServerMode::Blocking => {
+                (Self::spawn_blocking(listener, responder, &shutdown, &pool, config)?, None)
+            }
+            #[cfg(unix)]
+            ServerMode::Evented => {
+                let allocs = Arc::new(AtomicU64::new(0));
+                let handle = crate::evented::spawn(
+                    listener,
+                    responder,
+                    Arc::clone(&shutdown),
+                    Arc::clone(&pool),
+                    config,
+                    Arc::clone(&allocs),
+                )?;
+                (handle, Some(allocs))
+            }
+            #[cfg(not(unix))]
+            ServerMode::Evented => {
+                return Err(std::io::Error::new(
+                    ErrorKind::Unsupported,
+                    "ServerMode::Evented requires a Unix host; use ServerMode::Blocking",
+                ));
+            }
         };
-        Ok(Self { local_addr, shutdown, accept: Some(accept), pool: Some(pool), map })
+        Ok(Self {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            pool: Some(pool),
+            map,
+            mode,
+            write_allocs,
+        })
+    }
+
+    /// Spawns the blocking accept loop: every accepted connection takes a
+    /// pool worker for its lifetime.
+    fn spawn_blocking(
+        listener: TcpListener,
+        responder: Arc<Responder>,
+        shutdown: &Arc<AtomicBool>,
+        pool: &Arc<ThreadPool>,
+        config: ServerConfig,
+    ) -> std::io::Result<JoinHandle<()>> {
+        let shutdown = Arc::clone(shutdown);
+        let pool = Arc::clone(pool);
+        std::thread::Builder::new().name("hist-net-accept".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    // Persistent accept errors (EMFILE under fd
+                    // exhaustion) return immediately: back off instead
+                    // of hot-looping exactly when the host is starved.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                };
+                let shutdown = Arc::clone(&shutdown);
+                let responder = Arc::clone(&responder);
+                let config = config.clone();
+                pool.execute(move || {
+                    Connection { stream, responder, config, shutdown }.run();
+                });
+            }
+        })
     }
 
     /// The address the server is listening on (resolves ephemeral ports).
@@ -180,6 +261,23 @@ impl HistServer {
     #[inline]
     pub fn store_map(&self) -> &Arc<StoreMap> {
         &self.map
+    }
+
+    /// The I/O mode this server was bound in.
+    #[inline]
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// Evented mode: how many times the response write path has had to
+    /// allocate (grow a staging buffer, mint a fresh one because the reuse
+    /// pool ran dry, or grow a queue container) since bind. Flat across a
+    /// warmed-up steady state — the buffer-reuse guarantee the evented
+    /// design makes — and asserted flat by the `net_evented` suite. `None`
+    /// in blocking mode, which allocates one message per response by design.
+    #[inline]
+    pub fn write_path_allocations(&self) -> Option<u64> {
+        self.write_allocs.as_ref().map(|counter| counter.load(Ordering::Acquire))
     }
 
     /// Graceful shutdown: stop accepting, let in-flight requests finish,
@@ -229,11 +327,10 @@ enum Fill {
     Failed,
 }
 
-/// One accepted connection, running on a pool worker.
+/// One accepted connection, running on a pool worker (blocking mode).
 struct Connection {
     stream: TcpStream,
-    map: Arc<StoreMap>,
-    executor: Arc<QueryExecutor>,
+    responder: Arc<Responder>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
 }
@@ -254,33 +351,12 @@ impl Connection {
                 Err(response) => return self.send_and_close(MIN_PROTOCOL_VERSION, &response),
             };
             if served >= self.config.max_requests_per_connection {
-                let response = self.error(
-                    ErrorCode::RequestLimit,
-                    format!(
-                        "connection exceeded its {} request budget",
-                        self.config.max_requests_per_connection
-                    ),
-                );
+                let response =
+                    self.responder.budget_exceeded_error(self.config.max_requests_per_connection);
                 return self.send_and_close(MIN_PROTOCOL_VERSION, &response);
             }
             served += 1;
-            let (version, response) = match check_envelope(&frame) {
-                Ok((version, op, payload)) => match decode_request_frame(version, op, payload) {
-                    Ok(request) => (version, self.respond(request)),
-                    Err(e) => (version, self.error(decode_error_code(&e), e.to_string())),
-                },
-                Err(e) => {
-                    // The frame arrived whole (the length prefix was
-                    // honoured) but its envelope is invalid — the stream
-                    // itself is still framed, so answer and continue. The
-                    // announced version is untrusted (it may be the very
-                    // thing that was rejected), so the answer goes out at
-                    // the minimum version.
-                    let response = self.error(decode_error_code(&e), e.to_string());
-                    self.send(MIN_PROTOCOL_VERSION, &response);
-                    continue;
-                }
-            };
+            let (version, response) = answer_frame(&self.responder, &frame);
             if !self.send(version, &response) {
                 return;
             }
@@ -310,19 +386,10 @@ impl Connection {
         }
         let len = u32::from_le_bytes(prefix) as usize;
         if len > self.config.max_frame_bytes {
-            return Err(self.error(
-                ErrorCode::FrameTooLarge,
-                format!(
-                    "announced frame of {len} byte(s) exceeds the {}-byte limit",
-                    self.config.max_frame_bytes
-                ),
-            ));
+            return Err(self.responder.oversized_frame_error(len, self.config.max_frame_bytes));
         }
         if len < ENVELOPE_BYTES {
-            return Err(self.error(
-                ErrorCode::MalformedFrame,
-                format!("announced frame of {len} byte(s) is shorter than an envelope"),
-            ));
+            return Err(self.responder.short_frame_error(len));
         }
         let mut frame = vec![0u8; len];
         let mut filled = 0usize;
@@ -398,7 +465,35 @@ impl Connection {
             }
         }
     }
+}
 
+/// The request→response core both server modes share: a decoded request in,
+/// a typed response out, over the shared [`StoreMap`] and [`QueryExecutor`].
+/// Owning this logic in one place is what makes the two modes byte-identical
+/// on every input the dual-mode suites replay.
+pub(crate) struct Responder {
+    pub(crate) map: Arc<StoreMap>,
+    pub(crate) executor: Arc<QueryExecutor>,
+}
+
+/// Answers one complete frame (the bytes after the length prefix): envelope
+/// check, request decode, dispatch. Returns the version to mirror on the
+/// answer frame alongside the response. An invalid envelope makes the
+/// announced version untrusted (it may be the very thing that was rejected),
+/// so those answers go out at the minimum version — the one frame shape
+/// every client generation decodes; the stream itself is still framed (the
+/// length prefix was honoured), so the connection continues either way.
+pub(crate) fn answer_frame(responder: &Responder, frame: &[u8]) -> (u16, Response) {
+    match check_envelope(frame) {
+        Ok((version, op, payload)) => match decode_request_frame(version, op, payload) {
+            Ok(request) => (version, responder.respond(request)),
+            Err(e) => (version, responder.error(decode_error_code(&e), e.to_string())),
+        },
+        Err(e) => (MIN_PROTOCOL_VERSION, responder.error(decode_error_code(&e), e.to_string())),
+    }
+}
+
+impl Responder {
     /// An error frame with no key in scope, stamped with the store-wide
     /// maximum epoch.
     fn error(&self, code: ErrorCode, message: String) -> Response {
@@ -408,6 +503,30 @@ impl Connection {
     /// An error frame about a specific key, stamped with that key's epoch.
     fn keyed_error(&self, key: &str, code: ErrorCode, message: String) -> Response {
         Response::Error { epoch: self.map.epoch(key), code, message }
+    }
+
+    /// The typed rejection of the request after the per-connection budget.
+    pub(crate) fn budget_exceeded_error(&self, budget: u64) -> Response {
+        self.error(
+            ErrorCode::RequestLimit,
+            format!("connection exceeded its {budget} request budget"),
+        )
+    }
+
+    /// The typed rejection of a length prefix above the frame limit.
+    pub(crate) fn oversized_frame_error(&self, len: usize, limit: usize) -> Response {
+        self.error(
+            ErrorCode::FrameTooLarge,
+            format!("announced frame of {len} byte(s) exceeds the {limit}-byte limit"),
+        )
+    }
+
+    /// The typed rejection of a length prefix shorter than an envelope.
+    pub(crate) fn short_frame_error(&self, len: usize) -> Response {
+        self.error(
+            ErrorCode::MalformedFrame,
+            format!("announced frame of {len} byte(s) is shorter than an envelope"),
+        )
     }
 
     /// The snapshot queries against `key` answer from, or the typed error:

@@ -10,11 +10,51 @@
 // Each test binary compiles its own copy of this module and uses a subset.
 #![allow(dead_code)]
 
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use approx_hist::{Estimator, EstimatorBuilder, Signal};
+use approx_hist::{
+    Estimator, EstimatorBuilder, HistServer, ServerConfig, ServerMode, Signal, StoreMap,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Both server I/O modes, for suites that must prove the evented path
+/// behaves byte-for-byte like the blocking one.
+pub const SERVER_MODES: [ServerMode; 2] = [ServerMode::Blocking, ServerMode::Evented];
+
+/// The shared server config of the dual-mode net suites: everything default
+/// except the I/O mode and the connection worker count (blocking mode holds
+/// one worker per live connection; evented mode uses them as batch workers).
+pub fn net_config(mode: ServerMode, connection_threads: usize) -> ServerConfig {
+    ServerConfig { mode, connection_threads, ..ServerConfig::default() }
+}
+
+/// Binds an ephemeral loopback server over `map` in the given mode.
+pub fn spawn_server(map: Arc<StoreMap>, mode: ServerMode, connection_threads: usize) -> HistServer {
+    HistServer::bind("127.0.0.1:0", map, net_config(mode, connection_threads))
+        .expect("ephemeral bind")
+}
+
+/// Expands `fn $name(mode: ServerMode)` into `$name::blocking` and
+/// `$name::evented` test cases — the dual-mode harness every net suite runs
+/// its whole body through.
+#[macro_export]
+macro_rules! for_each_server_mode {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            mod $name {
+                #[test]
+                fn blocking() {
+                    super::$name(approx_hist::ServerMode::Blocking);
+                }
+                #[test]
+                fn evented() {
+                    super::$name(approx_hist::ServerMode::Evented);
+                }
+            }
+        )+
+    };
+}
 
 /// The shared piece budget of the fixture suite.
 pub const FIXTURE_K: usize = 5;

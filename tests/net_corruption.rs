@@ -24,7 +24,7 @@ use approx_hist::net::{
 };
 use approx_hist::persist::crc32;
 use approx_hist::{
-    Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, NetError, ServerConfig,
+    Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, NetError, ServerMode,
     Signal, StoreMap, DEFAULT_KEY,
 };
 use rand::rngs::StdRng;
@@ -38,9 +38,9 @@ fn served_synopsis() -> approx_hist::Synopsis {
         .unwrap()
 }
 
-fn spawn_server() -> HistServer {
+fn spawn_server(mode: ServerMode) -> HistServer {
     let map = Arc::new(StoreMap::with_initial(served_synopsis()));
-    HistServer::bind("127.0.0.1:0", map, ServerConfig::default()).expect("ephemeral bind")
+    common::spawn_server(map, mode, 4)
 }
 
 /// A benign request whose answer proves the server is still alive.
@@ -105,9 +105,8 @@ fn assert_all_errors(responses: &[Response], context: &str) {
     }
 }
 
-#[test]
-fn truncation_at_every_prefix_length_closes_cleanly_or_errors() {
-    let mut server = spawn_server();
+fn truncation_at_every_prefix_length_closes_cleanly_or_errors(mode: ServerMode) {
+    let mut server = spawn_server(mode);
     let requests = [
         approx_hist::net::encode_request(&Request::CdfBatch {
             key: DEFAULT_KEY.into(),
@@ -133,9 +132,8 @@ fn truncation_at_every_prefix_length_closes_cleanly_or_errors() {
     server.shutdown(); // re-panics if any handler panicked
 }
 
-#[test]
-fn single_byte_flips_at_every_offset_are_contained() {
-    let mut server = spawn_server();
+fn single_byte_flips_at_every_offset_are_contained(mode: ServerMode) {
+    let mut server = spawn_server(mode);
     let message = approx_hist::net::encode_request(&Request::CdfBatch {
         key: DEFAULT_KEY.into(),
         xs: vec![3, 200],
@@ -162,9 +160,8 @@ fn single_byte_flips_at_every_offset_are_contained() {
     server.shutdown();
 }
 
-#[test]
-fn forged_lengths_counts_ops_and_versions_are_typed_errors() {
-    let mut server = spawn_server();
+fn forged_lengths_counts_ops_and_versions_are_typed_errors(mode: ServerMode) {
+    let mut server = spawn_server(mode);
 
     // A length prefix announcing ~2 GiB: rejected before any allocation,
     // answered with FrameTooLarge, connection closed.
@@ -222,7 +219,7 @@ fn forged_lengths_counts_ops_and_versions_are_typed_errors() {
     let small = HistServer::bind(
         "127.0.0.1:0",
         Arc::new(StoreMap::with_initial(served_synopsis())),
-        ServerConfig { max_frame_bytes: 256, ..ServerConfig::default() },
+        approx_hist::ServerConfig { max_frame_bytes: 256, ..common::net_config(mode, 4) },
     )
     .unwrap();
     let big_batch = approx_hist::net::encode_request(&Request::CdfBatch {
@@ -238,9 +235,8 @@ fn forged_lengths_counts_ops_and_versions_are_typed_errors() {
     server.shutdown();
 }
 
-#[test]
-fn invalid_queries_and_synopses_are_typed_errors_on_a_live_connection() {
-    let mut server = spawn_server();
+fn invalid_queries_and_synopses_are_typed_errors_on_a_live_connection(mode: ServerMode) {
+    let mut server = spawn_server(mode);
     let mut client = HistClient::connect(server.local_addr()).unwrap();
 
     // Out-of-domain index / fraction / range: InvalidQuery, connection kept.
@@ -283,11 +279,8 @@ fn invalid_queries_and_synopses_are_typed_errors_on_a_live_connection() {
     server.shutdown();
 }
 
-#[test]
-fn queries_against_an_empty_store_get_typed_empty_store_errors() {
-    let mut server =
-        HistServer::bind("127.0.0.1:0", Arc::new(StoreMap::new()), ServerConfig::default())
-            .unwrap();
+fn queries_against_an_empty_store_get_typed_empty_store_errors(mode: ServerMode) {
+    let mut server = common::spawn_server(Arc::new(StoreMap::new()), mode, 4);
     let mut client = HistClient::connect(server.local_addr()).unwrap();
     for result in [
         client.cdf_batch(&[0]).map(|_| ()),
@@ -309,9 +302,8 @@ fn queries_against_an_empty_store_get_typed_empty_store_errors() {
     server.shutdown();
 }
 
-#[test]
-fn seeded_random_soup_never_kills_the_server() {
-    let mut server = spawn_server();
+fn seeded_random_soup_never_kills_the_server(mode: ServerMode) {
+    let mut server = spawn_server(mode);
     let mut rng = StdRng::seed_from_u64(0x000B_AD50_CCE7);
     for round in 0..150 {
         let len = rng.gen_range(0..192);
@@ -355,3 +347,12 @@ fn raw_message_decoders_are_total_on_soup() {
         let _ = decode_response(&framed);
     }
 }
+
+for_each_server_mode!(
+    truncation_at_every_prefix_length_closes_cleanly_or_errors,
+    single_byte_flips_at_every_offset_are_contained,
+    forged_lengths_counts_ops_and_versions_are_typed_errors,
+    invalid_queries_and_synopses_are_typed_errors_on_a_live_connection,
+    queries_against_an_empty_store_get_typed_empty_store_errors,
+    seeded_random_soup_never_kills_the_server,
+);

@@ -20,8 +20,9 @@ use std::time::{Duration, Instant};
 
 use approx_hist::{
     ErrorCode, Estimator, EstimatorBuilder, GreedyMerging, HistClient, HistServer, Interval,
-    NetError, ServerConfig, Signal, StoreMap, Synopsis, DEFAULT_KEY,
+    NetError, ServerMode, Signal, StoreMap, Synopsis, DEFAULT_KEY,
 };
+use common::spawn_server;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,18 +42,12 @@ fn chunk(seed: u64) -> Synopsis {
     estimator.fit(&Signal::from_dense(values).unwrap()).unwrap()
 }
 
-fn spawn_server(map: Arc<StoreMap>, connection_threads: usize) -> HistServer {
-    let config = ServerConfig { connection_threads, ..ServerConfig::default() };
-    HistServer::bind("127.0.0.1:0", map, config).expect("ephemeral bind")
-}
-
 fn bits(values: &[f64]) -> Vec<u64> {
     values.iter().map(|v| v.to_bits()).collect()
 }
 
-#[test]
-fn loopback_round_trip_is_bit_identical_for_every_estimator_kind() {
-    let mut server = spawn_server(Arc::new(StoreMap::new()), 2);
+fn loopback_round_trip_is_bit_identical_for_every_estimator_kind(mode: ServerMode) {
+    let mut server = spawn_server(Arc::new(StoreMap::new()), mode, 2);
     let mut client = HistClient::connect(server.local_addr()).unwrap();
     let mut rng = StdRng::seed_from_u64(0x2015_0BEE);
 
@@ -118,13 +113,12 @@ fn loopback_round_trip_is_bit_identical_for_every_estimator_kind() {
     server.shutdown();
 }
 
-#[test]
-fn empty_and_singleton_batches_work_through_the_network_path() {
+fn empty_and_singleton_batches_work_through_the_network_path(mode: ServerMode) {
     // Regression companion to the QueryExecutor empty-slice fix: the server
     // routes batch queries through the executor, so the degenerate batches
     // must round-trip the wire too.
     let map = Arc::new(StoreMap::with_initial(chunk(1)));
-    let mut server = spawn_server(map, 2);
+    let mut server = spawn_server(map, mode, 2);
     let mut client = HistClient::connect(server.local_addr()).unwrap();
     let local = server.store_map().snapshot(DEFAULT_KEY).unwrap();
 
@@ -147,14 +141,13 @@ fn empty_and_singleton_batches_work_through_the_network_path() {
     server.shutdown();
 }
 
-#[test]
-fn non_finite_fractions_come_back_as_invalid_query_errors() {
+fn non_finite_fractions_come_back_as_invalid_query_errors(mode: ServerMode) {
     // Regression companion to the Synopsis finiteness fix: a hostile client
     // shipping NaN/±inf fractions must get the typed InvalidQuery error over
     // the wire — with the finiteness diagnosis in the message — and the
     // connection must stay usable afterwards.
     let map = Arc::new(StoreMap::with_initial(chunk(3)));
-    let mut server = spawn_server(map, 2);
+    let mut server = spawn_server(map, mode, 2);
     let mut client = HistClient::connect(server.local_addr()).unwrap();
 
     for p in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
@@ -174,14 +167,10 @@ fn non_finite_fractions_come_back_as_invalid_query_errors() {
     server.shutdown();
 }
 
-#[test]
-fn per_connection_request_limits_are_enforced() {
+fn per_connection_request_limits_are_enforced(mode: ServerMode) {
     let map = Arc::new(StoreMap::with_initial(chunk(2)));
-    let config = ServerConfig {
-        max_requests_per_connection: 3,
-        connection_threads: 2,
-        ..ServerConfig::default()
-    };
+    let config =
+        approx_hist::ServerConfig { max_requests_per_connection: 3, ..common::net_config(mode, 2) };
     let mut server = HistServer::bind("127.0.0.1:0", map, config).unwrap();
 
     let mut client = HistClient::connect(server.local_addr()).unwrap();
@@ -202,10 +191,9 @@ fn per_connection_request_limits_are_enforced() {
     server.shutdown();
 }
 
-#[test]
-fn shutdown_is_graceful_and_idempotent() {
+fn shutdown_is_graceful_and_idempotent(mode: ServerMode) {
     let map = Arc::new(StoreMap::with_initial(chunk(3)));
-    let mut server = spawn_server(map, 2);
+    let mut server = spawn_server(map, mode, 2);
     let addr = server.local_addr();
 
     // An idle connection is open while the server shuts down; shutdown must
@@ -224,15 +212,14 @@ fn shutdown_is_graceful_and_idempotent() {
     assert!(idle.stats().is_err());
 }
 
-#[test]
-fn loopback_queries_ride_over_live_merge_updates() {
+fn loopback_queries_ride_over_live_merge_updates(mode: ServerMode) {
     let _gate = common::stress_gate();
     let map = Arc::new(StoreMap::with_initial(chunk(100)));
     let initial_epoch = map.epoch(DEFAULT_KEY);
     let initial_domain = map.snapshot(DEFAULT_KEY).unwrap().domain();
     // Enough connection workers for every reader + the writer + health room:
     // a connection holds its worker for its lifetime.
-    let mut server = spawn_server(Arc::clone(&map), READERS + 2);
+    let mut server = spawn_server(Arc::clone(&map), mode, READERS + 2);
     let addr = server.local_addr();
 
     let done = Arc::new(AtomicBool::new(false));
@@ -386,3 +373,12 @@ fn loopback_queries_ride_over_live_merge_updates() {
     drop(client);
     server.shutdown();
 }
+
+for_each_server_mode!(
+    loopback_round_trip_is_bit_identical_for_every_estimator_kind,
+    empty_and_singleton_batches_work_through_the_network_path,
+    non_finite_fractions_come_back_as_invalid_query_errors,
+    per_connection_request_limits_are_enforced,
+    shutdown_is_graceful_and_idempotent,
+    loopback_queries_ride_over_live_merge_updates,
+);
