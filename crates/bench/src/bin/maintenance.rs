@@ -1,0 +1,209 @@
+//! Self-tuning maintenance benchmark: steady-state merge cost vs refit cost
+//! vs served error, with and without an error-budget policy, written as JSON
+//! to `BENCH_maintenance.json` at the workspace root (override with
+//! `HIST_BENCH_MAINT_OUT`). Set `HIST_BENCH_MAINT_FAST=1` for a
+//! seconds-long smoke run (CI uses it).
+//!
+//! A seeded noisy-step stream is cut into chunks, each pre-fitted to a chunk
+//! synopsis (fit time is excluded — the serving layer ingests synopses, not
+//! raw signals). Three regimes then ingest the same chunk sequence into a
+//! fresh [`SynopsisStore`] each:
+//!
+//! * `merge_only` — no policy: the left-deep merge chain the steady state
+//!   builds without maintenance. Cheapest per update, worst served error.
+//! * `policy` — the error-budget policy, calibrated from the measured run:
+//!   the budget is an eighth of the total drift bound the unmaintained
+//!   chain accumulates, so refits trip a handful of times and their cost is
+//!   amortized over many updates.
+//! * `refit_every_update` — a hair-trigger policy that comes due on every
+//!   merge: the refit cost is paid on every update — the cost upper bound
+//!   the policy is meant to avoid. (With an interval of 1 the retained
+//!   decomposition never exceeds two entries, so each refit *is* the
+//!   pairwise merge: all cost, no accuracy gain.)
+//!
+//! Per regime the JSON reports total and per-update merge seconds, total
+//! refit seconds, refit count, the final served L2 error and its ratio to
+//! the direct fit of the whole stream. The served synopses carry `2k + 1`
+//! pieces (the merge budget), so that ratio can land below 1 against the
+//! `k`-piece direct fit; the committed gate is the same `C = 3` bound
+//! `tests/merge_streaming.rs` pins.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use approx_hist::{
+    Estimator, EstimatorBuilder, GreedyMerging, MaintenancePolicy, Signal, Synopsis, SynopsisStore,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const K: usize = 16;
+const SEED: u64 = 2015;
+
+fn fast() -> bool {
+    std::env::var("HIST_BENCH_MAINT_FAST").is_ok()
+}
+
+fn seeded_signal(n: usize) -> Signal {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let plateau = (n / 32).max(1);
+    let values: Vec<f64> =
+        (0..n).map(|i| ((i / plateau) % 4) as f64 * 3.0 + 1.0 + rng.gen_range(0.0..0.4)).collect();
+    Signal::from_dense(values).expect("finite signal")
+}
+
+fn estimator() -> GreedyMerging {
+    GreedyMerging::new(EstimatorBuilder::new(K).seed(SEED))
+}
+
+/// One regime's measured ingest: merge wall time, refit wall time and count,
+/// and the final served synopsis.
+struct RegimeRun {
+    merge_s: f64,
+    refit_s: f64,
+    refits: u64,
+    merges: u64,
+    final_epoch: u64,
+    /// Lifetime sum of per-merge drift bounds (never reset by refits).
+    drift_bound_total: f64,
+    served: Synopsis,
+}
+
+/// Ingests every chunk into a fresh store under `policy` (or none), running
+/// each due refit inline so its cost is attributed to the regime that
+/// incurred it.
+fn run_regime(chunks: &[Synopsis], budget: usize, policy: Option<MaintenancePolicy>) -> RegimeRun {
+    let store = SynopsisStore::new();
+    store.set_maintenance(policy).expect("valid policy");
+    let (mut merge_s, mut refit_s) = (0.0f64, 0.0f64);
+    for chunk in chunks {
+        let start = Instant::now();
+        store.update_merge(chunk, budget).expect("merge");
+        merge_s += start.elapsed().as_secs_f64();
+        if store.try_begin_refit() {
+            let start = Instant::now();
+            store.run_refit().expect("refit");
+            refit_s += start.elapsed().as_secs_f64();
+        }
+    }
+    let stats = store.maintenance_stats();
+    RegimeRun {
+        merge_s,
+        refit_s,
+        refits: stats.refits,
+        merges: stats.merges,
+        final_epoch: store.epoch(),
+        drift_bound_total: stats.total_error,
+        served: store.snapshot().expect("served").synopsis().as_ref().clone(),
+    }
+}
+
+fn regime_json(name: &str, run: &RegimeRun, signal: &Signal, direct_err: f64) -> String {
+    let served_err = run.served.l2_error(signal).expect("served error");
+    let updates = (run.merges + 1).max(1);
+    format!(
+        r#"  "{name}": {{
+    "merges": {merges},
+    "refits": {refits},
+    "final_epoch": {epoch},
+    "merge_s_total": {merge_s:.6},
+    "per_update_merge_us": {per_update:.3},
+    "refit_s_total": {refit_s:.6},
+    "drift_bound_total": {drift:.6},
+    "served_l2_error": {served_err:.6},
+    "error_vs_direct_ratio": {ratio:.4}
+  }}"#,
+        merges = run.merges,
+        refits = run.refits,
+        epoch = run.final_epoch,
+        merge_s = run.merge_s,
+        per_update = 1e6 * run.merge_s / updates as f64,
+        refit_s = run.refit_s,
+        drift = run.drift_bound_total,
+        ratio = served_err / direct_err.max(1e-12),
+    )
+}
+
+fn main() {
+    let (n, num_chunks) = if fast() { (1 << 14, 64) } else { (1 << 17, 256) };
+    let budget = 2 * K + 1;
+    let signal = seeded_signal(n);
+    let chunk_len = n / num_chunks;
+    println!("maintenance: n = {n}, k = {K}, {num_chunks} chunks of {chunk_len}");
+
+    // Pre-fit every chunk: the serving layer ingests synopses.
+    let values = signal.dense_values();
+    let chunks: Vec<Synopsis> = values
+        .chunks(chunk_len)
+        .map(|c| estimator().fit(&Signal::from_slice(c).expect("chunk")).expect("chunk fit"))
+        .collect();
+
+    // The direct fit of the whole stream: the accuracy yardstick.
+    let start = Instant::now();
+    let direct = estimator().fit(&signal).expect("direct fit");
+    let direct_fit_s = start.elapsed().as_secs_f64();
+    let direct_err = direct.l2_error(&signal).expect("direct error");
+
+    let merge_only = run_regime(&chunks, budget, None);
+
+    // The policy regime, calibrated from the measured drift: a budget of an
+    // eighth of the unmaintained chain's total drift bound trips a handful
+    // of refits over the run, at least 8 merges apart.
+    let error_budget = (merge_only.drift_bound_total / 8.0).max(1e-9);
+    let policy = MaintenancePolicy::new(error_budget, budget).min_interval(8);
+    let with_policy = run_regime(&chunks, budget, Some(policy));
+
+    // The hair-trigger upper bound: due on every merge.
+    let every_update = MaintenancePolicy::new(1e-12, budget).min_interval(1);
+    let refit_every = run_regime(&chunks, budget, Some(every_update));
+
+    let json = format!(
+        r#"{{
+  "config": {{
+    "n": {n},
+    "k": {K},
+    "chunks": {num_chunks},
+    "chunk_len": {chunk_len},
+    "merge_budget": {budget},
+    "seed": {SEED},
+    "error_budget": {error_budget:.6},
+    "fast": {fast}
+  }},
+  "direct": {{
+    "fit_s": {direct_fit_s:.6},
+    "l2_error": {direct_err:.6}
+  }},
+{merge_only},
+{with_policy},
+{refit_every}
+}}
+"#,
+        fast = fast(),
+        merge_only = regime_json("merge_only", &merge_only, &signal, direct_err),
+        with_policy = regime_json("policy", &with_policy, &signal, direct_err),
+        refit_every = regime_json("refit_every_update", &refit_every, &signal, direct_err),
+    );
+    print!("{json}");
+
+    let path =
+        std::env::var("HIST_BENCH_MAINT_OUT").unwrap_or_else(|_| "BENCH_maintenance.json".into());
+    let mut file = std::fs::File::create(&path).expect("writable output path");
+    file.write_all(json.as_bytes()).expect("write BENCH_maintenance.json");
+    println!("json written to {path}");
+
+    // Sanity gates, after the JSON survives for debugging: the policy regime
+    // must actually have refitted, fewer times than the hair trigger, and
+    // its served error must stay within the committed C = 3 bound of the
+    // direct fit — the constant `tests/merge_streaming.rs` pins.
+    assert!(with_policy.refits >= 1, "the policy never tripped — retune the error budget");
+    assert!(
+        with_policy.refits < refit_every.refits,
+        "the policy must amortize refits below the every-update bound"
+    );
+    let policy_err = with_policy.served.l2_error(&signal).expect("policy error");
+    let slack = 1e-6 * signal.l2_norm_squared().sqrt().max(1.0);
+    assert!(
+        policy_err <= 3.0 * direct_err + slack,
+        "maintained serving fell outside the C = 3 bound: {policy_err} vs direct {direct_err}"
+    );
+}

@@ -79,6 +79,11 @@ pub struct EstimatorBuilder {
     approx_delta: f64,
     chunk_len: Option<usize>,
     threads: Option<usize>,
+    maintenance_error_budget: Option<f64>,
+    refit_min_interval: u64,
+    refit_max_interval: Option<u64>,
+    compaction_budget: Option<usize>,
+    retained_chunks: usize,
 }
 
 impl EstimatorBuilder {
@@ -97,6 +102,11 @@ impl EstimatorBuilder {
             approx_delta: 0.1,
             chunk_len: None,
             threads: None,
+            maintenance_error_budget: None,
+            refit_min_interval: 1,
+            refit_max_interval: None,
+            compaction_budget: None,
+            retained_chunks: 64,
         }
     }
 
@@ -220,6 +230,70 @@ impl EstimatorBuilder {
         self
     }
 
+    /// Enables self-tuning maintenance in the serving layer: once the
+    /// accumulated merge error (`ℓ₂`, summed per merge step) of a served
+    /// synopsis exceeds this budget, the maintenance worker schedules a refit.
+    /// Unset means no error-driven maintenance.
+    pub fn maintenance_error_budget(mut self, budget: f64) -> Self {
+        self.maintenance_error_budget = Some(budget);
+        self
+    }
+
+    /// Bounds how often maintenance may refit a synopsis, in merges: at least
+    /// `min` merges between refits (back-pressure) and, if `max` is set, a
+    /// forced refit every `max` merges even while under the error budget.
+    pub fn refit_interval(mut self, min: u64, max: Option<u64>) -> Self {
+        self.refit_min_interval = min;
+        self.refit_max_interval = max;
+        self
+    }
+
+    /// Sets the compaction target: the piece budget a maintenance refit
+    /// tree-merges down to. Unset means the serving layer derives `2k + 1`
+    /// from the builder's `k`.
+    pub fn compaction_budget(mut self, budget: usize) -> Self {
+        self.compaction_budget = Some(budget);
+        self
+    }
+
+    /// Caps how many chunk synopses the store retains between refits for the
+    /// maintenance worker to rebuild from (oldest pairs are folded together
+    /// once the cap is hit, bounding memory).
+    pub fn retained_chunks(mut self, cap: usize) -> Self {
+        self.retained_chunks = cap;
+        self
+    }
+
+    /// The maintenance error budget, when maintenance is enabled.
+    #[inline]
+    pub fn maintenance_error_budget_value(&self) -> Option<f64> {
+        self.maintenance_error_budget
+    }
+
+    /// Minimum merges between maintenance refits.
+    #[inline]
+    pub fn refit_min_interval_value(&self) -> u64 {
+        self.refit_min_interval
+    }
+
+    /// Forced-refit interval in merges, when set.
+    #[inline]
+    pub fn refit_max_interval_value(&self) -> Option<u64> {
+        self.refit_max_interval
+    }
+
+    /// Explicit compaction piece budget, when set.
+    #[inline]
+    pub fn compaction_budget_value(&self) -> Option<usize> {
+        self.compaction_budget
+    }
+
+    /// Retained-chunk cap of the maintenance worker.
+    #[inline]
+    pub fn retained_chunks_value(&self) -> usize {
+        self.retained_chunks
+    }
+
     /// Explicit chunk length for the chunked/streaming estimators, when set.
     #[inline]
     pub fn chunk_len_value(&self) -> Option<usize> {
@@ -263,6 +337,37 @@ impl EstimatorBuilder {
             return Err(Error::InvalidParameter {
                 name: "threads",
                 reason: "parallel construction needs at least one worker thread".into(),
+            });
+        }
+        if let Some(budget) = self.maintenance_error_budget {
+            if !budget.is_finite() || budget <= 0.0 {
+                return Err(Error::InvalidParameter {
+                    name: "maintenance_error_budget",
+                    reason: format!("must be a positive finite number, got {budget}"),
+                });
+            }
+        }
+        if let Some(max) = self.refit_max_interval {
+            if max == 0 || max < self.refit_min_interval {
+                return Err(Error::InvalidParameter {
+                    name: "refit_interval",
+                    reason: format!(
+                        "inverted interval: max {max} must be ≥ min {} and ≥ 1",
+                        self.refit_min_interval
+                    ),
+                });
+            }
+        }
+        if self.compaction_budget == Some(0) {
+            return Err(Error::InvalidParameter {
+                name: "compaction_budget",
+                reason: "a refit must keep at least one piece".into(),
+            });
+        }
+        if self.retained_chunks < 2 {
+            return Err(Error::InvalidParameter {
+                name: "retained_chunks",
+                reason: "maintenance needs at least two retained chunks to fold".into(),
             });
         }
         Ok(())

@@ -104,7 +104,7 @@ pub use segment::{initial_segments, segments_to_histogram, segments_to_partition
 pub use signal::Signal;
 pub use sparse::SparseFunction;
 pub use stats::{flatten, flatten_dense, flattening_sse, interval_mean, interval_sse};
-pub use synopsis::{FittedModel, Synopsis};
+pub use synopsis::{FittedModel, MergeStats, Synopsis};
 
 // Thread-safety audit: the whole data model is plain owned data (no `Rc`, no
 // interior mutability, `Cow` views only borrow immutably), so every type a

@@ -165,10 +165,15 @@ impl Ord for MergeCandidate {
 
 /// Greedily merges adjacent pieces (cheapest exact `ℓ₂` cost first) until at
 /// most `budget` remain. `O(k·log k)` with a lazy-deletion heap.
-fn greedy_remerge(pieces: &mut Vec<MergePiece>, budget: usize) {
+///
+/// Returns the sum of the accepted merge costs. Each accepted cost is the
+/// exact squared-`ℓ₂` increase of flattening that pair (Ward's decomposition),
+/// so the sum is exactly `‖merged − input‖₂²` — the squared distance between
+/// the output and the piecewise-constant input it was merged from.
+fn greedy_remerge(pieces: &mut Vec<MergePiece>, budget: usize) -> f64 {
     use std::collections::BinaryHeap;
     if pieces.len() <= budget {
-        return;
+        return 0.0;
     }
     let k = pieces.len();
     let mut next: Vec<usize> = (1..=k).collect();
@@ -188,6 +193,7 @@ fn greedy_remerge(pieces: &mut Vec<MergePiece>, budget: usize) {
         });
     }
     let mut remaining = k;
+    let mut accepted_cost = 0.0f64;
     while remaining > budget {
         let candidate = heap.pop().expect("fewer pieces than budget implies candidates remain");
         let left = candidate.left;
@@ -200,6 +206,7 @@ fn greedy_remerge(pieces: &mut Vec<MergePiece>, budget: usize) {
             continue;
         }
         // Absorb `right` into `left`.
+        accepted_cost += candidate.cost;
         pieces[left].end = pieces[right].end;
         pieces[left].mass += pieces[right].mass;
         version[left] += 1;
@@ -235,6 +242,27 @@ fn greedy_remerge(pieces: &mut Vec<MergePiece>, budget: usize) {
         i = next[i];
     }
     *pieces = kept;
+    accepted_cost
+}
+
+/// Exact accounting of one [`Synopsis::merge_with_stats`] step: how much
+/// squared-`ℓ₂` accuracy the budgeted re-merge spent relative to the plain
+/// concatenation of the two inputs.
+///
+/// Maintenance policies accumulate [`MergeStats::l2_delta`] across a merge
+/// chain: by the triangle inequality the summed deltas upper-bound the total
+/// drift of the served synopsis away from the concatenation of everything it
+/// absorbed, which is the trigger metric for scheduling a refit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MergeStats {
+    /// Sum of the accepted greedy merge costs: exactly
+    /// `‖merged − left ⊕ right‖₂²`.
+    pub accepted_cost: f64,
+    /// `‖merged − left ⊕ right‖₂` — the square root of
+    /// [`MergeStats::accepted_cost`].
+    pub l2_delta: f64,
+    /// Total mass of the right-hand (incoming) synopsis.
+    pub incoming_mass: f64,
 }
 
 /// The model class a [`Synopsis`] wraps.
@@ -1129,6 +1157,18 @@ impl Synopsis {
     /// re-merge introduces (pair-merge order may differ), which is what the
     /// property harness asserts.
     pub fn merge(&self, other: &Synopsis, budget: usize) -> Result<Synopsis> {
+        self.merge_with_stats(other, budget).map(|(merged, _)| merged)
+    }
+
+    /// [`Synopsis::merge`] plus exact accounting of what the step cost: the
+    /// returned [`MergeStats`] carries the summed accepted greedy merge costs
+    /// (`‖m − h₁ ⊕ h₂‖₂²`), its square root, and the mass of the incoming
+    /// chunk. The merged synopsis is bit-identical to [`Synopsis::merge`]'s.
+    pub fn merge_with_stats(
+        &self,
+        other: &Synopsis,
+        budget: usize,
+    ) -> Result<(Synopsis, MergeStats)> {
         if budget == 0 {
             return Err(Error::InvalidParameter {
                 name: "budget",
@@ -1138,14 +1178,19 @@ impl Synopsis {
         let left_domain = self.domain();
         let mut pieces = self.model.to_merge_pieces(0);
         pieces.extend(other.model.to_merge_pieces(left_domain));
-        greedy_remerge(&mut pieces, budget);
+        let accepted_cost = greedy_remerge(&mut pieces, budget);
         let domain = left_domain + other.domain();
         let intervals: Vec<Interval> =
             pieces.iter().map(|p| Interval::new_unchecked(p.start, p.end)).collect();
         let values: Vec<f64> = pieces.iter().map(MergePiece::value).collect();
         let partition = crate::partition::Partition::new(domain, intervals)?;
         let histogram = Histogram::new(partition, values)?;
-        Ok(Synopsis::new("merged", budget, FittedModel::Histogram(histogram)))
+        let stats = MergeStats {
+            accepted_cost,
+            l2_delta: accepted_cost.max(0.0).sqrt(),
+            incoming_mass: other.total_mass(),
+        };
+        Ok((Synopsis::new("merged", budget, FittedModel::Histogram(histogram)), stats))
     }
 
     /// Exact `ℓ₂` error `‖h − q‖₂` of the synopsis against a signal over the

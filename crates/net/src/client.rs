@@ -15,6 +15,7 @@
 //! how the compat suite drives a v2 server with v1 frames.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use hist_core::{Interval, Synopsis};
 use hist_persist::{decode_synopsis, encode_synopsis, CodecError};
@@ -65,6 +66,7 @@ pub struct HistClient {
     max_frame_bytes: usize,
     key: String,
     version: u16,
+    read_timeout: Option<Duration>,
 }
 
 impl HistClient {
@@ -72,12 +74,46 @@ impl HistClient {
     /// protocol version.
     pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects with a deadline on the TCP handshake: an unresponsive or
+    /// black-holed address fails with a typed [`NetError::Timeout`] after
+    /// `timeout` instead of hanging for the OS default (minutes, on most
+    /// platforms). Tries each resolved address in turn.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> NetResult<Self> {
+        let mut last: Option<std::io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(match last {
+            Some(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                NetError::Timeout { what: "connect", after: timeout }
+            }
+            Some(e) => NetError::Io(e),
+            None => NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )),
+        })
+    }
+
+    fn from_stream(stream: TcpStream) -> NetResult<Self> {
         stream.set_nodelay(true)?;
         Ok(Self {
             stream,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             key: DEFAULT_KEY.to_owned(),
             version: PROTOCOL_VERSION,
+            read_timeout: None,
         })
     }
 
@@ -94,9 +130,10 @@ impl HistClient {
     /// default, waits forever). A server whose connection pool is fully
     /// occupied queues new connections instead of refusing them, so a
     /// timeout turns "the server is saturated" from a silent hang into a
-    /// typed [`NetError::Io`] timeout.
-    pub fn with_read_timeout(self, timeout: Option<std::time::Duration>) -> NetResult<Self> {
+    /// typed [`NetError::Timeout`].
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> NetResult<Self> {
         self.stream.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
         Ok(self)
     }
 
@@ -146,14 +183,31 @@ impl HistClient {
     fn round_trip(&mut self, request: &Request) -> NetResult<Response> {
         let message = encode_request_versioned(self.version, request).map_err(NetError::Frame)?;
         write_message(&mut self.stream, &message)?;
-        let frame =
-            read_message(&mut self.stream, self.max_frame_bytes)?.ok_or(NetError::Disconnected)?;
+        let frame = read_message(&mut self.stream, self.max_frame_bytes)
+            .map_err(|e| self.classify_read_error(e))?
+            .ok_or(NetError::Disconnected)?;
         let (version, op, payload) = check_envelope(&frame)?;
         let response = decode_response_frame(version, op, payload)?;
         if let Response::Error { epoch, code, message } = response {
             return Err(NetError::Remote { epoch, code, message });
         }
         Ok(response)
+    }
+
+    /// Maps a timed-out socket read to the typed [`NetError::Timeout`] when a
+    /// read deadline is configured; every other error passes through.
+    fn classify_read_error(&self, e: NetError) -> NetError {
+        match (&e, self.read_timeout) {
+            (NetError::Io(io), Some(after))
+                if matches!(
+                    io.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                NetError::Timeout { what: "response read", after }
+            }
+            _ => e,
+        }
     }
 
     /// The cdf at each index, answered from one snapshot of the addressed

@@ -30,6 +30,16 @@ pub enum NetError {
     },
     /// The connection closed in the middle of a request/response exchange.
     Disconnected,
+    /// A configured client deadline expired: the connect attempt or a
+    /// response read took longer than the caller allowed. Distinct from
+    /// [`NetError::Io`] so callers can branch on "the server is slow" without
+    /// string-matching error kinds.
+    Timeout {
+        /// Which operation timed out (`"connect"` / `"response read"`).
+        what: &'static str,
+        /// The deadline that expired.
+        after: std::time::Duration,
+    },
     /// The server answered with a typed error frame.
     Remote {
         /// Store epoch at the time the server built the error frame.
@@ -50,6 +60,9 @@ impl fmt::Display for NetError {
                 write!(f, "announced frame of {len} byte(s) exceeds the {max}-byte limit")
             }
             NetError::Disconnected => write!(f, "connection closed mid-exchange"),
+            NetError::Timeout { what, after } => {
+                write!(f, "{what} timed out after {after:?}")
+            }
             NetError::Remote { epoch, code, message } => {
                 write!(f, "server error {code:?} at epoch {epoch}: {message}")
             }

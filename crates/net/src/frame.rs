@@ -30,13 +30,15 @@ use crate::error::{NetError, NetResult};
 pub const NET_MAGIC: [u8; 8] = *b"AHISTNET";
 
 /// Newest protocol version this build speaks and the one it writes by
-/// default. Version 2 added the multi-tenant key field on every query/admin
+/// default. Version 3 appended the maintenance counters (merges, refits,
+/// merged mass, accumulated merge error) to the `Stats` and `StoreStats`
+/// answers; version 2 added the multi-tenant key field on every query/admin
 /// op plus the `StoreStats`/`ListKeys`/`MergedView`/`DropKey` ops; version 1
 /// (keyless, single-store) is still decoded for compatibility.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest protocol version this build still decodes. A v1 frame is answered
-/// with a v1 frame, so pre-keyed clients keep working against a v2 server.
+/// with a v1 frame, so pre-keyed clients keep working against a v3 server.
 pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 const _: () = assert!(
@@ -44,12 +46,12 @@ const _: () = assert!(
     "the accepted version range must be non-empty"
 );
 
-// Both protocol versions carry synopses as nested `AHISTSYN` containers in
+// Every protocol version carries synopses as nested `AHISTSYN` containers in
 // the persist encoding, so the protocol pins the persist format version it
 // ships. If FORMAT_VERSION ever bumps, a new PROTOCOL_VERSION must carry it
 // (and this assertion must be revisited alongside the golden fixtures).
 const _: () = assert!(
-    hist_persist::FORMAT_VERSION == 1 && PROTOCOL_VERSION == 2,
+    hist_persist::FORMAT_VERSION == 1 && PROTOCOL_VERSION == 3,
     "the wire protocol carries AHISTSYN blobs: bump PROTOCOL_VERSION with FORMAT_VERSION"
 );
 

@@ -27,20 +27,24 @@
 //! length u32 LE | "AHISTNET" | version u16 LE | op u8 | payload | crc32 u32 LE
 //! ```
 //!
-//! **Protocol v2** (current): every query/admin payload opens with a *key*
-//! section (length-prefixed, non-empty UTF-8, at most
-//! [`hist_persist::MAX_KEY_BYTES`] bytes) addressing one store of the map.
+//! **Protocol v3** (current): the v2 keyed layout with maintenance
+//! counters appended to the `Stats`/`StoreStats` answers (merges, refits,
+//! accumulated merge-error bound; requests are unchanged). Every
+//! query/admin payload opens with a *key* section (length-prefixed,
+//! non-empty UTF-8, at most [`hist_persist::MAX_KEY_BYTES`] bytes)
+//! addressing one store of the map.
 //! Request ops: `CdfBatch` (0x01), `QuantileBatch` (0x02), `MassBatch`
 //! (0x03), `Stats` (0x04), `StoreStats` (0x05), `ListKeys` (0x06),
 //! `MergedView` (0x07), `Publish` (0x10), `UpdateMerge` (0x11), `DropKey`
 //! (0x12). Response ops mirror them (`| 0x80`), plus `Updated` (0x90),
 //! `Dropped` (0x91) and the typed `Error` frame (0xEE).
 //!
-//! **Protocol v1** (legacy) is the keyless single-store layout; the server
-//! still decodes it — a v1 frame addresses
-//! [`DEFAULT_KEY`](hist_serve::DEFAULT_KEY) — and mirrors the request's
-//! version in its answer, so unmodified v1 clients keep working against a
-//! keyed server. The version pair (persist format, wire protocol) is pinned
+//! **Protocol v2** (legacy) is the same keyed layout without the
+//! maintenance counters; **protocol v1** (legacy) is the keyless
+//! single-store layout — the server still decodes both (a v1 frame
+//! addresses [`DEFAULT_KEY`](hist_serve::DEFAULT_KEY)) and mirrors the
+//! request's version in its answer, omitting the newer fields, so
+//! unmodified v1/v2 clients keep working against a maintained server. The version pair (persist format, wire protocol) is pinned
 //! by a compile-time assertion, because `Publish`/`UpdateMerge` payloads are
 //! `AHISTSYN` containers.
 //!

@@ -13,7 +13,11 @@
 //!
 //! ## Versions
 //!
-//! * **v2** (current): every query/admin op opens with a *key* section — a
+//! * **v3** (current): the `Stats` and `StoreStats` answers append the
+//!   self-tuning maintenance counters (merge count, refit count, merged
+//!   mass, accumulated merge error). Requests are unchanged from v2; a v2
+//!   frame simply omits the counters and decodes them as zero.
+//! * **v2**: every query/admin op opens with a *key* section — a
 //!   length-prefixed, non-empty UTF-8 tenant/metric name of at most
 //!   [`hist_persist::MAX_KEY_BYTES`] bytes — addressing one store of the
 //!   server's keyed [`StoreMap`](hist_serve::StoreMap). Four ops are
@@ -144,11 +148,19 @@ pub struct SynopsisStats {
     pub total_mass: f64,
     /// Name of the estimator that produced the synopsis.
     pub estimator: String,
+    /// Merges absorbed by this key's store since it was created. (v3+;
+    /// decodes as 0 from older frames.)
+    pub merges: u64,
+    /// Maintenance refits published for this key. (v3+; 0 from older frames.)
+    pub refits: u64,
+    /// Accumulated merge-error bound (summed per-merge ℓ₂ deltas) since the
+    /// last refit. (v3+; 0 from older frames.)
+    pub merge_error: f64,
 }
 
 /// Store-wide summary of a keyed server, as reported by
 /// [`Request::StoreStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreWideStats {
     /// Number of keys present (served or not).
     pub keys: u64,
@@ -160,6 +172,17 @@ pub struct StoreWideStats {
     pub min_epoch: u64,
     /// Largest per-key epoch (0 if no keys).
     pub max_epoch: u64,
+    /// Merges absorbed across every key. (v3+; decodes as 0 from older
+    /// frames.)
+    pub merges: u64,
+    /// Maintenance refits published across every key. (v3+; 0 from older
+    /// frames.)
+    pub refits: u64,
+    /// Total mass of every merged-in chunk. (v3+; 0 from older frames.)
+    pub merged_mass: f64,
+    /// Summed accumulated merge-error bounds across keys since their last
+    /// refits. (v3+; 0 from older frames.)
+    pub merge_error: f64,
 }
 
 /// Typed error codes a server stamps on error frames.
@@ -593,6 +616,13 @@ fn write_response_payload(
                     put_f64(payload, stats.total_mass);
                     put_u64(payload, stats.estimator.len() as u64);
                     payload.extend_from_slice(stats.estimator.as_bytes());
+                    // The maintenance counters shipped with v3; mirroring an
+                    // older request omits them (the decoder defaults to 0).
+                    if version >= 3 {
+                        put_u64(payload, stats.merges);
+                        put_u64(payload, stats.refits);
+                        put_f64(payload, stats.merge_error);
+                    }
                 }
             }
         }
@@ -606,6 +636,12 @@ fn write_response_payload(
             put_u64(payload, stats.total_pieces);
             put_u64(payload, stats.min_epoch);
             put_u64(payload, stats.max_epoch);
+            if version >= 3 {
+                put_u64(payload, stats.merges);
+                put_u64(payload, stats.refits);
+                put_f64(payload, stats.merged_mass);
+                put_f64(payload, stats.merge_error);
+            }
         }
         Response::KeyList { epoch, keys } => {
             if version < 2 {
@@ -779,7 +815,21 @@ pub fn decode_response_frame(version: u16, op: u8, payload: &[u8]) -> CodecResul
                     let name = reader.section("estimator name")?;
                     let estimator =
                         std::str::from_utf8(name).map_err(|_| CodecError::NonUtf8Name)?.to_string();
-                    Some(SynopsisStats { domain, pieces, target_k, total_mass, estimator })
+                    let (merges, refits, merge_error) = if version >= 3 {
+                        (reader.u64()?, reader.u64()?, reader.f64()?)
+                    } else {
+                        (0, 0, 0.0)
+                    };
+                    Some(SynopsisStats {
+                        domain,
+                        pieces,
+                        target_k,
+                        total_mass,
+                        estimator,
+                        merges,
+                        refits,
+                        merge_error,
+                    })
                 }
                 found => {
                     return Err(CodecError::InvalidTag { what: "stats synopsis presence", found })
@@ -788,13 +838,23 @@ pub fn decode_response_frame(version: u16, op: u8, payload: &[u8]) -> CodecResul
             Response::Stats { epoch, synopsis }
         }
         OP_STORE_STATS_OK => {
-            let stats = StoreWideStats {
+            let mut stats = StoreWideStats {
                 keys: reader.u64()?,
                 served: reader.u64()?,
                 total_pieces: reader.u64()?,
                 min_epoch: reader.u64()?,
                 max_epoch: reader.u64()?,
+                merges: 0,
+                refits: 0,
+                merged_mass: 0.0,
+                merge_error: 0.0,
             };
+            if version >= 3 {
+                stats.merges = reader.u64()?;
+                stats.refits = reader.u64()?;
+                stats.merged_mass = reader.f64()?;
+                stats.merge_error = reader.f64()?;
+            }
             Response::StoreStats { epoch, stats }
         }
         OP_LIST_KEYS_OK => {
@@ -899,6 +959,9 @@ mod tests {
                 target_k: 5,
                 total_mass: 960.0,
                 estimator: "merging".into(),
+                merges: 41,
+                refits: 3,
+                merge_error: 0.625,
             }),
         });
         round_trip_response(Response::StoreStats {
@@ -909,6 +972,10 @@ mod tests {
                 total_pieces: 1_234_567,
                 min_epoch: 0,
                 max_epoch: 17,
+                merges: 4_242,
+                refits: 17,
+                merged_mass: 1e9,
+                merge_error: 123.5,
             },
         });
         round_trip_response(Response::KeyList {
@@ -972,7 +1039,66 @@ mod tests {
         assert!(encode_response_versioned(1, &dropped).is_err());
         // Unknown versions refuse outright.
         assert!(encode_request_versioned(0, &Request::ListKeys).is_err());
-        assert!(encode_request_versioned(3, &Request::ListKeys).is_err());
+        assert!(encode_request_versioned(4, &Request::ListKeys).is_err());
+    }
+
+    #[test]
+    fn v2_stats_frames_omit_and_zero_the_maintenance_counters() {
+        // A v3 build mirroring a v2 peer drops the counters on the wire; the
+        // decoder fills zeros, so a v2 exchange round-trips exactly with the
+        // maintenance fields blanked.
+        let stats = Response::Stats {
+            epoch: 9,
+            synopsis: Some(SynopsisStats {
+                domain: 64,
+                pieces: 7,
+                target_k: 3,
+                total_mass: 128.0,
+                estimator: "merging".into(),
+                merges: 99,
+                refits: 4,
+                merge_error: 1.5,
+            }),
+        };
+        let v2 = encode_response_versioned(2, &stats).unwrap();
+        let v3 = encode_response_versioned(3, &stats).unwrap();
+        assert!(v2.len() < v3.len(), "the v2 frame must omit the counters");
+        match decode_response(&v2).unwrap() {
+            Response::Stats { synopsis: Some(decoded), .. } => {
+                assert_eq!((decoded.merges, decoded.refits, decoded.merge_error), (0, 0, 0.0));
+                assert_eq!(decoded.domain, 64);
+                assert_eq!(decoded.estimator, "merging");
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(decode_response(&v3).unwrap(), stats);
+
+        let wide = Response::StoreStats {
+            epoch: 3,
+            stats: StoreWideStats {
+                keys: 2,
+                served: 2,
+                total_pieces: 22,
+                min_epoch: 1,
+                max_epoch: 3,
+                merges: 7,
+                refits: 1,
+                merged_mass: 640.0,
+                merge_error: 0.25,
+            },
+        };
+        let v2 = encode_response_versioned(2, &wide).unwrap();
+        match decode_response(&v2).unwrap() {
+            Response::StoreStats { stats: decoded, .. } => {
+                assert_eq!((decoded.merges, decoded.refits), (0, 0));
+                assert_eq!((decoded.merged_mass, decoded.merge_error), (0.0, 0.0));
+                assert_eq!(decoded.keys, 2);
+                assert_eq!(decoded.max_epoch, 3);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        let v3 = encode_response_versioned(3, &wide).unwrap();
+        assert_eq!(decode_response(&v3).unwrap(), wide);
     }
 
     #[test]

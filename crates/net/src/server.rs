@@ -53,7 +53,7 @@ use std::time::{Duration, Instant};
 
 use hist_core::Interval;
 use hist_persist::{decode_synopsis, encode_synopsis, CodecError};
-use hist_serve::{QueryExecutor, Snapshot, StoreMap, ThreadPool, DEFAULT_KEY};
+use hist_serve::{MaintenancePolicy, QueryExecutor, Snapshot, StoreMap, ThreadPool, DEFAULT_KEY};
 
 use crate::frame::{
     check_envelope, write_message, ENVELOPE_BYTES, LENGTH_PREFIX_BYTES, MIN_PROTOCOL_VERSION,
@@ -111,6 +111,13 @@ pub struct ServerConfig {
     /// Socket read timeout used to poll the shutdown flag between requests;
     /// bounds how long a graceful shutdown waits for idle connections.
     pub poll_interval: Duration,
+    /// Self-tuning maintenance policy applied to the served [`StoreMap`] at
+    /// bind time: every key then refits/compacts in the background once its
+    /// merge-error budget is spent. `None` (the default) serves merge-only.
+    pub maintenance: Option<MaintenancePolicy>,
+    /// Workers in the maintenance pool (only spun up when `maintenance` is
+    /// set). One is plenty: refits are rare and bounded.
+    pub maintenance_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +130,8 @@ impl Default for ServerConfig {
             connection_threads: 4,
             query_threads: 4,
             poll_interval: Duration::from_millis(25),
+            maintenance: None,
+            maintenance_threads: 1,
         }
     }
 }
@@ -176,6 +185,10 @@ impl HistServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        if let Some(policy) = &config.maintenance {
+            map.enable_maintenance(policy.clone(), config.maintenance_threads)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidInput, e.to_string()))?;
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(ThreadPool::new(config.connection_threads));
         let executor = Arc::new(QueryExecutor::new(config.query_threads));
@@ -615,7 +628,9 @@ impl Responder {
                 // Total even for absent keys: statistics are observability,
                 // so an unknown key reports epoch 0 / no synopsis rather
                 // than erroring.
-                let snapshot = self.map.snapshot(&key);
+                let store = self.map.store(&key);
+                let maintenance = store.as_ref().map(|s| s.maintenance_stats()).unwrap_or_default();
+                let snapshot = store.and_then(|s| s.snapshot());
                 Response::Stats {
                     epoch: snapshot.as_ref().map_or_else(|| self.map.epoch(&key), |s| s.epoch()),
                     synopsis: snapshot.map(|s| SynopsisStats {
@@ -624,6 +639,9 @@ impl Responder {
                         target_k: s.target_k() as u64,
                         total_mass: s.total_mass(),
                         estimator: s.estimator().to_string(),
+                        merges: maintenance.merges,
+                        refits: maintenance.refits,
+                        merge_error: maintenance.accumulated_error,
                     }),
                 }
             }
@@ -637,6 +655,10 @@ impl Responder {
                         total_pieces: stats.total_pieces,
                         min_epoch: stats.min_epoch,
                         max_epoch: stats.max_epoch,
+                        merges: stats.merges,
+                        refits: stats.refits,
+                        merged_mass: stats.merged_mass,
+                        merge_error: stats.merge_error,
                     },
                 }
             }

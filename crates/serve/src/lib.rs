@@ -72,11 +72,13 @@
 //! ```
 
 pub mod executor;
+pub mod maintenance;
 pub mod pool;
 pub mod store;
 pub mod store_map;
 
 pub use executor::QueryExecutor;
+pub use maintenance::{MaintenancePolicy, MaintenanceStats, MaintenanceWorker};
 pub use pool::ThreadPool;
 pub use store::{Snapshot, SynopsisStore};
 pub use store_map::{validate_key, MergedView, StoreMap, StoreMapStats, DEFAULT_KEY};

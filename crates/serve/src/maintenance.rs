@@ -1,0 +1,382 @@
+//! Self-tuning maintenance: an error-budget policy deciding *when* the cheap
+//! merge steps a store pays in steady state ([`SynopsisStore::update_merge`])
+//! have degraded the served synopsis enough to be worth a refit, and a
+//! background worker carrying the refits out.
+//!
+//! The economics come straight from the paper's merge/refit trade-off:
+//! merging an adjacent-chunk synopsis into the served one is ~two orders of
+//! magnitude cheaper than refitting, but every budgeted merge spends accuracy
+//! — the greedy re-merge's accepted cost is exactly
+//! `‖merged − left ⊕ right‖₂²` ([`hist_core::MergeStats`]). The store sums
+//! the per-merge `ℓ₂` deltas; by the triangle inequality that sum
+//! upper-bounds how far the served synopsis has drifted from the
+//! concatenation of everything it absorbed. [`MaintenancePolicy`] turns the
+//! accumulator into a decision: once the spent error exceeds the budget (and
+//! a minimum merge interval has passed, or a maximum interval forces the
+//! issue), [`SynopsisStore::try_begin_refit`] claims a refit and a
+//! [`MaintenanceWorker`] rebuilds the synopsis by `tree_merge`-ing the
+//! retained chunk synopses down to the compaction budget — a balanced merge
+//! tree whose error does not carry the left-deep chain's accumulated drift —
+//! publishing the result through the normal epoch-stamped path. Readers are
+//! never blocked (they only ever touch the snapshot pointer) and no epoch is
+//! lost (refits serialize with writers on the store's writer mutex).
+
+use std::sync::Arc;
+
+use hist_core::{Error, EstimatorBuilder, Result, Synopsis};
+
+use crate::pool::ThreadPool;
+use crate::store::SynopsisStore;
+
+/// When to stop paying cheap merges and schedule a refit: the error-budget
+/// policy of a [`SynopsisStore`] / [`crate::StoreMap`].
+///
+/// A refit triggers once **both** hold:
+///
+/// * at least `min_merges_between_refits` merges happened since the last
+///   refit (back-pressure: a refit is never scheduled on every update), and
+/// * the accumulated merge error exceeds `error_budget`, **or** the optional
+///   `max_merges_between_refits` interval has elapsed (a freshness bound for
+///   streams whose merges are individually cheap but numerous).
+///
+/// The refit `tree_merge`s the retained chunk synopses down to
+/// `compaction_budget` pieces; `max_retained_chunks` bounds how many chunks
+/// are kept between refits (oldest pairs are folded together beyond it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenancePolicy {
+    error_budget: f64,
+    min_merges_between_refits: u64,
+    max_merges_between_refits: Option<u64>,
+    compaction_budget: usize,
+    max_retained_chunks: usize,
+}
+
+/// Default retained-chunk cap: deep enough that steady-state refits see a
+/// genuinely balanced tree, small enough to bound per-key memory.
+const DEFAULT_RETAINED_CHUNKS: usize = 64;
+
+impl MaintenancePolicy {
+    /// A policy refitting once the accumulated merge error exceeds
+    /// `error_budget`, compacting to `compaction_budget` pieces; interval
+    /// bounds default to `min = 1`, no forced maximum, and a retained-chunk
+    /// cap of 64.
+    pub fn new(error_budget: f64, compaction_budget: usize) -> Self {
+        Self {
+            error_budget,
+            min_merges_between_refits: 1,
+            max_merges_between_refits: None,
+            compaction_budget,
+            max_retained_chunks: DEFAULT_RETAINED_CHUNKS,
+        }
+    }
+
+    /// Requires at least `min` merges between refits.
+    pub fn min_interval(mut self, min: u64) -> Self {
+        self.min_merges_between_refits = min;
+        self
+    }
+
+    /// Forces a refit every `max` merges even while under the error budget.
+    pub fn max_interval(mut self, max: u64) -> Self {
+        self.max_merges_between_refits = Some(max);
+        self
+    }
+
+    /// Caps how many chunk synopses are retained between refits.
+    pub fn retained_chunks(mut self, cap: usize) -> Self {
+        self.max_retained_chunks = cap;
+        self
+    }
+
+    /// The `ℓ₂` error budget.
+    #[inline]
+    pub fn error_budget(&self) -> f64 {
+        self.error_budget
+    }
+
+    /// Minimum merges between refits.
+    #[inline]
+    pub fn min_merges_between_refits(&self) -> u64 {
+        self.min_merges_between_refits
+    }
+
+    /// Forced-refit merge interval, when set.
+    #[inline]
+    pub fn max_merges_between_refits(&self) -> Option<u64> {
+        self.max_merges_between_refits
+    }
+
+    /// The piece budget refits compact to.
+    #[inline]
+    pub fn compaction_budget(&self) -> usize {
+        self.compaction_budget
+    }
+
+    /// The retained-chunk cap.
+    #[inline]
+    pub fn max_retained_chunks(&self) -> usize {
+        self.max_retained_chunks
+    }
+
+    /// Validates the knobs: positive finite error budget, non-zero
+    /// compaction budget, non-inverted intervals, a foldable retained cap.
+    pub fn validate(&self) -> Result<()> {
+        if !self.error_budget.is_finite() || self.error_budget <= 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "error_budget",
+                reason: format!("must be a positive finite number, got {}", self.error_budget),
+            });
+        }
+        if self.compaction_budget == 0 {
+            return Err(Error::InvalidParameter {
+                name: "compaction_budget",
+                reason: "a refit must keep at least one piece".into(),
+            });
+        }
+        if let Some(max) = self.max_merges_between_refits {
+            if max == 0 || max < self.min_merges_between_refits {
+                return Err(Error::InvalidParameter {
+                    name: "refit_interval",
+                    reason: format!(
+                        "inverted interval: max {max} must be ≥ min {} and ≥ 1",
+                        self.min_merges_between_refits
+                    ),
+                });
+            }
+        }
+        if self.max_retained_chunks < 2 {
+            return Err(Error::InvalidParameter {
+                name: "max_retained_chunks",
+                reason: "maintenance needs at least two retained chunks to fold".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the policy an [`EstimatorBuilder`]'s maintenance knobs
+    /// describe, validated: `None` when the builder has no maintenance error
+    /// budget set (maintenance off), with the compaction budget defaulting
+    /// to `2k + 1` — the piece count Algorithm 1 targets for the builder's
+    /// `k`.
+    pub fn from_builder(builder: &EstimatorBuilder) -> Result<Option<Self>> {
+        let Some(error_budget) = builder.maintenance_error_budget_value() else {
+            return Ok(None);
+        };
+        let policy = Self {
+            error_budget,
+            min_merges_between_refits: builder.refit_min_interval_value(),
+            max_merges_between_refits: builder.refit_max_interval_value(),
+            compaction_budget: builder.compaction_budget_value().unwrap_or(2 * builder.k() + 1),
+            max_retained_chunks: builder.retained_chunks_value(),
+        };
+        policy.validate()?;
+        Ok(Some(policy))
+    }
+
+    /// Whether a synopsis with `merges_since_refit` merges and
+    /// `accumulated_error` spent since its last refit is due for one.
+    pub fn due(&self, merges_since_refit: u64, accumulated_error: f64) -> bool {
+        merges_since_refit >= self.min_merges_between_refits
+            && (accumulated_error > self.error_budget
+                || self.max_merges_between_refits.is_some_and(|max| merges_since_refit >= max))
+    }
+}
+
+/// Per-synopsis maintenance accounting, kept by every [`SynopsisStore`] and
+/// surfaced through [`SynopsisStore::maintenance_stats`] /
+/// [`crate::StoreMapStats`] / the wire protocol's store stats.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MaintenanceStats {
+    /// Total `update_merge` merges absorbed (over the store's lifetime).
+    pub merges: u64,
+    /// Merges since the last refit (or since the first publish).
+    pub merges_since_refit: u64,
+    /// Cumulative mass of every merged-in chunk.
+    pub merged_mass: f64,
+    /// Summed per-merge `ℓ₂` deltas since the last refit — the error-budget
+    /// accumulator the policy triggers on.
+    pub accumulated_error: f64,
+    /// Summed per-merge `ℓ₂` deltas over the store's lifetime (monotone).
+    pub total_error: f64,
+    /// Background refits published.
+    pub refits: u64,
+    /// Epoch of the last refit publication (0 if none yet).
+    pub last_refit_epoch: u64,
+    /// Chunk synopses currently retained for the next refit.
+    pub retained_chunks: u64,
+}
+
+/// The per-store maintenance bookkeeping behind the store's maintenance
+/// mutex: the policy (if enabled), the counters, and the retained chunk
+/// decomposition of the served synopsis.
+///
+/// Invariant: when `policy` is set and `retained` is non-empty, the retained
+/// synopses concatenate (in order) to exactly the served domain — update
+/// paths append to both under the store's writer mutex.
+#[derive(Debug, Default)]
+pub(crate) struct MaintenanceState {
+    pub(crate) policy: Option<MaintenancePolicy>,
+    pub(crate) merges: u64,
+    pub(crate) merges_since_refit: u64,
+    pub(crate) merged_mass: f64,
+    pub(crate) accumulated_error: f64,
+    pub(crate) total_error: f64,
+    pub(crate) refits: u64,
+    pub(crate) last_refit_epoch: u64,
+    pub(crate) retained: Vec<Synopsis>,
+    pub(crate) inflight: bool,
+}
+
+impl MaintenanceState {
+    pub(crate) fn stats(&self) -> MaintenanceStats {
+        MaintenanceStats {
+            merges: self.merges,
+            merges_since_refit: self.merges_since_refit,
+            merged_mass: self.merged_mass,
+            accumulated_error: self.accumulated_error,
+            total_error: self.total_error,
+            refits: self.refits,
+            last_refit_epoch: self.last_refit_epoch,
+            retained_chunks: self.retained.len() as u64,
+        }
+    }
+
+    /// Appends a merged-in chunk to the retained decomposition, folding the
+    /// two oldest entries together once the policy's cap is exceeded. Called
+    /// with the store's writer mutex held, so the decomposition stays in
+    /// lockstep with the served synopsis.
+    pub(crate) fn retain_chunk(&mut self, chunk: Synopsis) {
+        let Some(policy) = &self.policy else {
+            return;
+        };
+        let (cap, budget) = (policy.max_retained_chunks, policy.compaction_budget);
+        self.retained.push(chunk);
+        if self.retained.len() > cap {
+            let first = self.retained.remove(0);
+            let second = self.retained.remove(0);
+            match first.merge(&second, budget) {
+                Ok(folded) => self.retained.insert(0, folded),
+                // A fold failure would desynchronize the decomposition from
+                // the served domain; drop the decomposition instead (the next
+                // baseline reseed restores it) rather than serve a bad refit.
+                Err(_) => self.retained.clear(),
+            }
+        }
+    }
+
+    /// Re-baselines the retained decomposition on `served` — after a direct
+    /// publish, a refit, or enabling the policy on a live store.
+    pub(crate) fn rebaseline(&mut self, served: Option<Synopsis>) {
+        self.retained.clear();
+        if self.policy.is_some() {
+            if let Some(synopsis) = served {
+                self.retained.push(synopsis);
+            }
+        }
+        self.merges_since_refit = 0;
+        self.accumulated_error = 0.0;
+    }
+}
+
+/// A background worker running maintenance refits on the serve
+/// [`ThreadPool`], so they never run on (or block) a query or ingest thread.
+///
+/// Scheduling is idempotent per store: [`SynopsisStore::try_begin_refit`]
+/// claims an in-flight slot before a job is enqueued, so at most one refit
+/// per store is queued or running at any time.
+pub struct MaintenanceWorker {
+    pool: ThreadPool,
+}
+
+impl std::fmt::Debug for MaintenanceWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceWorker").field("threads", &self.pool.threads()).finish()
+    }
+}
+
+impl MaintenanceWorker {
+    /// A worker with `threads` refit threads (at least one).
+    pub fn new(threads: usize) -> Self {
+        Self { pool: ThreadPool::new(threads) }
+    }
+
+    /// Number of refit threads.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Enqueues a refit of `store`. The caller must have claimed the store's
+    /// in-flight slot via [`SynopsisStore::try_begin_refit`]; the job
+    /// releases it when the refit publishes (or is found unnecessary).
+    pub fn schedule(&self, store: Arc<SynopsisStore>) {
+        self.pool.execute(move || {
+            // A failed refit (nothing retained, policy raced off) already
+            // cleared the in-flight flag and left the served synopsis as it
+            // was; the counters keep accumulating toward the next attempt.
+            let _ = store.run_refit();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_validation_rejects_hostile_knobs() {
+        assert!(MaintenancePolicy::new(1.0, 9).validate().is_ok());
+        // Zero, negative, NaN and infinite budgets are typed errors.
+        for budget in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = MaintenancePolicy::new(budget, 9).validate().unwrap_err();
+            assert!(matches!(err, Error::InvalidParameter { name: "error_budget", .. }), "{err}");
+        }
+        let err = MaintenancePolicy::new(1.0, 0).validate().unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { name: "compaction_budget", .. }));
+        // Inverted and degenerate intervals.
+        let err = MaintenancePolicy::new(1.0, 9).min_interval(10).max_interval(3);
+        assert!(err.validate().is_err(), "max < min must be rejected");
+        assert!(MaintenancePolicy::new(1.0, 9).max_interval(0).validate().is_err());
+        assert!(MaintenancePolicy::new(1.0, 9).retained_chunks(1).validate().is_err());
+        assert!(MaintenancePolicy::new(1.0, 9).min_interval(3).max_interval(3).validate().is_ok());
+    }
+
+    #[test]
+    fn due_requires_min_interval_and_budget_or_max() {
+        let policy = MaintenancePolicy::new(2.0, 9).min_interval(3).max_interval(100);
+        assert!(!policy.due(0, 10.0), "min interval gates even a blown budget");
+        assert!(!policy.due(2, 10.0));
+        assert!(policy.due(3, 10.0));
+        assert!(!policy.due(3, 1.0), "under budget, under max: not due");
+        assert!(!policy.due(99, 2.0), "budget is exceeded strictly");
+        assert!(policy.due(100, 0.0), "max interval forces a refit");
+    }
+
+    #[test]
+    fn builder_knobs_round_trip_into_a_policy() {
+        let builder = EstimatorBuilder::new(5);
+        assert!(MaintenancePolicy::from_builder(&builder).unwrap().is_none());
+        let builder = EstimatorBuilder::new(5)
+            .maintenance_error_budget(4.5)
+            .refit_interval(2, Some(64))
+            .retained_chunks(16);
+        let policy = MaintenancePolicy::from_builder(&builder).unwrap().unwrap();
+        assert_eq!(policy.error_budget(), 4.5);
+        assert_eq!(policy.min_merges_between_refits(), 2);
+        assert_eq!(policy.max_merges_between_refits(), Some(64));
+        assert_eq!(policy.compaction_budget(), 11, "defaults to 2k + 1");
+        assert_eq!(policy.max_retained_chunks(), 16);
+        let explicit = MaintenancePolicy::from_builder(
+            &EstimatorBuilder::new(5).maintenance_error_budget(4.5).compaction_budget(7),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(explicit.compaction_budget(), 7);
+        // Hostile builder knobs surface as typed errors through from_builder.
+        let hostile = EstimatorBuilder::new(5).maintenance_error_budget(-1.0);
+        assert!(MaintenancePolicy::from_builder(&hostile).is_err());
+        let inverted =
+            EstimatorBuilder::new(5).maintenance_error_budget(1.0).refit_interval(9, Some(2));
+        assert!(MaintenancePolicy::from_builder(&inverted).is_err());
+    }
+}

@@ -13,8 +13,11 @@ use std::ops::Deref;
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
-use hist_core::{Result, Synopsis};
+use hist_core::{Error, Result, Synopsis};
 use hist_persist::{load_store_snapshot, save_store_snapshot, PersistResult};
+use hist_stream::tree_merge;
+
+use crate::maintenance::{MaintenancePolicy, MaintenanceState, MaintenanceStats};
 
 /// An epoch-stamped, immutable view of the synopsis a [`SynopsisStore`]
 /// served at some instant.
@@ -98,6 +101,10 @@ pub struct SynopsisStore {
     /// read-modify-publish cycle of a writer, so concurrent `update_merge`
     /// calls never lose each other's chunks.
     writer: Mutex<u64>,
+    /// Maintenance accounting and (when a policy is attached) the retained
+    /// chunk decomposition a background refit rebuilds from. Mutating paths
+    /// hold the writer mutex first, then this — never the other order.
+    maintenance: Mutex<MaintenanceState>,
 }
 
 impl SynopsisStore {
@@ -141,16 +148,152 @@ impl SynopsisStore {
     /// Returns the new epoch. Concurrent callers serialize; readers keep
     /// serving the previous snapshot until the merged one is installed.
     pub fn update_merge(&self, chunk: &Synopsis, budget: usize) -> Result<u64> {
+        if budget == 0 {
+            // Checked up front (not just inside `Synopsis::merge`) so the
+            // empty-store path rejects it too, and callers like the keyed
+            // map can rely on "invalid budget never mutates anything".
+            return Err(Error::InvalidParameter {
+                name: "budget",
+                reason: "the merge budget must be at least 1".into(),
+            });
+        }
         let mut last_epoch = self.writer.lock().expect("writer lock poisoned");
-        let next = match self.snapshot() {
-            Some(current) => current.merge(chunk, budget)?,
-            None => chunk.clone(),
+        let (next, stats) = match self.snapshot() {
+            Some(current) => {
+                let (merged, stats) = current.merge_with_stats(chunk, budget)?;
+                (merged, Some(stats))
+            }
+            None => (chunk.clone(), None),
         };
         *last_epoch += 1;
         let epoch = *last_epoch;
+        {
+            let mut maintenance = self.maintenance.lock().expect("maintenance lock poisoned");
+            match stats {
+                Some(stats) => {
+                    maintenance.merges += 1;
+                    maintenance.merges_since_refit += 1;
+                    maintenance.merged_mass += stats.incoming_mass;
+                    maintenance.accumulated_error += stats.l2_delta;
+                    maintenance.total_error += stats.l2_delta;
+                    if maintenance.policy.is_some() {
+                        if maintenance.retained.is_empty() {
+                            // The decomposition was dropped (fold failure):
+                            // reseed from the merged whole.
+                            maintenance.retained.push(next.clone());
+                        } else {
+                            maintenance.retain_chunk(chunk.clone());
+                        }
+                    }
+                }
+                // First publish: the chunk itself is the baseline.
+                None => {
+                    let seed = maintenance.policy.is_some().then(|| next.clone());
+                    maintenance.rebaseline(seed);
+                }
+            }
+        }
         *self.current.write().expect("store lock poisoned") =
             Some(Snapshot { epoch, synopsis: next.into_shared() });
         Ok(epoch)
+    }
+
+    /// Attaches (or with `None` detaches) a maintenance policy, validated.
+    ///
+    /// Attaching re-baselines the error-budget accounting on the currently
+    /// served synopsis: the accumulator starts at zero and the retained
+    /// decomposition starts from the served state, so refits rebuild exactly
+    /// what later merges extend.
+    pub fn set_maintenance(&self, policy: Option<MaintenancePolicy>) -> Result<()> {
+        if let Some(policy) = &policy {
+            policy.validate()?;
+        }
+        // Serialize with writers so the baseline matches the served synopsis.
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let mut maintenance = self.maintenance.lock().expect("maintenance lock poisoned");
+        maintenance.policy = policy;
+        let seed = if maintenance.policy.is_some() {
+            self.snapshot().map(|s| s.synopsis().as_ref().clone())
+        } else {
+            None
+        };
+        maintenance.rebaseline(seed);
+        Ok(())
+    }
+
+    /// The attached maintenance policy, if any.
+    pub fn maintenance_policy(&self) -> Option<MaintenancePolicy> {
+        self.maintenance.lock().expect("maintenance lock poisoned").policy.clone()
+    }
+
+    /// The store's maintenance accounting: merge counters, the error-budget
+    /// accumulator, refit history and the retained-chunk count. Counters
+    /// accumulate whether or not a policy is attached (the accounting is a
+    /// byproduct of the merge the store performs anyway).
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.maintenance.lock().expect("maintenance lock poisoned").stats()
+    }
+
+    /// Claims the store's single refit slot if maintenance is due: a policy
+    /// is attached, the policy's trigger fires for the current accumulator,
+    /// at least two retained synopses exist to rebuild from, and no other
+    /// refit is queued or running. Returns whether the caller now owns the
+    /// slot (and must follow up with [`SynopsisStore::run_refit`], typically
+    /// via a [`crate::MaintenanceWorker`]).
+    pub fn try_begin_refit(&self) -> bool {
+        let mut maintenance = self.maintenance.lock().expect("maintenance lock poisoned");
+        let Some(policy) = &maintenance.policy else {
+            return false;
+        };
+        if maintenance.inflight
+            || maintenance.retained.len() < 2
+            || !policy.due(maintenance.merges_since_refit, maintenance.accumulated_error)
+        {
+            return false;
+        }
+        maintenance.inflight = true;
+        true
+    }
+
+    /// Rebuilds the served synopsis from the retained chunk decomposition —
+    /// a balanced `tree_merge` down to the policy's compaction budget, which
+    /// does not carry the accumulated error of the left-deep merge chain the
+    /// steady-state updates built — and publishes it through the normal
+    /// epoch-stamped path. Readers are never blocked (they only touch the
+    /// snapshot pointer); concurrent writers briefly queue on the writer
+    /// mutex exactly as they do behind each other, so no epoch is lost.
+    ///
+    /// Returns the refit's epoch, or `Ok(None)` when there is nothing to do
+    /// (no policy attached, or fewer than two retained synopses). Always
+    /// releases the in-flight slot.
+    pub fn run_refit(&self) -> Result<Option<u64>> {
+        let mut last_epoch = self.writer.lock().expect("writer lock poisoned");
+        let mut maintenance = self.maintenance.lock().expect("maintenance lock poisoned");
+        let Some(policy) = maintenance.policy.clone() else {
+            maintenance.inflight = false;
+            return Ok(None);
+        };
+        if maintenance.retained.len() < 2 {
+            maintenance.inflight = false;
+            return Ok(None);
+        }
+        let compacted = match tree_merge(maintenance.retained.clone(), policy.compaction_budget()) {
+            Ok(compacted) => compacted,
+            Err(e) => {
+                maintenance.inflight = false;
+                return Err(e);
+            }
+        };
+        *last_epoch += 1;
+        let epoch = *last_epoch;
+        maintenance.refits += 1;
+        maintenance.last_refit_epoch = epoch;
+        maintenance.rebaseline(Some(compacted.clone()));
+        maintenance.inflight = false;
+        drop(maintenance);
+        *self.current.write().expect("store lock poisoned") =
+            Some(Snapshot { epoch, synopsis: compacted.into_shared() });
+        Ok(Some(epoch))
     }
 
     /// Persists the store to `path` as an `AHISTSTO` container (atomic
@@ -223,6 +366,13 @@ impl SynopsisStore {
         let mut last_epoch = self.writer.lock().expect("writer lock poisoned");
         *last_epoch += 1;
         let epoch = *last_epoch;
+        {
+            // A direct publish replaces the served synopsis wholesale: the
+            // error-budget accounting re-baselines on it, like a refit would.
+            let mut maintenance = self.maintenance.lock().expect("maintenance lock poisoned");
+            let seed = maintenance.policy.is_some().then(|| synopsis.as_ref().clone());
+            maintenance.rebaseline(seed);
+        }
         *self.current.write().expect("store lock poisoned") = Some(Snapshot { epoch, synopsis });
         epoch
     }

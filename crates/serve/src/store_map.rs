@@ -24,10 +24,11 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
-use hist_core::{Result, Synopsis};
+use hist_core::{Error, Result, Synopsis};
 use hist_persist::{load_store_map, save_store_map, PersistResult, StoreMapEntry};
 use hist_stream::tree_merge;
 
+use crate::maintenance::{MaintenancePolicy, MaintenanceWorker};
 use crate::store::{Snapshot, SynopsisStore};
 
 /// The key a keyless (protocol v1) operation targets: a v2 server treats
@@ -51,8 +52,10 @@ pub fn validate_key(key: &str) -> Result<()> {
 }
 
 /// Store-wide summary of a [`StoreMap`]: key count, served-key count, total
-/// pieces across served synopses, and the epoch range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// pieces across served synopses, the epoch range, and the aggregated
+/// maintenance accounting (merge/refit counters and the outstanding
+/// error-budget accumulators, summed over every key).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StoreMapStats {
     /// Number of keys present (served or not).
     pub keys: u64,
@@ -64,6 +67,16 @@ pub struct StoreMapStats {
     pub min_epoch: u64,
     /// Largest per-key epoch (0 if no keys).
     pub max_epoch: u64,
+    /// Total `update_merge` merges absorbed, summed over every key.
+    pub merges: u64,
+    /// Background maintenance refits published, summed over every key.
+    pub refits: u64,
+    /// Cumulative mass of every merged-in chunk, summed over every key.
+    pub merged_mass: f64,
+    /// Outstanding merge error (`ℓ₂`, accumulated since each key's last
+    /// refit), summed over every key — the store-wide view of how much of
+    /// the error budget is currently spent.
+    pub merge_error: f64,
 }
 
 /// A merged global view over every served key, built on demand by
@@ -108,9 +121,20 @@ pub struct MergedView {
 /// assert!(map.drop_key("api/login"));
 /// assert_eq!(map.len(), 1);
 /// ```
+/// The maintenance side of a [`StoreMap`]: the policy every store shares and
+/// the background worker refits run on.
+#[derive(Debug)]
+struct MaintenanceEngine {
+    policy: MaintenancePolicy,
+    worker: MaintenanceWorker,
+}
+
 #[derive(Debug)]
 pub struct StoreMap {
     shards: Box<[Shard]>,
+    /// Set by [`StoreMap::enable_maintenance`]; applied to every existing
+    /// store at enable time and to new stores at creation.
+    maintenance: RwLock<Option<MaintenanceEngine>>,
 }
 
 impl Default for StoreMap {
@@ -129,7 +153,53 @@ impl StoreMap {
     /// two, minimum 1).
     pub fn with_shards(shards: usize) -> Self {
         let count = shards.max(1).next_power_of_two();
-        Self { shards: (0..count).map(|_| Shard::default()).collect() }
+        Self {
+            shards: (0..count).map(|_| Shard::default()).collect(),
+            maintenance: RwLock::new(None),
+        }
+    }
+
+    /// Turns on self-tuning maintenance for every key: the validated
+    /// `policy` is attached to every existing store (re-baselining each on
+    /// its served synopsis) and to every store created later, and a
+    /// background [`MaintenanceWorker`] with `threads` refit threads carries
+    /// out the refits [`StoreMap::update_merge`] triggers.
+    pub fn enable_maintenance(&self, policy: MaintenancePolicy, threads: usize) -> Result<()> {
+        policy.validate()?;
+        let mut guard = self.maintenance.write().expect("maintenance lock poisoned");
+        *guard = Some(MaintenanceEngine {
+            policy: policy.clone(),
+            worker: MaintenanceWorker::new(threads),
+        });
+        drop(guard);
+        for shard in &self.shards {
+            let stores: Vec<Arc<SynopsisStore>> =
+                shard.read().expect("shard lock poisoned").values().cloned().collect();
+            for store in stores {
+                store.set_maintenance(Some(policy.clone()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The maintenance policy the map applies, if enabled.
+    pub fn maintenance_policy(&self) -> Option<MaintenancePolicy> {
+        self.maintenance
+            .read()
+            .expect("maintenance lock poisoned")
+            .as_ref()
+            .map(|engine| engine.policy.clone())
+    }
+
+    /// Schedules a background refit of `store` if its budget is spent and no
+    /// refit is already in flight.
+    fn maybe_schedule_refit(&self, store: &Arc<SynopsisStore>) {
+        let guard = self.maintenance.read().expect("maintenance lock poisoned");
+        if let Some(engine) = guard.as_ref() {
+            if store.try_begin_refit() {
+                engine.worker.schedule(Arc::clone(store));
+            }
+        }
     }
 
     /// A map already serving `synopsis` at [`DEFAULT_KEY`], epoch 1 — the
@@ -164,8 +234,17 @@ impl StoreMap {
         if let Some(store) = self.store(key) {
             return Ok(store);
         }
-        let mut shard = self.shard(key).write().expect("shard lock poisoned");
-        Ok(Arc::clone(shard.entry(key.to_owned()).or_default()))
+        let store = {
+            let mut shard = self.shard(key).write().expect("shard lock poisoned");
+            Arc::clone(shard.entry(key.to_owned()).or_default())
+        };
+        // New stores inherit the map's maintenance policy. (A concurrent
+        // creator may apply it too — attaching is idempotent on an empty
+        // store.)
+        if let Some(policy) = self.maintenance_policy() {
+            store.set_maintenance(Some(policy))?;
+        }
+        Ok(store)
     }
 
     /// Publishes a fully built synopsis under `key` (creating the key on
@@ -176,9 +255,34 @@ impl StoreMap {
 
     /// Per-key [`SynopsisStore::update_merge`]: merges `chunk` into `key`'s
     /// served synopsis (re-merged to `budget` pieces), creating the key on
-    /// first use, and returns the new epoch.
+    /// first use, and returns the new epoch. If the map's maintenance is
+    /// enabled and this merge spends the key's error budget, a background
+    /// refit is scheduled before returning.
+    ///
+    /// Validation runs *before* any key is created: a failed merge on a
+    /// fresh key (zero budget, invalid key) must not leave an empty phantom
+    /// key behind in `keys()`/`ListKeys`.
     pub fn update_merge(&self, key: &str, chunk: &Synopsis, budget: usize) -> Result<u64> {
-        self.store_or_create(key)?.update_merge(chunk, budget)
+        validate_key(key)?;
+        if budget == 0 {
+            return Err(Error::InvalidParameter {
+                name: "budget",
+                reason: "the merge budget must be at least 1".into(),
+            });
+        }
+        let store = match self.store(key) {
+            // Existing key: a failed merge leaves the key as it was.
+            Some(store) => store,
+            // Fresh key: with the key and budget already validated, merging
+            // into the (empty or concurrently seeded) store cannot fail in a
+            // way that strands a phantom — an empty store publishes the
+            // chunk as is, and a concurrently seeded store was legitimately
+            // created by that concurrent writer.
+            None => self.store_or_create(key)?,
+        };
+        let epoch = store.update_merge(chunk, budget)?;
+        self.maybe_schedule_refit(&store);
+        Ok(epoch)
     }
 
     /// The snapshot `key` currently serves, or `None` for an absent key or a
@@ -263,6 +367,11 @@ impl StoreMap {
                     stats.served += 1;
                     stats.total_pieces += snapshot.num_pieces() as u64;
                 }
+                let maintenance = store.maintenance_stats();
+                stats.merges += maintenance.merges;
+                stats.refits += maintenance.refits;
+                stats.merged_mass += maintenance.merged_mass;
+                stats.merge_error += maintenance.accumulated_error;
             }
         }
         if stats.keys > 0 {

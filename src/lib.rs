@@ -87,12 +87,13 @@
 //!   disk, the keyed `AHISTMAP` store-map container and streaming
 //!   checkpoint/resume;
 //! * [`net`] (`hist-net`) — the network serving layer: a length-prefixed,
-//!   CRC-trailed binary TCP protocol (v2, with keyless v1 compat) over the
+//!   CRC-trailed binary TCP protocol (v3, with v1/v2 compat) over the
 //!   keyed store map ([`HistServer`] / [`HistClient`]), with per-key batch
 //!   query ops, store-wide admin ops (key listing/eviction, merged global
-//!   view, store stats), admin publish/merge ops shipping synopses in the
-//!   `AHISTSYN` encoding, typed error frames, and hostile-peer bounds (max
-//!   frame size, per-connection request budgets).
+//!   view, store stats with maintenance counters), admin publish/merge ops
+//!   shipping synopses in the `AHISTSYN` encoding, typed error frames,
+//!   client connect/read deadlines, and hostile-peer bounds (max frame
+//!   size, per-connection request budgets).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every table and figure of the paper.
@@ -110,8 +111,8 @@ pub use hist_stream as stream;
 // The unified estimation API.
 pub use hist_baselines::{DualGreedy, EqualMass, EqualWidth, ExactDp, GksQuantile, GreedySplit};
 pub use hist_core::{
-    Estimator, EstimatorBuilder, FastMerging, FittedModel, GreedyMerging, Hierarchical, Signal,
-    Synopsis,
+    Estimator, EstimatorBuilder, FastMerging, FittedModel, GreedyMerging, Hierarchical, MergeStats,
+    Signal, Synopsis,
 };
 pub use hist_net::{
     ErrorCode, HistClient, HistServer, NetError, ServerConfig, ServerMode, Stamped, StoreStats,
@@ -126,7 +127,8 @@ pub use hist_persist::{
 pub use hist_poly::PiecewisePoly;
 pub use hist_sampling::SampleLearner;
 pub use hist_serve::{
-    MergedView, QueryExecutor, Snapshot, StoreMap, StoreMapStats, SynopsisStore, DEFAULT_KEY,
+    MaintenancePolicy, MaintenanceStats, MaintenanceWorker, MergedView, QueryExecutor, Snapshot,
+    StoreMap, StoreMapStats, SynopsisStore, DEFAULT_KEY,
 };
 pub use hist_stream::{
     ChunkedFitter, ParallelChunkedFitter, SlidingWindow, StreamingBuilder, StreamingMerging,

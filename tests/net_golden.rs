@@ -1,20 +1,23 @@
 //! Golden *binary* fixtures for the wire protocol: canonical request and
-//! response messages committed under `tests/fixtures/net_*_v{1,2}.bin`,
+//! response messages committed under `tests/fixtures/net_*_v{1,2,3}.bin`,
 //! decoded and checked against their construction values — so any
 //! accidental change to the on-wire format (field order, widths,
 //! endianness, opcode values, CRC parameterization, length-prefix
 //! semantics, key sections) fails CI even while encode/decode still
 //! round-trip each other.
 //!
-//! Two generations are pinned:
+//! Three generations are pinned:
 //!
-//! * the `*_v1.bin` set froze protocol v1 (keyless single-store) — a v2
+//! * the `*_v1.bin` set froze protocol v1 (keyless single-store) — a newer
 //!   build must keep decoding those exact bytes (to [`DEFAULT_KEY`]) *and*
 //!   keep producing them bit for bit through the versioned encoder, since
 //!   that is what "v1 clients still work" means;
-//! * the `*_v2.bin` set freezes protocol v2 (keyed multi-tenant), covering
+//! * the `*_v2.bin` set froze protocol v2 (keyed multi-tenant), covering
 //!   every op including the v2-only `StoreStats`/`ListKeys`/`MergedView`/
-//!   `DropKey` family.
+//!   `DropKey` family; its stats answers carry no maintenance counters and
+//!   decode them as zero;
+//! * the `*_v3.bin` set freezes protocol v3: the `Stats`/`StoreStats`
+//!   answers append the self-tuning maintenance counters.
 //!
 //! The publish/update fixtures nest the *committed persist fixture*
 //! (`synopsis_merging_steps_v1.bin`) as their synopsis blob, pinning the
@@ -90,12 +93,16 @@ fn golden_responses_v1() -> Vec<(&'static str, Response)> {
             "net_stats_response_v1.bin",
             Response::Stats {
                 epoch: 7,
+                // v1 frames have no maintenance counters: they decode as 0.
                 synopsis: Some(SynopsisStats {
                     domain: 256,
                     pieces: 13,
                     target_k: 5,
                     total_mass: 960.0,
                     estimator: "merging".into(),
+                    merges: 0,
+                    refits: 0,
+                    merge_error: 0.0,
                 }),
             },
         ),
@@ -156,12 +163,16 @@ fn golden_responses_v2() -> Vec<(&'static str, Response)> {
             "net_stats_response_v2.bin",
             Response::Stats {
                 epoch: 7,
+                // v2 frames have no maintenance counters: they decode as 0.
                 synopsis: Some(SynopsisStats {
                     domain: 256,
                     pieces: 13,
                     target_k: 5,
                     total_mass: 960.0,
                     estimator: "merging".into(),
+                    merges: 0,
+                    refits: 0,
+                    merge_error: 0.0,
                 }),
             },
         ),
@@ -175,6 +186,10 @@ fn golden_responses_v2() -> Vec<(&'static str, Response)> {
                     total_pieces: 26,
                     min_epoch: 0,
                     max_epoch: 9,
+                    merges: 0,
+                    refits: 0,
+                    merged_mass: 0.0,
+                    merge_error: 0.0,
                 },
             },
         ),
@@ -201,6 +216,58 @@ fn golden_responses_v2() -> Vec<(&'static str, Response)> {
                 epoch: 7,
                 code: ErrorCode::UnknownKey,
                 message: "key \"tenants/api-logout\" is not present in the store map".into(),
+            },
+        ),
+    ]
+}
+
+/// The v3 request fixtures. Requests did not change shape between v2 and
+/// v3, so the set pins the v3 envelope on one query op and one admin op
+/// (the latter also pinning the protocol ↔ persist coupling at v3).
+fn golden_requests_v3() -> Vec<(&'static str, Request)> {
+    let key = || "tenants/api-login".to_string();
+    vec![
+        ("net_stats_request_v3.bin", Request::Stats { key: key() }),
+        ("net_publish_request_v3.bin", Request::Publish { key: key(), synopsis: synopsis_blob() }),
+    ]
+}
+
+/// The v3 response fixtures: the two kinds whose payloads grew the
+/// maintenance counters, with nonzero counter values so the new bytes are
+/// actually pinned.
+fn golden_responses_v3() -> Vec<(&'static str, Response)> {
+    vec![
+        (
+            "net_stats_response_v3.bin",
+            Response::Stats {
+                epoch: 7,
+                synopsis: Some(SynopsisStats {
+                    domain: 256,
+                    pieces: 13,
+                    target_k: 5,
+                    total_mass: 960.0,
+                    estimator: "merging".into(),
+                    merges: 41,
+                    refits: 3,
+                    merge_error: 0.625,
+                }),
+            },
+        ),
+        (
+            "net_store_stats_response_v3.bin",
+            Response::StoreStats {
+                epoch: 9,
+                stats: StoreWideStats {
+                    keys: 3,
+                    served: 2,
+                    total_pieces: 26,
+                    min_epoch: 0,
+                    max_epoch: 9,
+                    merges: 4242,
+                    refits: 17,
+                    merged_mass: 960.0,
+                    merge_error: 123.5,
+                },
             },
         ),
     ]
@@ -242,11 +309,21 @@ fn regenerate_net_fixtures() {
         println!("{name}: {} bytes", bytes.len());
     }
     for (name, request) in golden_requests_v2() {
-        let bytes = encode_request(&request);
+        let bytes = encode_request_versioned(2, &request).expect("v2-expressible request");
         std::fs::write(fixture_path(name), &bytes).expect("write fixture");
         println!("{name}: {} bytes", bytes.len());
     }
     for (name, response) in golden_responses_v2() {
+        let bytes = encode_response_versioned(2, &response).expect("v2-expressible response");
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        println!("{name}: {} bytes", bytes.len());
+    }
+    for (name, request) in golden_requests_v3() {
+        let bytes = encode_request(&request);
+        std::fs::write(fixture_path(name), &bytes).expect("write fixture");
+        println!("{name}: {} bytes", bytes.len());
+    }
+    for (name, response) in golden_responses_v3() {
         let bytes = encode_response(&response);
         std::fs::write(fixture_path(name), &bytes).expect("write fixture");
         println!("{name}: {} bytes", bytes.len());
@@ -293,13 +370,45 @@ fn committed_v2_request_frames_still_decode_and_reencode_bit_for_bit() {
         let decoded = decode_request(&committed)
             .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
         assert_eq!(decoded, expected, "{name}: decoded request changed");
-        assert_eq!(encode_request(&expected), committed, "{name}: re-encoded bytes diverged");
+        assert_eq!(
+            encode_request_versioned(2, &expected).expect("v2-expressible request"),
+            committed,
+            "{name}: re-encoded v2 bytes diverged"
+        );
     }
 }
 
 #[test]
 fn committed_v2_response_frames_still_decode_and_reencode_bit_for_bit() {
     for (name, expected) in golden_responses_v2() {
+        let committed = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+        let decoded = decode_response(&committed)
+            .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
+        assert_eq!(decoded, expected, "{name}: decoded response changed");
+        assert_eq!(
+            encode_response_versioned(2, &expected).expect("v2-expressible response"),
+            committed,
+            "{name}: re-encoded v2 bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn committed_v3_request_frames_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_requests_v3() {
+        let committed = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
+        let decoded = decode_request(&committed)
+            .unwrap_or_else(|e| panic!("committed fixture {name} no longer decodes: {e:?}"));
+        assert_eq!(decoded, expected, "{name}: decoded request changed");
+        assert_eq!(encode_request(&expected), committed, "{name}: re-encoded bytes diverged");
+    }
+}
+
+#[test]
+fn committed_v3_response_frames_decode_and_reencode_bit_for_bit() {
+    for (name, expected) in golden_responses_v3() {
         let committed = std::fs::read(fixture_path(name))
             .unwrap_or_else(|e| panic!("committed fixture {name} unreadable: {e}"));
         let decoded = decode_response(&committed)
@@ -342,15 +451,17 @@ fn v1_error_frames_downgrade_v2_only_codes_bit_for_bit() {
 #[test]
 fn protocol_versions_are_pinned_to_the_persist_format_version() {
     // Protocol frames carry AHISTSYN blobs: the (format, protocol) version
-    // pair is pinned — both protocol generations this build speaks ship
+    // pair is pinned — every protocol generation this build speaks ships
     // format-v1 containers. Bump the fixture file names with either version.
-    assert_eq!(PROTOCOL_VERSION, 2, "bump the net fixture file names with the protocol version");
-    assert_eq!(MIN_PROTOCOL_VERSION, 1, "v1 compat decode is part of the v2 contract");
-    assert_eq!(FORMAT_VERSION, 1, "both protocol generations pin persist format v1");
+    assert_eq!(PROTOCOL_VERSION, 3, "bump the net fixture file names with the protocol version");
+    assert_eq!(MIN_PROTOCOL_VERSION, 1, "v1 compat decode is part of the v3 contract");
+    assert_eq!(FORMAT_VERSION, 1, "every protocol generation pins persist format v1");
     // The committed publish fixtures begin, after their frame headers, with
     // a nested AHISTSYN container — the coupling is visible in the bytes of
-    // both generations.
-    for name in ["net_publish_request_v1.bin", "net_publish_request_v2.bin"] {
+    // every generation.
+    for name in
+        ["net_publish_request_v1.bin", "net_publish_request_v2.bin", "net_publish_request_v3.bin"]
+    {
         let publish = std::fs::read(fixture_path(name)).unwrap();
         let needle = b"AHISTSYN";
         assert!(
