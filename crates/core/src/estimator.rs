@@ -13,6 +13,8 @@
 //! (`MergingParams`, the learners' configs) behind one builder-style surface;
 //! each adapter reads the knobs it cares about and ignores the rest.
 
+use std::time::Duration;
+
 use crate::construct::construct_histogram;
 use crate::error::{Error, Result};
 use crate::fast::construct_histogram_fast;
@@ -82,6 +84,7 @@ pub struct EstimatorBuilder {
     maintenance_error_budget: Option<f64>,
     refit_min_interval: u64,
     refit_max_interval: Option<u64>,
+    refit_wall_interval: Option<Duration>,
     compaction_budget: Option<usize>,
     retained_chunks: usize,
 }
@@ -105,6 +108,7 @@ impl EstimatorBuilder {
             maintenance_error_budget: None,
             refit_min_interval: 1,
             refit_max_interval: None,
+            refit_wall_interval: None,
             compaction_budget: None,
             retained_chunks: 64,
         }
@@ -248,6 +252,15 @@ impl EstimatorBuilder {
         self
     }
 
+    /// Forces a maintenance refit once `max` wall-clock time has passed
+    /// since a synopsis's last refit, even if no further merges arrive — the
+    /// freshness bound for idle keys, which the merge-counted intervals of
+    /// [`EstimatorBuilder::refit_interval`] can never trigger.
+    pub fn refit_wall_interval(mut self, max: Duration) -> Self {
+        self.refit_wall_interval = Some(max);
+        self
+    }
+
     /// Sets the compaction target: the piece budget a maintenance refit
     /// tree-merges down to. Unset means the serving layer derives `2k + 1`
     /// from the builder's `k`.
@@ -280,6 +293,12 @@ impl EstimatorBuilder {
     #[inline]
     pub fn refit_max_interval_value(&self) -> Option<u64> {
         self.refit_max_interval
+    }
+
+    /// Forced-refit wall-clock interval, when set.
+    #[inline]
+    pub fn refit_wall_interval_value(&self) -> Option<Duration> {
+        self.refit_wall_interval
     }
 
     /// Explicit compaction piece budget, when set.
@@ -357,6 +376,12 @@ impl EstimatorBuilder {
                     ),
                 });
             }
+        }
+        if self.refit_wall_interval.is_some_and(|max| max.is_zero()) {
+            return Err(Error::InvalidParameter {
+                name: "refit_wall_interval",
+                reason: "the wall-clock refit interval must be non-zero".into(),
+            });
         }
         if self.compaction_budget == Some(0) {
             return Err(Error::InvalidParameter {

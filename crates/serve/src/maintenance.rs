@@ -22,6 +22,7 @@
 //! lost (refits serialize with writers on the store's writer mutex).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hist_core::{Error, EstimatorBuilder, Result, Synopsis};
 
@@ -39,6 +40,17 @@ use crate::store::SynopsisStore;
 ///   `max_merges_between_refits` interval has elapsed (a freshness bound for
 ///   streams whose merges are individually cheap but numerous).
 ///
+/// Both intervals above are *merge-counted*, so a key whose writer goes
+/// quiet keeps serving its drifted left-deep merge chain indefinitely. The
+/// optional **wall-clock** bound `max_wall_between_refits` closes that gap:
+/// once that much time has passed since the key's last refit (or baseline)
+/// with at least one merge absorbed, a refit is due regardless of the merge
+/// counters — deliberately bypassing the `min_merges_between_refits`
+/// back-pressure, because for an idle key freshness is the whole point.
+/// Wall-clock triggers are evaluated by the write path *and* by the
+/// [`crate::StoreMap`] maintenance ticker, which sweeps keys whose writers
+/// have paused.
+///
 /// The refit `tree_merge`s the retained chunk synopses down to
 /// `compaction_budget` pieces; `max_retained_chunks` bounds how many chunks
 /// are kept between refits (oldest pairs are folded together beyond it).
@@ -47,6 +59,7 @@ pub struct MaintenancePolicy {
     error_budget: f64,
     min_merges_between_refits: u64,
     max_merges_between_refits: Option<u64>,
+    max_wall_between_refits: Option<Duration>,
     compaction_budget: usize,
     max_retained_chunks: usize,
 }
@@ -65,6 +78,7 @@ impl MaintenancePolicy {
             error_budget,
             min_merges_between_refits: 1,
             max_merges_between_refits: None,
+            max_wall_between_refits: None,
             compaction_budget,
             max_retained_chunks: DEFAULT_RETAINED_CHUNKS,
         }
@@ -79,6 +93,14 @@ impl MaintenancePolicy {
     /// Forces a refit every `max` merges even while under the error budget.
     pub fn max_interval(mut self, max: u64) -> Self {
         self.max_merges_between_refits = Some(max);
+        self
+    }
+
+    /// Forces a refit once `max` wall-clock time has passed since the last
+    /// refit with at least one merge absorbed — the freshness bound for keys
+    /// whose writers go quiet (merge-counted intervals never fire there).
+    pub fn max_wall_interval(mut self, max: Duration) -> Self {
+        self.max_wall_between_refits = Some(max);
         self
     }
 
@@ -104,6 +126,12 @@ impl MaintenancePolicy {
     #[inline]
     pub fn max_merges_between_refits(&self) -> Option<u64> {
         self.max_merges_between_refits
+    }
+
+    /// Forced-refit wall-clock interval, when set.
+    #[inline]
+    pub fn max_wall_between_refits(&self) -> Option<Duration> {
+        self.max_wall_between_refits
     }
 
     /// The piece budget refits compact to.
@@ -144,6 +172,12 @@ impl MaintenancePolicy {
                 });
             }
         }
+        if self.max_wall_between_refits.is_some_and(|max| max.is_zero()) {
+            return Err(Error::InvalidParameter {
+                name: "max_wall_between_refits",
+                reason: "the wall-clock refit interval must be non-zero".into(),
+            });
+        }
         if self.max_retained_chunks < 2 {
             return Err(Error::InvalidParameter {
                 name: "max_retained_chunks",
@@ -166,6 +200,7 @@ impl MaintenancePolicy {
             error_budget,
             min_merges_between_refits: builder.refit_min_interval_value(),
             max_merges_between_refits: builder.refit_max_interval_value(),
+            max_wall_between_refits: builder.refit_wall_interval_value(),
             compaction_budget: builder.compaction_budget_value().unwrap_or(2 * builder.k() + 1),
             max_retained_chunks: builder.retained_chunks_value(),
         };
@@ -174,11 +209,35 @@ impl MaintenancePolicy {
     }
 
     /// Whether a synopsis with `merges_since_refit` merges and
-    /// `accumulated_error` spent since its last refit is due for one.
+    /// `accumulated_error` spent since its last refit is due for one,
+    /// considering only the merge-counted triggers (as if no wall-clock bound
+    /// were set). Equivalent to [`MaintenancePolicy::due_with_elapsed`] with
+    /// an unknown elapsed time.
     pub fn due(&self, merges_since_refit: u64, accumulated_error: f64) -> bool {
-        merges_since_refit >= self.min_merges_between_refits
+        self.due_with_elapsed(merges_since_refit, accumulated_error, None)
+    }
+
+    /// [`MaintenancePolicy::due`] with the wall clock included:
+    /// `elapsed_since_refit` is the time since the key's last refit (or
+    /// baseline), `None` when unknown. The wall-clock trigger needs only one
+    /// absorbed merge — it deliberately bypasses the
+    /// `min_merges_between_refits` back-pressure, because its purpose is
+    /// exactly the idle key that will never accumulate more merges.
+    pub fn due_with_elapsed(
+        &self,
+        merges_since_refit: u64,
+        accumulated_error: f64,
+        elapsed_since_refit: Option<Duration>,
+    ) -> bool {
+        let counted = merges_since_refit >= self.min_merges_between_refits
             && (accumulated_error > self.error_budget
-                || self.max_merges_between_refits.is_some_and(|max| merges_since_refit >= max))
+                || self.max_merges_between_refits.is_some_and(|max| merges_since_refit >= max));
+        let wall = merges_since_refit >= 1
+            && self
+                .max_wall_between_refits
+                .zip(elapsed_since_refit)
+                .is_some_and(|(max, elapsed)| elapsed >= max);
+        counted || wall
     }
 }
 
@@ -223,6 +282,9 @@ pub(crate) struct MaintenanceState {
     pub(crate) total_error: f64,
     pub(crate) refits: u64,
     pub(crate) last_refit_epoch: u64,
+    /// When the key was last refitted or re-baselined — the reference point
+    /// of the policy's wall-clock trigger. `None` until the first baseline.
+    pub(crate) last_refit_at: Option<Instant>,
     pub(crate) retained: Vec<Synopsis>,
     pub(crate) inflight: bool,
 }
@@ -275,6 +337,7 @@ impl MaintenanceState {
         }
         self.merges_since_refit = 0;
         self.accumulated_error = 0.0;
+        self.last_refit_at = Some(Instant::now());
     }
 }
 
@@ -339,6 +402,11 @@ mod tests {
         assert!(MaintenancePolicy::new(1.0, 9).max_interval(0).validate().is_err());
         assert!(MaintenancePolicy::new(1.0, 9).retained_chunks(1).validate().is_err());
         assert!(MaintenancePolicy::new(1.0, 9).min_interval(3).max_interval(3).validate().is_ok());
+        // Wall-clock intervals must be non-zero.
+        let err = MaintenancePolicy::new(1.0, 9).max_wall_interval(Duration::ZERO);
+        assert!(err.validate().is_err(), "zero wall interval must be rejected");
+        let ok = MaintenancePolicy::new(1.0, 9).max_wall_interval(Duration::from_millis(50));
+        assert!(ok.validate().is_ok());
     }
 
     #[test]
@@ -353,6 +421,28 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_trigger_fires_for_idle_keys() {
+        let secs = Duration::from_secs;
+        let policy = MaintenancePolicy::new(100.0, 9).min_interval(10).max_wall_interval(secs(60));
+        // Without the wall clock nothing below is due (budget huge, min 10).
+        assert!(!policy.due(1, 0.0));
+        // Wall trigger: fires once elapsed ≥ max, bypassing min_interval —
+        // an idle key will never reach the merge-counted thresholds.
+        assert!(policy.due_with_elapsed(1, 0.0, Some(secs(60))));
+        assert!(policy.due_with_elapsed(1, 0.0, Some(secs(61))));
+        assert!(!policy.due_with_elapsed(1, 0.0, Some(secs(59))), "not elapsed yet");
+        // But never with nothing absorbed: a refit needs at least one merge
+        // since the last baseline, or there is nothing new to rebuild.
+        assert!(!policy.due_with_elapsed(0, 0.0, Some(secs(3600))));
+        // Unknown elapsed time (or no wall bound) → merge-counted rules only.
+        assert!(!policy.due_with_elapsed(1, 0.0, None));
+        let unbounded = MaintenancePolicy::new(100.0, 9).min_interval(10);
+        assert!(!unbounded.due_with_elapsed(1, 0.0, Some(secs(3600))));
+        // The merge-counted triggers still work alongside the wall bound.
+        assert!(policy.due_with_elapsed(10, 200.0, Some(secs(1))));
+    }
+
+    #[test]
     fn builder_knobs_round_trip_into_a_policy() {
         let builder = EstimatorBuilder::new(5);
         assert!(MaintenancePolicy::from_builder(&builder).unwrap().is_none());
@@ -364,6 +454,7 @@ mod tests {
         assert_eq!(policy.error_budget(), 4.5);
         assert_eq!(policy.min_merges_between_refits(), 2);
         assert_eq!(policy.max_merges_between_refits(), Some(64));
+        assert_eq!(policy.max_wall_between_refits(), None);
         assert_eq!(policy.compaction_budget(), 11, "defaults to 2k + 1");
         assert_eq!(policy.max_retained_chunks(), 16);
         let explicit = MaintenancePolicy::from_builder(
@@ -372,9 +463,21 @@ mod tests {
         .unwrap()
         .unwrap();
         assert_eq!(explicit.compaction_budget(), 7);
+        let timed = MaintenancePolicy::from_builder(
+            &EstimatorBuilder::new(5)
+                .maintenance_error_budget(4.5)
+                .refit_wall_interval(Duration::from_millis(250)),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(timed.max_wall_between_refits(), Some(Duration::from_millis(250)));
         // Hostile builder knobs surface as typed errors through from_builder.
         let hostile = EstimatorBuilder::new(5).maintenance_error_budget(-1.0);
         assert!(MaintenancePolicy::from_builder(&hostile).is_err());
+        let zero_wall = EstimatorBuilder::new(5)
+            .maintenance_error_budget(1.0)
+            .refit_wall_interval(Duration::ZERO);
+        assert!(MaintenancePolicy::from_builder(&zero_wall).is_err());
         let inverted =
             EstimatorBuilder::new(5).maintenance_error_budget(1.0).refit_interval(9, Some(2));
         assert!(MaintenancePolicy::from_builder(&inverted).is_err());

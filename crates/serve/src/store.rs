@@ -245,9 +245,14 @@ impl SynopsisStore {
         let Some(policy) = &maintenance.policy else {
             return false;
         };
+        let elapsed = maintenance.last_refit_at.map(|at| at.elapsed());
         if maintenance.inflight
             || maintenance.retained.len() < 2
-            || !policy.due(maintenance.merges_since_refit, maintenance.accumulated_error)
+            || !policy.due_with_elapsed(
+                maintenance.merges_since_refit,
+                maintenance.accumulated_error,
+                elapsed,
+            )
         {
             return false;
         }

@@ -22,7 +22,8 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::Duration;
 
 use hist_core::{Error, Result, Synopsis};
 use hist_persist::{load_store_map, save_store_map, PersistResult, StoreMapEntry};
@@ -121,17 +122,78 @@ pub struct MergedView {
 /// assert!(map.drop_key("api/login"));
 /// assert_eq!(map.len(), 1);
 /// ```
-/// The maintenance side of a [`StoreMap`]: the policy every store shares and
-/// the background worker refits run on.
+/// The maintenance side of a [`StoreMap`]: the policy every store shares,
+/// the background worker refits run on, and — when the policy carries a
+/// wall-clock refit bound — the ticker thread that sweeps idle keys.
 #[derive(Debug)]
 struct MaintenanceEngine {
     policy: MaintenancePolicy,
-    worker: MaintenanceWorker,
+    worker: Arc<MaintenanceWorker>,
+    /// Present iff the policy has a `max_wall_between_refits`: merge-counted
+    /// triggers are evaluated on the write path, but an idle key's writer
+    /// never comes back to evaluate anything, so the wall-clock bound needs
+    /// its own clock. Held only so disabling/replacing the engine stops and
+    /// joins the thread.
+    _ticker: Option<MaintenanceTicker>,
+}
+
+/// A background thread periodically sweeping every store for a due refit —
+/// the evaluation point of the policy's wall-clock trigger on keys whose
+/// writers have paused. Stopped (and joined) on drop via its stop channel.
+struct MaintenanceTicker {
+    stop: mpsc::Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MaintenanceTicker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceTicker").finish_non_exhaustive()
+    }
+}
+
+impl MaintenanceTicker {
+    /// Spawns a sweeper waking every `tick`: each wake-up runs
+    /// `try_begin_refit` on every store and schedules the due ones on
+    /// `worker`. The claim-then-schedule protocol is the same one the write
+    /// path uses, so a sweep racing a writer never double-schedules.
+    fn spawn(shards: Arc<[Shard]>, worker: Arc<MaintenanceWorker>, tick: Duration) -> Self {
+        let (stop, wake) = mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name("hist-maintenance-ticker".into())
+            .spawn(move || {
+                // A send (or a dropped sender) ends the loop immediately;
+                // otherwise each timeout is one sweep.
+                while let Err(mpsc::RecvTimeoutError::Timeout) = wake.recv_timeout(tick) {
+                    for shard in shards.iter() {
+                        let stores: Vec<Arc<SynopsisStore>> =
+                            shard.read().expect("shard lock poisoned").values().cloned().collect();
+                        for store in stores {
+                            if store.try_begin_refit() {
+                                worker.schedule(store);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawning the maintenance ticker thread");
+        Self { stop, handle: Some(handle) }
+    }
+}
+
+impl Drop for MaintenanceTicker {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 #[derive(Debug)]
 pub struct StoreMap {
-    shards: Box<[Shard]>,
+    /// Shared with the maintenance ticker thread, which holds its own
+    /// `Arc` clone so it can sweep after the map handle moves.
+    shards: Arc<[Shard]>,
     /// Set by [`StoreMap::enable_maintenance`]; applied to every existing
     /// store at enable time and to new stores at creation.
     maintenance: RwLock<Option<MaintenanceEngine>>,
@@ -164,15 +226,24 @@ impl StoreMap {
     /// its served synopsis) and to every store created later, and a
     /// background [`MaintenanceWorker`] with `threads` refit threads carries
     /// out the refits [`StoreMap::update_merge`] triggers.
+    /// If the policy carries a wall-clock refit bound
+    /// ([`MaintenancePolicy::max_wall_interval`]), a ticker thread is also
+    /// started that periodically sweeps every key for a due refit — the
+    /// only way an *idle* key (no writes arriving) can ever be refreshed.
     pub fn enable_maintenance(&self, policy: MaintenancePolicy, threads: usize) -> Result<()> {
         policy.validate()?;
-        let mut guard = self.maintenance.write().expect("maintenance lock poisoned");
-        *guard = Some(MaintenanceEngine {
-            policy: policy.clone(),
-            worker: MaintenanceWorker::new(threads),
+        let worker = Arc::new(MaintenanceWorker::new(threads));
+        let ticker = policy.max_wall_between_refits().map(|max| {
+            // Sweep a few times per interval so an idle key is refreshed
+            // within ~max + tick of falling due, without busy-spinning for
+            // long intervals.
+            let tick = (max / 8).clamp(Duration::from_millis(5), Duration::from_millis(500));
+            MaintenanceTicker::spawn(Arc::clone(&self.shards), Arc::clone(&worker), tick)
         });
+        let mut guard = self.maintenance.write().expect("maintenance lock poisoned");
+        *guard = Some(MaintenanceEngine { policy: policy.clone(), worker, _ticker: ticker });
         drop(guard);
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let stores: Vec<Arc<SynopsisStore>> =
                 shard.read().expect("shard lock poisoned").values().cloned().collect();
             for store in stores {
@@ -356,7 +427,7 @@ impl StoreMap {
     pub fn store_stats(&self) -> StoreMapStats {
         let mut stats = StoreMapStats::default();
         let mut min_epoch = u64::MAX;
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let guard = shard.read().expect("shard lock poisoned");
             for store in guard.values() {
                 stats.keys += 1;
@@ -391,7 +462,7 @@ impl StoreMap {
     /// keys (a writer may publish to key B while key A's snapshot is taken).
     pub fn merged_view(&self, budget: usize) -> Result<Option<MergedView>> {
         let mut contributors: Vec<(String, Snapshot)> = Vec::new();
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let guard = shard.read().expect("shard lock poisoned");
             for (key, store) in guard.iter() {
                 if let Some(snapshot) = store.snapshot() {
@@ -419,7 +490,7 @@ impl StoreMap {
     /// so equal maps save to bit-identical files.
     pub fn save(&self, path: impl AsRef<Path>) -> PersistResult<()> {
         let mut entries = Vec::new();
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             let guard = shard.read().expect("shard lock poisoned");
             for (key, store) in guard.iter() {
                 let (epoch, snapshot) = store.persisted_state();

@@ -95,3 +95,58 @@ pub use streaming::{StreamingBuilder, StreamingMerging};
 pub fn merge_budget(k: usize) -> usize {
     2 * k + 1
 }
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared failure-injection estimator for the wedge-fix regression tests
+    //! of [`crate::StreamingBuilder`] and [`crate::SlidingWindow`].
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use hist_core::{Error, Estimator, EstimatorBuilder, GreedyMerging, Result, Signal, Synopsis};
+
+    /// An estimator that fails the next `deny` fits on command, then behaves
+    /// exactly like [`GreedyMerging`]. The shared handles let a test inject a
+    /// failure while the builder owns the estimator.
+    pub(crate) struct FallibleEstimator {
+        inner: GreedyMerging,
+        deny: Arc<AtomicU64>,
+        fits: Arc<AtomicU64>,
+    }
+
+    impl FallibleEstimator {
+        /// A fallible estimator plus its `(deny, fit counter)` control
+        /// handles: store `n` into `deny` to make the next `n` fits fail.
+        pub(crate) fn with_handles(
+            k: usize,
+        ) -> (Box<dyn Estimator>, Arc<AtomicU64>, Arc<AtomicU64>) {
+            let deny = Arc::new(AtomicU64::new(0));
+            let fits = Arc::new(AtomicU64::new(0));
+            let estimator = Self {
+                inner: GreedyMerging::new(EstimatorBuilder::new(k)),
+                deny: Arc::clone(&deny),
+                fits: Arc::clone(&fits),
+            };
+            (Box::new(estimator), deny, fits)
+        }
+    }
+
+    impl Estimator for FallibleEstimator {
+        fn name(&self) -> &'static str {
+            "fallible"
+        }
+
+        fn fit(&self, signal: &Signal) -> Result<Synopsis> {
+            self.fits.fetch_add(1, Ordering::SeqCst);
+            if self.deny.load(Ordering::SeqCst) > 0 {
+                self.deny.fetch_sub(1, Ordering::SeqCst);
+                return Err(Error::InvalidParameter {
+                    name: "fallible",
+                    reason: "injected fit failure".into(),
+                });
+            }
+            self.inner.fit(signal)
+        }
+    }
+}

@@ -64,14 +64,45 @@ impl SlidingWindow {
 
     /// Advances the window by one value: appends it and, when it completes a
     /// bucket, fits the bucket and evicts the oldest one past capacity.
+    ///
+    /// Failure semantics: a non-finite value is rejected up front and nothing
+    /// is consumed. If the inner fit of a completed bucket fails, the value
+    /// **is** consumed — the whole bucket stays queued in the tail buffer and
+    /// the next `push`/`extend` retries it, so bucket boundaries never drift
+    /// and the window is never wedged.
     pub fn push(&mut self, value: f64) -> Result<()> {
         if !value.is_finite() {
             return Err(Error::NonFiniteValue { context: "SlidingWindow::push" });
         }
         self.tail.push(value);
-        if self.tail.len() == self.bucket_len {
-            let bucket = self.inner.fit(&Signal::from_slice(&self.tail)?)?;
-            self.tail.clear();
+        self.drain_full_buckets()
+    }
+
+    /// Advances the window by a slice of values, **all or nothing**: a
+    /// non-finite value anywhere in `values` is a typed error and *no* value
+    /// is consumed; otherwise every value is consumed even when a bucket fit
+    /// fails mid-slice — the failed bucket stays queued in the tail buffer,
+    /// the error is returned after the whole slice has been buffered, and the
+    /// next `push`/`extend` retries it.
+    pub fn extend(&mut self, values: &[f64]) -> Result<()> {
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteValue { context: "SlidingWindow::extend" });
+        }
+        self.tail.extend_from_slice(values);
+        self.drain_full_buckets()
+    }
+
+    /// Fits every complete bucket queued in the tail buffer, evicting past
+    /// capacity.
+    ///
+    /// The trigger is `>=`, not `==`: a failed inner fit leaves the bucket's
+    /// values queued for retry (the tail may temporarily hold one bucket or
+    /// more), and the tail is only drained after the fit succeeded, so an
+    /// error never loses values or shifts bucket boundaries.
+    fn drain_full_buckets(&mut self) -> Result<()> {
+        while self.tail.len() >= self.bucket_len {
+            let bucket = self.inner.fit(&Signal::from_slice(&self.tail[..self.bucket_len])?)?;
+            self.tail.drain(..self.bucket_len);
             self.buckets.push_back(bucket);
             if self.buckets.len() > self.num_buckets {
                 self.buckets.pop_front();
@@ -80,12 +111,14 @@ impl SlidingWindow {
         Ok(())
     }
 
-    /// Advances the window by a slice of values.
-    pub fn extend(&mut self, values: &[f64]) -> Result<()> {
-        for &v in values {
-            self.push(v)?;
-        }
-        Ok(())
+    /// Number of values queued in the tail buffer awaiting bucket formation.
+    ///
+    /// Normally strictly less than the bucket length; after a failed inner
+    /// fit it can reach or exceed it (the failed bucket stays queued until a
+    /// later `push`/`extend` retries successfully).
+    #[inline]
+    pub fn buffered(&self) -> usize {
+        self.tail.len()
     }
 
     /// Number of values currently covered by the window.
@@ -98,6 +131,12 @@ impl SlidingWindow {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The bucket length the window advances at.
+    #[inline]
+    pub fn bucket_len(&self) -> usize {
+        self.bucket_len
     }
 
     /// Nominal window capacity `bucket_len · num_buckets`; once that many
@@ -202,5 +241,68 @@ mod tests {
         assert!(w.synopsis().is_err());
         let mut w = window(3, 4, 4);
         assert!(w.push(f64::INFINITY).is_err());
+    }
+
+    /// The wedge regression for the window: with the old `==` trigger a
+    /// failed bucket fit left the tail past the boundary forever, so the
+    /// window stopped advancing. The `>=` drain retries the bucket instead.
+    #[test]
+    fn failed_bucket_fit_is_retried_not_wedged() {
+        use std::sync::atomic::Ordering;
+
+        let (fallible, deny, _fits) = crate::testutil::FallibleEstimator::with_handles(3);
+        let mut w = SlidingWindow::new(fallible, 3, 8, 4).unwrap();
+        for i in 0..7 {
+            w.push(i as f64).unwrap();
+        }
+        deny.store(1, Ordering::SeqCst);
+        assert!(w.push(7.0).is_err());
+        assert_eq!(w.len(), 8, "failed value is consumed, not lost");
+        assert_eq!(w.buffered(), 8, "failed bucket stays queued");
+
+        // The retry forms the bucket at the original boundary.
+        w.push(8.0).unwrap();
+        assert_eq!(w.buffered(), 1);
+        assert_eq!(w.len(), 9);
+
+        // Keep streaming: eviction and window accounting are unaffected.
+        for i in 9..100 {
+            w.push(i as f64).unwrap();
+        }
+        assert!(w.len() >= w.capacity() && w.len() < w.capacity() + 8);
+        let mut clean = window(3, 8, 4);
+        clean.extend(&(0..100).map(f64::from).collect::<Vec<_>>()).unwrap();
+        assert_eq!(w.len(), clean.len());
+        let bits =
+            |s: &Synopsis| s.boundary_masses().iter().map(|m| m.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&w.synopsis().unwrap()),
+            bits(&clean.synopsis().unwrap()),
+            "recovered window is bit-identical to a never-failed one"
+        );
+    }
+
+    /// `extend` is all-or-nothing: a non-finite value anywhere rejects the
+    /// slice untouched; a mid-slice fit failure still consumes every value.
+    #[test]
+    fn extend_failure_semantics_are_all_or_nothing() {
+        use std::sync::atomic::Ordering;
+
+        let mut w = window(3, 8, 4);
+        w.extend(&[1.0, 2.0]).unwrap();
+        assert!(w.extend(&[3.0, f64::NAN]).is_err());
+        assert_eq!(w.len(), 2, "rejected slice is not consumed at all");
+
+        let (fallible, deny, fits) = crate::testutil::FallibleEstimator::with_handles(3);
+        let mut w = SlidingWindow::new(fallible, 3, 8, 4).unwrap();
+        deny.store(1, Ordering::SeqCst);
+        let values: Vec<f64> = (0..20).map(f64::from).collect();
+        assert!(w.extend(&values).is_err());
+        assert_eq!(w.len(), 20, "whole slice consumed despite the error");
+        assert_eq!(w.buffered(), 20, "first bucket's failure queues the rest");
+        assert_eq!(fits.load(Ordering::SeqCst), 1, "drain stops at the failed bucket");
+
+        w.extend(&[]).unwrap();
+        assert_eq!(w.buffered(), 4, "retry nudge drains the backlog");
     }
 }

@@ -61,24 +61,78 @@ impl StreamingBuilder {
     }
 
     /// Appends one value to the stream.
+    ///
+    /// Failure semantics: a non-finite value is rejected up front and nothing
+    /// is consumed. If the inner fit (or a hierarchy merge) of a completed
+    /// chunk fails, the value **is** consumed — it stays queued in the tail
+    /// buffer along with the rest of the pending chunk, and the next
+    /// `push`/`extend` retries chunk formation. The builder is never wedged:
+    /// chunk boundaries stay aligned to multiples of `chunk_len`, so once the
+    /// inner estimator recovers the state is bit-identical to a build that
+    /// never failed.
     pub fn push(&mut self, value: f64) -> Result<()> {
         if !value.is_finite() {
             return Err(Error::NonFiniteValue { context: "StreamingBuilder::push" });
         }
         self.tail.push(value);
         self.pushed += 1;
-        if self.tail.len() == self.chunk_len {
-            let chunk = self.inner.fit(&Signal::from_slice(&self.tail)?)?;
-            self.tail.clear();
-            self.carry(chunk)?;
-        }
-        Ok(())
+        self.drain_full_chunks(None)
     }
 
-    /// Appends a slice of values to the stream.
+    /// Appends a slice of values to the stream, **all or nothing**:
+    ///
+    /// * a non-finite value anywhere in `values` is a typed error and *no*
+    ///   value is consumed (`len()` is unchanged);
+    /// * otherwise every value is consumed (`len()` grows by
+    ///   `values.len()`) even when chunk formation fails mid-slice — the
+    ///   failed chunk stays queued in the tail buffer and the error is
+    ///   returned after the whole slice has been buffered, so callers never
+    ///   have to guess how much of a slice was ingested. The next
+    ///   `push`/`extend` retries the queued chunks.
     pub fn extend(&mut self, values: &[f64]) -> Result<()> {
-        for &v in values {
-            self.push(v)?;
+        self.extend_collecting_chunks(values, &mut None)
+    }
+
+    /// [`StreamingBuilder::extend`] with a tap on chunk formation: every
+    /// chunk synopsis fitted (and carried into the hierarchy) while consuming
+    /// `values` is also cloned into `completed`, oldest first.
+    ///
+    /// This is the ingest hook of a live pipeline: the freshly fitted chunk
+    /// is exactly the delta a serving store merges in
+    /// (`SynopsisStore::update_merge`-style) to track the stream, while the
+    /// builder itself remains the checkpointable one-pass state. Failure
+    /// semantics match [`StreamingBuilder::extend`]; chunks already formed
+    /// before a mid-slice failure are still reported.
+    pub fn extend_collecting_chunks(
+        &mut self,
+        values: &[f64],
+        completed: &mut Option<&mut Vec<Synopsis>>,
+    ) -> Result<()> {
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteValue { context: "StreamingBuilder::extend" });
+        }
+        self.tail.extend_from_slice(values);
+        self.pushed += values.len();
+        self.drain_full_chunks(completed.as_deref_mut())
+    }
+
+    /// Fits and carries every complete chunk queued in the tail buffer.
+    ///
+    /// The trigger is `>=`, not `==`: a failed inner fit leaves the fitted
+    /// chunk's values queued (the tail may temporarily hold one chunk or
+    /// more), and the next call retries from the same chunk boundary. Each
+    /// iteration is transactional — the tail is only drained after both the
+    /// fit and the hierarchy carry succeeded — so an error never loses or
+    /// double-counts values.
+    fn drain_full_chunks(&mut self, mut completed: Option<&mut Vec<Synopsis>>) -> Result<()> {
+        while self.tail.len() >= self.chunk_len {
+            let chunk = self.inner.fit(&Signal::from_slice(&self.tail[..self.chunk_len])?)?;
+            let tapped = completed.is_some().then(|| chunk.clone());
+            self.carry(chunk)?;
+            self.tail.drain(..self.chunk_len);
+            if let (Some(sink), Some(chunk)) = (completed.as_deref_mut(), tapped) {
+                sink.push(chunk);
+            }
         }
         Ok(())
     }
@@ -95,16 +149,46 @@ impl StreamingBuilder {
         self.pushed == 0
     }
 
+    /// The piece budget the final synopsis is merged down to.
+    #[inline]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The chunk length every full chunk is fitted at.
+    #[inline]
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Number of full chunks fitted and carried into the hierarchy so far.
+    #[inline]
+    pub fn chunks_completed(&self) -> usize {
+        (self.pushed - self.tail.len()) / self.chunk_len
+    }
+
     /// Number of partial synopses currently held (the builder's working set).
     pub fn num_partials(&self) -> usize {
         self.levels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of values queued in the tail buffer awaiting chunk formation.
+    ///
+    /// Normally strictly less than the chunk length; after a failed inner
+    /// fit it can reach or exceed it (the failed chunk stays queued until a
+    /// later `push`/`extend` retries successfully).
+    #[inline]
+    pub fn buffered(&self) -> usize {
+        self.tail.len()
     }
 
     /// The synopsis of everything pushed so far (domain `[0, len())`).
     ///
     /// Merges the level hierarchy oldest-first plus a fit of the partial tail
     /// chunk; errors when the stream is still empty. `O(k·log(n/chunk_len))`
-    /// plus one inner fit of at most `chunk_len` values.
+    /// plus one inner fit of the tail buffer (at most `chunk_len − 1` values
+    /// in steady state; more only while a failed chunk fit is queued for
+    /// retry).
     pub fn synopsis(&self) -> Result<Synopsis> {
         let budget = merge_budget(self.budget);
         let mut acc: Option<Synopsis> = None;
@@ -159,24 +243,16 @@ impl StreamingBuilder {
     /// used — it is what fits future chunks, so a different estimator yields
     /// a different (still valid) synopsis. On top of the codec's structural
     /// validation this re-checks the builder's cross-field invariants: a
-    /// positive budget and chunk length, a tail strictly shorter than one
-    /// chunk, and level domains consistent with `pushed` (level `i` summarizes
-    /// exactly `2^i` chunks). Corrupt or hand-forged checkpoints fail with a
-    /// typed error, never a panic.
+    /// positive budget and chunk length, and level domains consistent with
+    /// `pushed` (level `i` summarizes exactly `2^i` chunks). A tail of one
+    /// chunk or more is accepted — it is the legitimate retry backlog of a
+    /// build checkpointed after a failed inner fit, and the next
+    /// `push`/`extend` drains it. Corrupt or hand-forged checkpoints fail
+    /// with a typed error, never a panic.
     pub fn resume(inner: Box<dyn Estimator>, bytes: &[u8]) -> CodecResult<Self> {
         let checkpoint = decode_stream_checkpoint(bytes)?;
         let StreamCheckpoint { budget, chunk_len, pushed, tail, levels } = checkpoint;
         let mut builder = Self::new(inner, budget, chunk_len).map_err(CodecError::Invalid)?;
-        if tail.len() >= chunk_len {
-            return Err(CodecError::Invalid(Error::InvalidParameter {
-                name: "tail",
-                reason: format!(
-                    "checkpoint tail holds {} values but chunks are {} long",
-                    tail.len(),
-                    chunk_len
-                ),
-            }));
-        }
         let level_error = |rank: usize, domain: usize| {
             CodecError::Invalid(Error::InvalidParameter {
                 name: "levels",
@@ -217,19 +293,33 @@ impl StreamingBuilder {
 
     /// Carries a freshly fitted chunk synopsis into the binary-counter
     /// hierarchy, merging with same-rank occupants on the way up.
-    fn carry(&mut self, mut synopsis: Synopsis) -> Result<()> {
+    ///
+    /// Plan-then-commit: all merges run against borrowed occupants first, and
+    /// the hierarchy is only mutated once every merge succeeded — a mid-carry
+    /// merge failure leaves the builder exactly as it was, so the caller can
+    /// retry the whole chunk later.
+    fn carry(&mut self, chunk: Synopsis) -> Result<()> {
         let budget = merge_budget(self.budget);
-        for level in &mut self.levels {
-            match level.take() {
-                None => {
-                    *level = Some(synopsis);
-                    return Ok(());
-                }
+        let mut synopsis = chunk;
+        let mut consumed = 0;
+        for level in &self.levels {
+            match level {
+                None => break,
                 // The occupant is older, so it forms the left chunk.
-                Some(older) => synopsis = older.merge(&synopsis, budget)?,
+                Some(older) => {
+                    synopsis = older.merge(&synopsis, budget)?;
+                    consumed += 1;
+                }
             }
         }
-        self.levels.push(Some(synopsis));
+        for level in &mut self.levels[..consumed] {
+            *level = None;
+        }
+        if consumed < self.levels.len() {
+            self.levels[consumed] = Some(synopsis);
+        } else {
+            self.levels.push(Some(synopsis));
+        }
         Ok(())
     }
 }
@@ -363,13 +453,17 @@ mod tests {
         let forged = hist_persist::encode_stream_checkpoint(&checkpoint);
         assert!(StreamingBuilder::resume(inner(3), &forged).is_err());
 
-        // A tail as long as a whole chunk can never occur (full chunks are
-        // fitted and carried immediately).
+        // A tail of one chunk or more IS resumable: it is the legitimate
+        // retry backlog of a build checkpointed after a failed inner fit.
+        // The next push drains the queued chunk(s).
         let mut checkpoint = hist_persist::decode_stream_checkpoint(&good).unwrap();
         checkpoint.pushed += 16 - checkpoint.tail.len();
         checkpoint.tail = vec![1.0; 16];
-        let forged = hist_persist::encode_stream_checkpoint(&checkpoint);
-        assert!(StreamingBuilder::resume(inner(3), &forged).is_err());
+        let backlogged = hist_persist::encode_stream_checkpoint(&checkpoint);
+        let mut resumed = StreamingBuilder::resume(inner(3), &backlogged).unwrap();
+        assert_eq!(resumed.buffered(), 16);
+        resumed.push(2.0).unwrap();
+        assert_eq!(resumed.buffered(), 1, "backlogged chunk drained on next push");
     }
 
     #[test]
@@ -380,5 +474,129 @@ mod tests {
         assert!(stream.is_empty());
         assert!(stream.synopsis().is_err());
         assert!(stream.push(f64::NAN).is_err());
+    }
+
+    fn boundary_bits(s: &Synopsis) -> Vec<u64> {
+        s.boundary_masses().iter().map(|m| m.to_bits()).collect()
+    }
+
+    /// The wedge regression: with the old `tail.len() == chunk_len` trigger a
+    /// single failed inner fit left the tail permanently past the boundary and
+    /// chunk formation never fired again. The `>=` drain retries instead.
+    #[test]
+    fn failed_fit_leaves_builder_resumable_not_wedged() {
+        use std::sync::atomic::Ordering;
+
+        let values: Vec<f64> = (0..160).map(|i| ((i * 11) % 17) as f64).collect();
+        let (fallible, deny, _fits) = crate::testutil::FallibleEstimator::with_handles(4);
+        let mut stream = StreamingBuilder::new(fallible, 4, 16).unwrap();
+        stream.extend(&values[..15]).unwrap();
+
+        // The 16th value completes a chunk whose fit is denied: the push
+        // errors, but the value is consumed and the chunk stays queued.
+        deny.store(1, Ordering::SeqCst);
+        assert!(stream.push(values[15]).is_err());
+        assert_eq!(stream.len(), 16, "failed value is consumed, not lost");
+        assert_eq!(stream.buffered(), 16, "failed chunk stays queued");
+        assert_eq!(stream.num_partials(), 0, "hierarchy untouched by the failure");
+
+        // The next push retries the queued chunk (old `==` trigger: wedged
+        // forever — tail 17 never equals 16 again).
+        stream.push(values[16]).unwrap();
+        assert_eq!(stream.buffered(), 1, "backlog drained on retry");
+        assert_eq!(stream.num_partials(), 1);
+
+        stream.extend(&values[17..]).unwrap();
+        assert_eq!(stream.len(), values.len());
+
+        // Once recovered, state and output are bit-identical to a build that
+        // never failed: boundaries stayed aligned to chunk_len multiples.
+        let mut clean = StreamingBuilder::new(inner(4), 4, 16).unwrap();
+        clean.extend(&values).unwrap();
+        assert_eq!(
+            boundary_bits(&stream.synopsis().unwrap()),
+            boundary_bits(&clean.synopsis().unwrap()),
+        );
+    }
+
+    /// Checkpoint invariants hold across an injected failure: the wedged
+    /// state round-trips through checkpoint/resume and finishes the stream
+    /// bit-identically to an uninterrupted build.
+    #[test]
+    fn checkpoint_after_failed_fit_resumes_bit_identically() {
+        use std::sync::atomic::Ordering;
+
+        let values: Vec<f64> = (0..96).map(|i| ((i * 7) % 23) as f64 * 0.5).collect();
+        let (fallible, deny, _fits) = crate::testutil::FallibleEstimator::with_handles(3);
+        let mut stream = StreamingBuilder::new(fallible, 3, 16).unwrap();
+        stream.extend(&values[..31]).unwrap();
+        deny.store(1, Ordering::SeqCst);
+        assert!(stream.push(values[31]).is_err());
+        assert_eq!(stream.len(), 32);
+        assert_eq!(stream.buffered(), 16);
+
+        // pushed / tail / levels all survive the round trip from the
+        // post-failure state.
+        let bytes = stream.checkpoint();
+        let mut resumed = StreamingBuilder::resume(inner(3), &bytes).unwrap();
+        assert_eq!(resumed.len(), 32);
+        assert_eq!(resumed.buffered(), 16);
+        resumed.extend(&values[32..]).unwrap();
+
+        let mut clean = StreamingBuilder::new(inner(3), 3, 16).unwrap();
+        clean.extend(&values).unwrap();
+        assert_eq!(
+            boundary_bits(&resumed.synopsis().unwrap()),
+            boundary_bits(&clean.synopsis().unwrap()),
+        );
+    }
+
+    /// `extend` consumes all or nothing: a non-finite value anywhere rejects
+    /// the whole slice untouched; a mid-slice fit failure still consumes
+    /// every value (queued for retry) and reports the error.
+    #[test]
+    fn extend_failure_semantics_are_all_or_nothing() {
+        use std::sync::atomic::Ordering;
+
+        // Non-finite anywhere → typed error, nothing consumed.
+        let mut stream = StreamingBuilder::new(inner(3), 3, 8).unwrap();
+        stream.extend(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(stream.extend(&[4.0, f64::NAN, 6.0]).is_err());
+        assert_eq!(stream.len(), 3, "rejected slice is not consumed at all");
+        assert_eq!(stream.buffered(), 3);
+
+        // Mid-slice fit failure → error reported, but the whole slice is
+        // consumed and the failed chunk is queued for retry.
+        let values: Vec<f64> = (0..40).map(|i| (i % 5) as f64).collect();
+        let (fallible, deny, fits) = crate::testutil::FallibleEstimator::with_handles(3);
+        let mut stream = StreamingBuilder::new(fallible, 3, 8).unwrap();
+        deny.store(1, Ordering::SeqCst);
+        assert!(stream.extend(&values).is_err());
+        assert_eq!(stream.len(), 40, "whole slice consumed despite the error");
+        assert_eq!(stream.buffered(), 40, "first chunk's failure queues the rest");
+        assert_eq!(fits.load(Ordering::SeqCst), 1, "drain stops at the failed chunk");
+
+        // An empty retry nudge via extend(&[]) drains the full backlog.
+        stream.extend(&[]).unwrap();
+        assert_eq!(stream.buffered(), 0);
+        let mut clean = StreamingBuilder::new(inner(3), 3, 8).unwrap();
+        clean.extend(&values).unwrap();
+        assert_eq!(
+            boundary_bits(&stream.synopsis().unwrap()),
+            boundary_bits(&clean.synopsis().unwrap()),
+        );
+    }
+
+    /// `extend_collecting_chunks` taps exactly the chunks that were carried,
+    /// oldest first, and matches what a serving store would need to merge.
+    #[test]
+    fn extend_collecting_chunks_reports_each_carried_chunk() {
+        let values: Vec<f64> = (0..50).map(|i| ((i / 10) % 3) as f64 + 1.0).collect();
+        let mut stream = StreamingBuilder::new(inner(3), 3, 16).unwrap();
+        let mut chunks = Vec::new();
+        stream.extend_collecting_chunks(&values, &mut Some(&mut chunks)).unwrap();
+        assert_eq!(chunks.len(), 3, "50 values / 16 per chunk → 3 full chunks");
+        assert!(chunks.iter().all(|c| c.domain() == 16));
+        assert_eq!(stream.buffered(), 2);
     }
 }

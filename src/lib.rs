@@ -86,6 +86,12 @@
 //!   ([`save_synopsis`] / [`load_synopsis`]), powering store snapshots on
 //!   disk, the keyed `AHISTMAP` store-map container and streaming
 //!   checkpoint/resume;
+//! * [`pipeline`] (`hist-pipeline`) — the live telemetry pipeline chaining
+//!   all of the above end to end: deterministic seekable [`EventSource`]s,
+//!   per-metric ingest lanes ([`MetricPipeline`], cumulative chunks merged
+//!   via `update_merge` or sliding windows re-published per bucket) and the
+//!   multi-lane [`TelemetryPipeline`] ingest thread, with crash/resume of
+//!   the ingester that leaves served answers bit-identical;
 //! * [`net`] (`hist-net`) — the network serving layer: a length-prefixed,
 //!   CRC-trailed binary TCP protocol (v3, with v1/v2 compat) over the
 //!   keyed store map ([`HistServer`] / [`HistClient`]), with per-key batch
@@ -103,6 +109,7 @@ pub use hist_core as core;
 pub use hist_datasets as datasets;
 pub use hist_net as net;
 pub use hist_persist as persist;
+pub use hist_pipeline as pipeline;
 pub use hist_poly as poly;
 pub use hist_sampling as sampling;
 pub use hist_serve as serve;
@@ -123,6 +130,9 @@ pub use hist_persist::{
     encode_store_map, encode_store_snapshot, encode_stream_checkpoint, encode_synopsis,
     load_store_map, load_synopsis, save_store_map, save_synopsis, CodecError, PersistError,
     StoreMapEntry, StoreMapSnapshot, StoreSnapshot, StreamCheckpoint,
+};
+pub use hist_pipeline::{
+    EventSource, IngestHandle, MetricPipeline, PipelineReport, TelemetryPipeline,
 };
 pub use hist_poly::PiecewisePoly;
 pub use hist_sampling::SampleLearner;

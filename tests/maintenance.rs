@@ -6,10 +6,15 @@
 //!   rebuilds the served synopsis from the retained chunk decomposition to
 //!   within the committed `C = 3` bound of a direct fit (the same constant
 //!   `tests/merge_streaming.rs` pins for tree-merged construction).
+//! * **Wall-clock freshness** — a key whose writer pauses below every
+//!   merge-counted threshold is still refitted once the policy's
+//!   `max_wall_interval` elapses (the map's ticker sweeps idle keys), and an
+//!   already-refreshed idle key is never refitted again.
 //! * **Hostile knobs** — non-positive/non-finite error budgets, inverted
-//!   refit intervals, zero compaction budgets and sub-2 retention caps are
-//!   typed errors at every layer they can be injected: the policy itself,
-//!   the estimator builder, a single store, the keyed map, and server bind.
+//!   refit intervals, zero wall-clock intervals, zero compaction budgets and
+//!   sub-2 retention caps are typed errors at every layer they can be
+//!   injected: the policy itself, the estimator builder, a single store, the
+//!   keyed map, and server bind.
 //! * **Epoch accounting** — refits racing concurrent `update_merge` writers
 //!   lose no epochs: the final epoch is exactly seeds + merges + refits.
 //! * **Phantom keys** — a failed `update_merge` (zero budget, bad key) on a
@@ -127,6 +132,55 @@ fn the_error_budget_trips_a_refit_that_restores_direct_fit_accuracy() {
     );
 }
 
+/// The wall-clock freshness bound: a key whose writer pauses below every
+/// merge-counted threshold still gets refitted once
+/// `MaintenancePolicy::max_wall_interval` elapses — the map's ticker thread
+/// sweeps idle keys, and the trigger deliberately bypasses the min-merge
+/// back-pressure (an idle key will never accumulate more merges).
+#[test]
+fn a_paused_writer_is_refreshed_by_the_wall_clock_bound() {
+    let map = StoreMap::new();
+    // Merge-counted triggers can never fire: an astronomically large error
+    // budget, a min interval far above the merge count, and no max interval.
+    // Only the wall clock can cause a refit in this test.
+    let policy = MaintenancePolicy::new(1e18, BUDGET)
+        .min_interval(1_000)
+        .max_wall_interval(Duration::from_millis(250));
+    map.enable_maintenance(policy, 1).unwrap();
+
+    for seed in 0..4 {
+        map.update_merge("idle", &chunk(seed), BUDGET).unwrap();
+    }
+    let stats = map.store("idle").unwrap().maintenance_stats();
+    assert_eq!(stats.refits, 0, "merge-counted triggers must not have fired");
+    assert!(stats.retained_chunks >= 2, "there is something to rebuild from");
+    let epoch_before = map.epoch("idle");
+
+    // Writer paused. Within the wall interval plus a few ticker sweeps the
+    // idle key must be refitted in the background.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = map.store("idle").unwrap().maintenance_stats();
+        if stats.refits >= 1 {
+            break stats;
+        }
+        assert!(Instant::now() < deadline, "wall-clock refit never fired for the idle key");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(stats.refits, 1);
+    assert_eq!(stats.merges_since_refit, 0, "the refit re-baselined the key");
+    assert_eq!(map.epoch("idle"), epoch_before + 1, "the refit minted one epoch");
+
+    // With nothing new absorbed since the refit, the wall clock must not
+    // churn: one retained baseline and zero merges-since-refit stay idle.
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(
+        map.store("idle").unwrap().maintenance_stats().refits,
+        1,
+        "an already-refreshed idle key must not be refitted again"
+    );
+}
+
 #[test]
 fn refits_racing_concurrent_merges_lose_no_epochs() {
     const WRITERS: usize = 4;
@@ -235,6 +289,10 @@ fn hostile_policy_knobs_are_typed_errors_at_every_layer() {
     assert_invalid(
         MaintenancePolicy::new(0.5, BUDGET).retained_chunks(1).validate(),
         "a retention cap below 2 cannot fold",
+    );
+    assert_invalid(
+        MaintenancePolicy::new(0.5, BUDGET).max_wall_interval(Duration::ZERO).validate(),
+        "zero wall-clock interval",
     );
 
     // The estimator-builder path rejects the same knobs.
